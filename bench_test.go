@@ -1,0 +1,235 @@
+package observatory
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper, plus the ablations DESIGN.md calls out. Each benchmark runs the
+// full experiment driver end-to-end; reported ns/op is the cost of
+// regenerating the artifact. `go test -bench=. -benchmem` regenerates
+// everything (numbers recorded in EXPERIMENTS.md).
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/afrinet/observatory/internal/experiments"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+func benchSetup(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() { benchEnv = experiments.NewEnv(42, 2025) })
+	return benchEnv
+}
+
+// BenchmarkFig1InfrastructureGrowth regenerates Figure 1 (the 2015-2025
+// infrastructure timeline per region).
+func BenchmarkFig1InfrastructureGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1Growth(42)
+		if r.AfricaIXPGrowthPct < 400 {
+			b.Fatalf("IXP growth collapsed: %v", r.AfricaIXPGrowthPct)
+		}
+	}
+}
+
+// BenchmarkFig2aDetourPrevalence regenerates Figure 2a.
+func BenchmarkFig2aDetourPrevalence(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2aDetours(env)
+		if r.OverallPct <= 0 {
+			b.Fatal("no detours measured")
+		}
+	}
+}
+
+// BenchmarkFig2bContentLocality regenerates Figure 2b.
+func BenchmarkFig2bContentLocality(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2bContentLocality(env)
+		if r.OverallPct <= 0 {
+			b.Fatal("no locality measured")
+		}
+	}
+}
+
+// BenchmarkFig2cResolverLocality regenerates Figure 2c.
+func BenchmarkFig2cResolverLocality(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2cResolverUse(env)
+		if len(r.Regions) != 5 {
+			b.Fatal("missing regions")
+		}
+	}
+}
+
+// BenchmarkFig3IXPPrevalence regenerates Figure 3.
+func BenchmarkFig3IXPPrevalence(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3IXPPrevalence(env)
+		if len(r.Regions) != 5 {
+			b.Fatal("missing regions")
+		}
+	}
+}
+
+// BenchmarkFig4OutageImpact regenerates Figure 4 (two simulated years of
+// outages with impact evaluation).
+func BenchmarkFig4OutageImpact(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4Outages(env)
+		if r.CountByContinent["Africa"] == 0 {
+			b.Fatal("no outages detected")
+		}
+	}
+}
+
+// BenchmarkTable1ScanCoverage regenerates Table 1 (three scanning
+// methodologies over the full synthetic address space).
+func BenchmarkTable1ScanCoverage(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1Scan(env)
+		if len(r.Rows) != 3 {
+			b.Fatal("missing tools")
+		}
+	}
+}
+
+// BenchmarkNautilusAmbiguity regenerates the Section 6.2 assessment.
+func BenchmarkNautilusAmbiguity(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.NautilusAmbiguity(env)
+		if r.Summary.PathsWithSubmarine == 0 {
+			b.Fatal("no submarine paths")
+		}
+	}
+}
+
+// BenchmarkSetCoverPlacement regenerates footnote 1's greedy cover.
+func BenchmarkSetCoverPlacement(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.SetCoverPlacement(env)
+		if r.Universe != 77 {
+			b.Fatalf("universe = %d, want 77", r.Universe)
+		}
+	}
+}
+
+// BenchmarkKigaliPilot regenerates the Section 7.3 comparison.
+func BenchmarkKigaliPilot(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.KigaliPilot(env)
+		if r.ObservatoryIXPs == 0 {
+			b.Fatal("pilot saw nothing")
+		}
+	}
+}
+
+// BenchmarkWhatIfCableCut regenerates the correlated-cut scenario pair.
+func BenchmarkWhatIfCableCut(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.WhatIfCableCut(env)
+		if len(r.Baseline.Countries) == 0 {
+			b.Fatal("no countries measured")
+		}
+	}
+}
+
+// BenchmarkAblationPlacement sweeps placement strategies.
+func BenchmarkAblationPlacement(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationPlacement(env)
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAblationBudget compares schedulers under prepaid pricing.
+func BenchmarkAblationBudget(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationBudget(env)
+		if r.BudgetAwareDone == 0 {
+			b.Fatal("no tasks completed")
+		}
+	}
+}
+
+// BenchmarkAblationCorrelatedCuts compares failure models.
+func BenchmarkAblationCorrelatedCuts(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationCorrelatedCuts(env)
+		if r.CorrelatedMeanImpact == 0 {
+			b.Fatal("no impact measured")
+		}
+	}
+}
+
+// BenchmarkRouteComputation measures the per-destination routing-tree
+// computation (DESIGN.md's memoization ablation: the first call per
+// destination pays this; subsequent path queries are map reads).
+func BenchmarkRouteComputation(b *testing.B) {
+	env := benchSetup(b)
+	asns := env.Topo.ASNs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dest := asns[i%len(asns)]
+		env.Router.SetLinkDown(0, false) // invalidate cache cheaply
+		tree := env.Router.Tree(dest)
+		if tree.Size() == 0 {
+			b.Fatal("empty routing tree")
+		}
+	}
+}
+
+// BenchmarkTraceroute measures one end-to-end traceroute on a warm
+// routing cache.
+func BenchmarkTraceroute(b *testing.B) {
+	env := benchSetup(b)
+	dst := env.Net.RouterAddr(15169, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := env.Net.Traceroute(36924, dst)
+		if len(tr.Hops) == 0 {
+			b.Fatal("no hops")
+		}
+	}
+}
+
+// BenchmarkTopologyGenerate measures full-world generation.
+func BenchmarkTopologyGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewStack(Config{Seed: int64(42 + i), Year: 2025})
+		if len(s.Topology.ASNs()) == 0 {
+			b.Fatal("empty topology")
+		}
+	}
+}

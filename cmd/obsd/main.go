@@ -1,0 +1,40 @@
+// Command obsd runs the observatory controller: the HTTP control plane
+// probes register with, experimenters submit vetted experiments to, and
+// analysts pull results from.
+//
+// Usage:
+//
+//	obsd [-listen 127.0.0.1:8600] [-trusted owner1,owner2]
+//
+// Probes (cmd/obsprobe) sharing the controller's world seed connect to
+// the same simulated Internet, so a controller plus a fleet of probe
+// processes forms a working distributed deployment on one machine.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"github.com/afrinet/observatory/internal/core"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8600", "address to serve the control-plane API on")
+	trusted := flag.String("trusted", "upanzi,research-team", "comma-separated trusted experiment owners")
+	flag.Parse()
+
+	var cohort []string
+	for _, t := range strings.Split(*trusted, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			cohort = append(cohort, t)
+		}
+	}
+	ctrl := core.NewController(cohort...)
+
+	log.Printf("obsd: serving control plane on http://%s (trusted cohort: %v)", *listen, cohort)
+	if err := http.ListenAndServe(*listen, ctrl.Handler()); err != nil {
+		log.Fatalf("obsd: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+// Command obsprobe runs one observatory probe agent: it registers with a
+// controller, leases measurement tasks, executes them against the
+// simulated Internet (selected by -seed, which must match the fleet's),
+// and uploads results.
+//
+// Usage:
+//
+//	obsprobe -controller http://127.0.0.1:8600 -id kgl-01 -asn 36924 \
+//	         [-seed 42] [-wired] [-budget 5.0] [-bundle-mb 20] [-poll 1]
+//
+// Without -wired the probe is cellular-only and meters every task
+// against a prepaid bundle budget, failing tasks once the budget is
+// exhausted — the Section 7.1 cost-consciousness in practice.
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"github.com/afrinet/observatory/internal/core"
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/topology"
+
+	obs "github.com/afrinet/observatory"
+)
+
+func main() {
+	controller := flag.String("controller", "http://127.0.0.1:8600", "controller base URL")
+	id := flag.String("id", "", "probe id (required)")
+	asn := flag.Uint("asn", 0, "hosting network ASN (required)")
+	seed := flag.Int64("seed", 42, "world seed (must match the fleet)")
+	year := flag.Int("year", 2025, "world snapshot year")
+	wired := flag.Bool("wired", false, "probe site has fixed broadband (unmetered)")
+	budget := flag.Float64("budget", 5.0, "cellular money budget")
+	bundleMB := flag.Int64("bundle-mb", 20, "prepaid bundle size (MB)")
+	bundlePrice := flag.Float64("bundle-price", 1.0, "prepaid bundle price")
+	outageProb := flag.Float64("outage-prob", 0.0, "hourly grid-power outage probability")
+	poll := flag.Duration("poll", time.Second, "task poll interval")
+	once := flag.Bool("once", false, "drain the queue once and exit")
+	flag.Parse()
+
+	if *id == "" || *asn == 0 {
+		log.Fatal("obsprobe: -id and -asn are required")
+	}
+
+	log.Printf("obsprobe %s: generating world (seed=%d year=%d)...", *id, *seed, *year)
+	stack := obs.NewStack(obs.Config{Seed: *seed, Year: *year})
+	if stack.Topology.ASes[topology.ASN(*asn)] == nil {
+		log.Fatalf("obsprobe: AS%d does not exist in this world", *asn)
+	}
+
+	cfg := probes.Config{
+		ID:       *id,
+		ASN:      topology.ASN(*asn),
+		HasWired: *wired,
+	}
+	if !*wired {
+		cfg.CellBudget = probes.NewBudget(
+			probes.PrepaidBundle{BundleMB: *bundleMB, BundlePrice: *bundlePrice}, *budget)
+	}
+	if *outageProb > 0 {
+		cfg.Power = probes.NewPowerModel(*seed, *outageProb)
+	}
+	agent := stack.NewAgent(cfg)
+
+	cl := core.NewClient(*controller)
+	if err := cl.Register(core.ProbeInfo{
+		ID: *id, ASN: topology.ASN(*asn),
+		Country:  stack.Topology.ASes[topology.ASN(*asn)].Country,
+		HasWired: *wired, Kind: "hardware",
+	}); err != nil {
+		log.Fatalf("obsprobe: register: %v", err)
+	}
+	log.Printf("obsprobe %s: registered at %s (AS%d, wired=%v)", *id, *controller, *asn, *wired)
+
+	for {
+		n, err := core.RunAgentOnce(cl, agent)
+		if err != nil {
+			log.Printf("obsprobe %s: %v", *id, err)
+		}
+		if n > 0 {
+			log.Printf("obsprobe %s: completed %d tasks", *id, n)
+		}
+		if *once {
+			return
+		}
+		agent.Hour++ // advance simulated time-of-day each poll round
+		time.Sleep(*poll)
+	}
+}

@@ -1,0 +1,76 @@
+// Command topogen generates the synthetic Internet and writes it as
+// JSON for inspection, hand-editing, or loading into external tooling.
+// It can also summarize an existing topology file.
+//
+// Usage:
+//
+//	topogen [-seed 42] [-year 2025] [-o world.json]
+//	topogen -summarize world.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "generator seed")
+	year := flag.Int("year", 2025, "snapshot year")
+	out := flag.String("o", "", "output file (default stdout)")
+	summarize := flag.String("summarize", "", "summarize an existing topology JSON file instead of generating")
+	flag.Parse()
+
+	if *summarize != "" {
+		f, err := os.Open(*summarize)
+		if err != nil {
+			log.Fatalf("topogen: %v", err)
+		}
+		defer f.Close()
+		t, err := topology.ReadJSON(f)
+		if err != nil {
+			log.Fatalf("topogen: %v", err)
+		}
+		printSummary(t)
+		return
+	}
+
+	t := topology.Generate(topology.Params{Seed: *seed, Year: *year})
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("topogen: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := t.WriteJSON(w); err != nil {
+		log.Fatalf("topogen: %v", err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "topogen: wrote %s (seed=%d year=%d)\n", *out, *seed, *year)
+	}
+}
+
+func printSummary(t *topology.Topology) {
+	fmt.Printf("topology seed=%d year=%d\n", t.Seed, t.Year)
+	fmt.Printf("  ASes:     %d\n", len(t.ASNs()))
+	fmt.Printf("  links:    %d\n", len(t.Links))
+	fmt.Printf("  IXPs:     %d\n", len(t.IXPIDs()))
+	fmt.Printf("  cables:   %d\n", len(t.CableIDs()))
+	fmt.Printf("  conduits: %d\n", len(t.Conduits))
+	perRegion := map[geo.Region]int{}
+	for _, a := range t.ASNs() {
+		perRegion[t.RegionOf(a)]++
+	}
+	for _, r := range geo.AllRegions() {
+		if n := perRegion[r]; n > 0 {
+			fmt.Printf("  %-16s %4d ASes\n", r.String()+":", n)
+		}
+	}
+}

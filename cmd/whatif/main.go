@@ -1,0 +1,90 @@
+// Command whatif runs counterfactual scenarios over the synthetic
+// Internet: cut cables, optionally mandate in-country resolvers, and
+// report page-load success before and after per country.
+//
+// Usage:
+//
+//	whatif -cut WACS,MainOne,SAT-3,ACE [-mandate-local-resolvers] \
+//	       [-countries NG,GH,CI] [-seed 42] [-sites 12]
+//
+// Without -cut it lists the available cable systems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/afrinet/observatory/internal/report"
+	"github.com/afrinet/observatory/internal/whatif"
+
+	obs "github.com/afrinet/observatory"
+)
+
+func main() {
+	cut := flag.String("cut", "", "comma-separated cable names to cut")
+	mandate := flag.Bool("mandate-local-resolvers", false, "force all clients onto in-country resolvers")
+	countries := flag.String("countries", "", "comma-separated ISO2 codes to measure (default: all African)")
+	seed := flag.Int64("seed", 42, "world seed")
+	sites := flag.Int("sites", 12, "sites measured per country")
+	flag.Parse()
+
+	stack := obs.NewStack(obs.Config{Seed: *seed})
+
+	if *cut == "" {
+		fmt.Println("available cable systems:")
+		for _, id := range stack.Topology.CableIDs() {
+			c := stack.Topology.Cables[id]
+			fmt.Printf("  %-14s (%d, corridor %s, %d landings)\n",
+				c.Name, c.Born, c.Corridor, len(c.Landings))
+		}
+		return
+	}
+
+	var names []string
+	for _, n := range strings.Split(*cut, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	cables := stack.FindCables(names...)
+	if len(cables) != len(names) {
+		fmt.Fprintf(os.Stderr, "whatif: some cables not found (resolved %d of %d)\n", len(cables), len(names))
+		os.Exit(1)
+	}
+
+	var isoList []string
+	if *countries != "" {
+		for _, c := range strings.Split(*countries, ",") {
+			if c = strings.TrimSpace(strings.ToUpper(c)); c != "" {
+				isoList = append(isoList, c)
+			}
+		}
+	}
+
+	eng := stack.NewWhatIf()
+	outcome := eng.Run(whatif.Scenario{
+		Name:                  "cli",
+		CutCables:             cables,
+		MandateLocalResolvers: *mandate,
+		Countries:             isoList,
+		SitesPerCountry:       *sites,
+	})
+
+	tb := report.NewTable(
+		fmt.Sprintf("Scenario: cut %s (mandate-local-resolvers=%v)", strings.Join(names, "+"), *mandate),
+		"country", "region", "before %", "after %", "local after %", "dns-fail share %")
+	for _, c := range outcome.Countries {
+		local := "-"
+		if c.LocalAfter >= 0 {
+			local = fmt.Sprintf("%.0f", 100*c.LocalAfter)
+		}
+		tb.AddRow(c.Country, c.Region.String(),
+			100*c.PageLoadBefore, 100*c.PageLoadAfter, local, 100*c.DNSFailShare)
+	}
+	tb.Render(os.Stdout)
+	if len(outcome.Disconnected) > 0 {
+		fmt.Printf("fully disconnected: %v\n", outcome.Disconnected)
+	}
+}

@@ -1,0 +1,57 @@
+// Cablecut replays the March 2024 West-African submarine cable disaster:
+// four systems sharing the coastal corridor (WACS, MainOne, SAT-3, ACE)
+// fail together, and the example measures what West African users
+// experience — then shows how a local-resolver mandate changes the
+// outcome for locally hosted services (the paper's Section 5
+// resilience argument).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/afrinet/observatory/internal/report"
+
+	obs "github.com/afrinet/observatory"
+)
+
+func main() {
+	stack := obs.NewStack(obs.Config{Seed: 42})
+	eng := stack.NewWhatIf()
+
+	cut := stack.FindCables("WACS", "MainOne", "SAT-3", "ACE")
+	fmt.Printf("cutting %d cable systems in the west-africa-coastal corridor\n\n", len(cut))
+
+	west := []string{"NG", "GH", "CI", "SN", "BJ", "TG", "LR", "SL", "GN", "GM"}
+
+	for _, mandate := range []bool{false, true} {
+		outcome := eng.Run(obs.Scenario{
+			Name:                  "march-2024-west",
+			CutCables:             cut,
+			Countries:             west,
+			SitesPerCountry:       15,
+			MandateLocalResolvers: mandate,
+		})
+		title := "baseline (resolvers as deployed today)"
+		if mandate {
+			title = "with a local-resolver mandate"
+		}
+		tb := report.NewTable(title,
+			"country", "page loads before %", "after %", "local content after %")
+		for _, c := range outcome.Countries {
+			local := "-"
+			if c.LocalAfter >= 0 {
+				local = fmt.Sprintf("%.0f", 100*c.LocalAfter)
+			}
+			tb.AddRow(c.Country, 100*c.PageLoadBefore, 100*c.PageLoadAfter, local)
+		}
+		tb.Render(os.Stdout)
+		if len(outcome.Disconnected) > 0 {
+			fmt.Printf("fully disconnected: %v\n", outcome.Disconnected)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("note how countries served by a single corridor go fully dark, and how the")
+	fmt.Println("mandate only helps where the content itself is hosted in-country.")
+}

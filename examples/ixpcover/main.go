@@ -1,0 +1,38 @@
+// Ixpcover plans an observatory deployment: it runs footnote 1's greedy
+// set cover over the exchange directory to find the minimal set of host
+// networks that puts a probe behind every African IXP, and compares that
+// placement's coverage with the Atlas-like baseline at equal budgets.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/afrinet/observatory/internal/ixp"
+	"github.com/afrinet/observatory/internal/report"
+
+	obs "github.com/afrinet/observatory"
+)
+
+func main() {
+	stack := obs.NewStack(obs.Config{Seed: 42})
+	dir := stack.AfricanIXPs()
+
+	chosen := obs.GreedyIXPCover(dir)
+	fmt.Printf("%d vantage ASNs cover all %d African exchanges:\n", len(chosen), len(dir))
+	for i, a := range chosen {
+		as := stack.Topology.ASes[a]
+		fmt.Printf("  %2d. AS%-6d %-22s (%s)\n", i+1, a, as.Name, as.Country)
+	}
+
+	tb := report.NewTable("\nIXP coverage at equal probe budgets",
+		"probes", "set-cover placement", "atlas-like placement")
+	for _, n := range []int{5, 10, 20, 30, len(chosen)} {
+		cut := chosen
+		if n < len(cut) {
+			cut = cut[:n]
+		}
+		tb.AddRow(n, ixp.CoverageOf(dir, cut), ixp.CoverageOf(dir, stack.AtlasPlacement(n)))
+	}
+	tb.Render(os.Stdout)
+}

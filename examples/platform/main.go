@@ -1,0 +1,127 @@
+// Platform runs the whole observatory as a distributed system on
+// localhost: a controller serving the HTTP control plane, three probe
+// agents (a wired Kigali probe, a budgeted cellular probe in Dakar, a
+// cellular probe in Lagos), an experiment submitted by an untrusted
+// owner that needs review, and a vetted DNS-dependency audit whose
+// results are collected back through the API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"github.com/afrinet/observatory/internal/core"
+	"github.com/afrinet/observatory/internal/probes"
+
+	obs "github.com/afrinet/observatory"
+)
+
+func main() {
+	stack := obs.NewStack(obs.Config{Seed: 42})
+
+	// --- Controller over a real socket ---
+	ctrl := obs.NewController("upanzi")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: ctrl.Handler()}
+	go srv.Serve(ln) //nolint:errcheck
+	base := "http://" + ln.Addr().String()
+	fmt.Println("controller listening on", base)
+
+	// --- Three probes in different markets ---
+	mkProbe := func(id string, asn obs.ASN, wired bool, pricing probes.PricingModel) *obs.Agent {
+		cfg := obs.AgentConfig{ID: id, ASN: asn, HasWired: wired}
+		if !wired {
+			cfg.CellBudget = probes.NewBudget(pricing, 5.0)
+		}
+		cl := obs.NewClient(base)
+		info := obs.ProbeInfo{ID: id, ASN: asn, Country: stack.Topology.ASes[asn].Country, HasWired: wired}
+		if err := cl.Register(info); err != nil {
+			log.Fatal(err)
+		}
+		return stack.NewAgent(cfg)
+	}
+	dakar := firstEyeball(stack, "SN")
+	lagos := firstEyeball(stack, "NG")
+	agents := map[string]*obs.Agent{
+		"kgl-01": mkProbe("kgl-01", 36924, true, nil),
+		"dkr-01": mkProbe("dkr-01", dakar, false, probes.PrepaidBundle{BundleMB: 20, BundlePrice: 1.2}),
+		"los-01": mkProbe("los-01", lagos, false, probes.PerMB{RatePerMB: 0.02}),
+	}
+
+	cl := obs.NewClient(base)
+	ps, _ := cl.Probes()
+	fmt.Printf("registered probes: %d\n", len(ps))
+
+	// --- An untrusted submission waits for review ---
+	pending, err := cl.Submit("someone-new", "exploratory transport tests", []obs.Assignment{
+		{ProbeID: "kgl-01", Task: obs.Task{Kind: probes.TaskPing, Target: stack.Net.RouterAddr(15169, 0).String()}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("experiment %s from untrusted owner: status=%s (vetting required)\n", pending.ID, pending.Status)
+	if err := cl.Approve(pending.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("experiment %s approved by the review cohort\n", pending.ID)
+
+	// --- A trusted DNS-dependency audit across all three probes ---
+	var assignments []obs.Assignment
+	for id, agent := range agents {
+		sites := stack.Web.Catalog().SitesFor(stack.Topology.ASes[agent.ASN()].Country)
+		for i := 0; i < 5 && i < len(sites); i++ {
+			assignments = append(assignments, obs.Assignment{
+				ProbeID: id,
+				Task: obs.Task{
+					Kind:          probes.TaskDNS,
+					Domain:        sites[i].Domain,
+					OriginCountry: sites[i].Country,
+				},
+			})
+		}
+	}
+	audit, err := cl.Submit("upanzi", "resolver locality audit", assignments)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("experiment %s from trusted owner: status=%s\n", audit.ID, audit.Status)
+
+	// --- Agents drain their queues over HTTP ---
+	for id, agent := range agents {
+		n, err := core.RunAgentOnce(obs.NewClient(base), agent)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("probe %s processed %d tasks\n", id, n)
+	}
+
+	// --- Collect and summarize results ---
+	results, err := cl.Results(audit.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nresolver locality audit — %d results:\n", len(results))
+	byKind := map[string]int{}
+	for _, r := range results {
+		byKind[r.ResolverKind]++
+	}
+	for kind, n := range byKind {
+		fmt.Printf("  %-14s %d lookups\n", kind, n)
+	}
+	srv.Close()
+}
+
+func firstEyeball(stack *obs.Stack, iso2 string) obs.ASN {
+	for _, a := range stack.Topology.ASesIn(iso2) {
+		as := stack.Topology.ASes[a]
+		if as.Type.String() == "mobile" || as.Type.String() == "fixed-isp" {
+			return a
+		}
+	}
+	panic("no eyeball in " + iso2)
+}

@@ -1,0 +1,61 @@
+// Radarmon runs the observatory's outage monitor: it simulates four
+// months of per-country traffic, detects outages from the traffic
+// series alone (Radar-style sustained-drop detection), and prints the
+// outage-center view next to the ground truth the detector never saw.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/afrinet/observatory/internal/bgp"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/outage"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+func main() {
+	topo := topology.Generate(topology.DefaultParams())
+	net := netsim.New(topo, bgp.New(topo), 42)
+	model := outage.NewModel(net, 42)
+
+	const days = 120
+	rep := model.RunRadar(days, 42)
+
+	fmt.Printf("outage monitor — %d days simulated\n", days)
+	fmt.Printf("detector recall on sustained outages: %.0f%%  (duration error %.2f days)\n\n",
+		100*rep.Recall, rep.MeanDurationError)
+
+	var countries []string
+	for c := range rep.Detected {
+		countries = append(countries, c)
+	}
+	sort.Strings(countries)
+
+	fmt.Println("detected country-outages (from traffic only):")
+	shown := 0
+	for _, c := range countries {
+		for _, w := range rep.Detected[c] {
+			cause := "?"
+			// Look for a ground-truth impact overlapping the window —
+			// the validation a real deployment cannot do.
+			for _, imp := range rep.Impacts {
+				if imp.Country != c {
+					continue
+				}
+				s, e := int(imp.StartDay*24), int((imp.StartDay+imp.Duration)*24)
+				if w.StartHour < e && w.EndHour > s {
+					cause = imp.Cause.String()
+					break
+				}
+			}
+			fmt.Printf("  %s  day %5.1f  %5.1fh long  depth %3.0f%%  (truth: %s)\n",
+				c, float64(w.StartHour)/24, float64(w.EndHour-w.StartHour), 100*w.Depth, cause)
+			shown++
+			if shown >= 20 {
+				fmt.Printf("  ... and more (%d countries had detections)\n", len(countries))
+				return
+			}
+		}
+	}
+}

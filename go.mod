@@ -1,0 +1,3 @@
+module github.com/afrinet/observatory
+
+go 1.23

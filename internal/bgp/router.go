@@ -1,0 +1,424 @@
+// Package bgp computes interdomain routes over a topology under the
+// standard Gao-Rexford policy model: routes learned from customers are
+// exported to everyone; routes learned from peers or providers are
+// exported only to customers. Every AS prefers customer routes over peer
+// routes over provider routes, then shorter AS paths, then the lowest
+// next-hop ASN (a deterministic stand-in for tie-breaking on router IDs).
+//
+// The router computes one spanning "routing tree" per destination AS with
+// a three-phase BFS and caches it; paths for any source are read off the
+// tree. Link failures (e.g. from a cable cut) invalidate the cache.
+package bgp
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// RouteType orders route preference: customer > peer > provider.
+type RouteType int
+
+const (
+	RouteNone RouteType = iota
+	RouteSelf
+	RouteCustomer
+	RoutePeer
+	RouteProvider
+)
+
+func (r RouteType) String() string {
+	switch r {
+	case RouteSelf:
+		return "self"
+	case RouteCustomer:
+		return "customer"
+	case RoutePeer:
+		return "peer"
+	case RouteProvider:
+		return "provider"
+	default:
+		return "none"
+	}
+}
+
+// neighbor is one adjacency with its relationship seen from the local AS.
+type neighbor struct {
+	asn  topology.ASN
+	link topology.LinkID
+}
+
+// adjacency holds each AS's neighbors grouped by relationship.
+type adjacency struct {
+	customers []neighbor
+	providers []neighbor
+	peers     []neighbor
+}
+
+// Router computes and caches per-destination routing trees.
+type Router struct {
+	topo *topology.Topology
+
+	mu    sync.Mutex
+	adj   map[topology.ASN]*adjacency
+	trees map[topology.ASN]*Tree
+	down  map[topology.LinkID]bool
+}
+
+// New builds a router for the topology with all links up.
+func New(t *topology.Topology) *Router {
+	r := &Router{
+		topo:  t,
+		trees: make(map[topology.ASN]*Tree),
+		down:  make(map[topology.LinkID]bool),
+	}
+	r.rebuildAdjacency()
+	return r
+}
+
+func (r *Router) rebuildAdjacency() {
+	adj := make(map[topology.ASN]*adjacency, len(r.topo.ASes))
+	get := func(a topology.ASN) *adjacency {
+		x := adj[a]
+		if x == nil {
+			x = &adjacency{}
+			adj[a] = x
+		}
+		return x
+	}
+	for i := range r.topo.Links {
+		l := &r.topo.Links[i]
+		if r.down[l.ID] {
+			continue
+		}
+		switch l.Kind {
+		case topology.CustomerProvider:
+			get(l.A).providers = append(get(l.A).providers, neighbor{l.B, l.ID})
+			get(l.B).customers = append(get(l.B).customers, neighbor{l.A, l.ID})
+		case topology.PeerPeer:
+			get(l.A).peers = append(get(l.A).peers, neighbor{l.B, l.ID})
+			get(l.B).peers = append(get(l.B).peers, neighbor{l.A, l.ID})
+		}
+	}
+	for _, x := range adj {
+		sortNeighbors(x.customers)
+		sortNeighbors(x.providers)
+		sortNeighbors(x.peers)
+	}
+	r.adj = adj
+}
+
+func sortNeighbors(ns []neighbor) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].asn < ns[j].asn })
+}
+
+// SetLinkDown marks a link failed (true) or restored (false) and drops
+// all cached trees.
+func (r *Router) SetLinkDown(id topology.LinkID, isDown bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if isDown {
+		r.down[id] = true
+	} else {
+		delete(r.down, id)
+	}
+	r.trees = make(map[topology.ASN]*Tree)
+	r.rebuildAdjacency()
+}
+
+// SetLinksDown applies a batch of failures in one cache invalidation.
+func (r *Router) SetLinksDown(ids []topology.LinkID, isDown bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range ids {
+		if isDown {
+			r.down[id] = true
+		} else {
+			delete(r.down, id)
+		}
+	}
+	r.trees = make(map[topology.ASN]*Tree)
+	r.rebuildAdjacency()
+}
+
+// ResetFailures restores every link.
+func (r *Router) ResetFailures() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.down = make(map[topology.LinkID]bool)
+	r.trees = make(map[topology.ASN]*Tree)
+	r.rebuildAdjacency()
+}
+
+// DownLinks returns the currently failed links, sorted.
+func (r *Router) DownLinks() []topology.LinkID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]topology.LinkID, 0, len(r.down))
+	for id := range r.down {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// entry is one AS's best route toward the tree's destination.
+type entry struct {
+	via   topology.ASN
+	link  topology.LinkID
+	rtype RouteType
+	hops  int
+}
+
+// Tree is the routing tree for one destination: for every AS that can
+// reach the destination, its best next hop.
+type Tree struct {
+	Dest topology.ASN
+	next map[topology.ASN]entry
+}
+
+// Reachable reports whether src has any route to the destination.
+func (t *Tree) Reachable(src topology.ASN) bool {
+	if src == t.Dest {
+		return true
+	}
+	_, ok := t.next[src]
+	return ok
+}
+
+// NextHop returns src's best next hop toward the destination.
+func (t *Tree) NextHop(src topology.ASN) (topology.ASN, topology.LinkID, RouteType, bool) {
+	e, ok := t.next[src]
+	return e.via, e.link, e.rtype, ok
+}
+
+// Size returns the number of ASes with a route to the destination
+// (excluding the destination itself).
+func (t *Tree) Size() int { return len(t.next) }
+
+// Tree returns the routing tree for dest, computing and caching it on
+// first use. Trees are safe for concurrent reads.
+func (r *Router) Tree(dest topology.ASN) *Tree {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.trees[dest]; ok {
+		return t
+	}
+	t := r.computeTree(dest)
+	r.trees[dest] = t
+	return t
+}
+
+// computeTree runs the three-phase valley-free BFS. It must be called
+// with r.mu held.
+func (r *Router) computeTree(dest topology.ASN) *Tree {
+	t := &Tree{Dest: dest, next: make(map[topology.ASN]entry)}
+	if _, ok := r.topo.ASes[dest]; !ok {
+		return t
+	}
+
+	better := func(old entry, cand entry) bool {
+		if old.rtype == RouteNone {
+			return true
+		}
+		if cand.rtype != old.rtype {
+			return cand.rtype < old.rtype
+		}
+		if cand.hops != old.hops {
+			return cand.hops < old.hops
+		}
+		return cand.via < old.via
+	}
+	get := func(a topology.ASN) entry {
+		if a == dest {
+			return entry{rtype: RouteSelf}
+		}
+		return t.next[a] // zero value has RouteNone
+	}
+	set := func(a topology.ASN, e entry) bool {
+		if a == dest {
+			return false
+		}
+		if old := get(a); better(old, e) {
+			t.next[a] = e
+			return true
+		}
+		return false
+	}
+
+	// Phase 1: customer routes climb provider edges from the
+	// destination. BFS level by level, nodes in ascending ASN order so
+	// ties resolve to the lowest next hop.
+	frontier := []topology.ASN{dest}
+	hops := 0
+	inP1 := map[topology.ASN]bool{dest: true}
+	for len(frontier) > 0 {
+		hops++
+		var next []topology.ASN
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		for _, u := range frontier {
+			a := r.adj[u]
+			if a == nil {
+				continue
+			}
+			for _, prov := range a.providers {
+				if set(prov.asn, entry{via: u, link: prov.link, rtype: RouteCustomer, hops: hops}) {
+					if !inP1[prov.asn] {
+						inP1[prov.asn] = true
+						next = append(next, prov.asn)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Phase 2: one peer hop from any AS holding a self/customer route.
+	var p1nodes []topology.ASN
+	p1nodes = append(p1nodes, dest)
+	for a, e := range t.next {
+		if e.rtype == RouteCustomer {
+			p1nodes = append(p1nodes, a)
+		}
+	}
+	sort.Slice(p1nodes, func(i, j int) bool { return p1nodes[i] < p1nodes[j] })
+	for _, u := range p1nodes {
+		a := r.adj[u]
+		if a == nil {
+			continue
+		}
+		uh := 0
+		if u != dest {
+			uh = t.next[u].hops
+		}
+		for _, p := range a.peers {
+			set(p.asn, entry{via: u, link: p.link, rtype: RoutePeer, hops: uh + 1})
+		}
+	}
+
+	// Phase 3: provider routes descend customer edges from every AS
+	// that has any route, propagating through further customers.
+	type seed struct {
+		asn  topology.ASN
+		hops int
+	}
+	var seeds []seed
+	seeds = append(seeds, seed{dest, 0})
+	for a, e := range t.next {
+		seeds = append(seeds, seed{a, e.hops})
+	}
+	sort.Slice(seeds, func(i, j int) bool {
+		if seeds[i].hops != seeds[j].hops {
+			return seeds[i].hops < seeds[j].hops
+		}
+		return seeds[i].asn < seeds[j].asn
+	})
+	// Dijkstra-style expansion by hop count (uniform weights, so a
+	// sorted queue sweep is enough).
+	queue := seeds
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		// Skip stale queue entries.
+		if u.asn != dest {
+			if e, ok := t.next[u.asn]; !ok || e.hops != u.hops {
+				continue
+			}
+		}
+		a := r.adj[u.asn]
+		if a == nil {
+			continue
+		}
+		for _, cust := range a.customers {
+			if set(cust.asn, entry{via: u.asn, link: cust.link, rtype: RouteProvider, hops: u.hops + 1}) {
+				queue = append(queue, seed{cust.asn, u.hops + 1})
+			}
+		}
+	}
+	// Queue sweep above appends out of order; a second sweep settles
+	// any node relaxed after being dequeued. Uniform weights make one
+	// extra settling pass sufficient in theory only for BFS order, so
+	// loop until fixed point (bounded by graph diameter, tiny here).
+	for changed := true; changed; {
+		changed = false
+		for _, asn := range r.topo.ASNs() {
+			e, ok := t.next[asn]
+			if !ok && asn != dest {
+				continue
+			}
+			h := 0
+			if asn != dest {
+				h = e.hops
+			}
+			a := r.adj[asn]
+			if a == nil {
+				continue
+			}
+			for _, cust := range a.customers {
+				if set(cust.asn, entry{via: asn, link: cust.link, rtype: RouteProvider, hops: h + 1}) {
+					changed = true
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Hop is one step of an AS-level path.
+type Hop struct {
+	ASN  topology.ASN
+	Link topology.LinkID // link used to reach this AS (undefined for the first hop)
+}
+
+// Path is an AS-level forwarding path.
+type Path struct {
+	Hops []Hop
+}
+
+// ASNs returns the AS sequence of the path.
+func (p Path) ASNs() []topology.ASN {
+	out := make([]topology.ASN, len(p.Hops))
+	for i, h := range p.Hops {
+		out[i] = h.ASN
+	}
+	return out
+}
+
+// Len returns the number of ASes on the path.
+func (p Path) Len() int { return len(p.Hops) }
+
+// Path returns the forwarding path from src to dst, or ok=false when dst
+// is unreachable from src.
+func (r *Router) Path(src, dst topology.ASN) (Path, bool) {
+	if src == dst {
+		return Path{Hops: []Hop{{ASN: src}}}, true
+	}
+	tree := r.Tree(dst)
+	if !tree.Reachable(src) {
+		return Path{}, false
+	}
+	p := Path{Hops: []Hop{{ASN: src}}}
+	at := src
+	for at != dst {
+		e, ok := tree.next[at]
+		if !ok {
+			return Path{}, false
+		}
+		p.Hops = append(p.Hops, Hop{ASN: e.via, Link: e.link})
+		at = e.via
+		if len(p.Hops) > len(r.topo.ASNs())+1 {
+			// A cycle here would be a routing-model bug; fail loudly in
+			// tests rather than looping.
+			panic("bgp: forwarding loop")
+		}
+	}
+	return p, true
+}
+
+// Reachable reports whether dst is reachable from src.
+func (r *Router) Reachable(src, dst topology.ASN) bool {
+	if src == dst {
+		return true
+	}
+	return r.Tree(dst).Reachable(src)
+}

@@ -1,0 +1,288 @@
+// Package cable reimplements Nautilus-style submarine-cable inference
+// (Section 6.2's methodology): given a traceroute, identify the IP links
+// that cross the sea, geolocate their endpoints with a commercial-grade
+// (error-prone) database, and map each to the set of candidate cable
+// systems whose landing stations are compatible with the endpoints'
+// claimed locations and with the observed latency.
+//
+// Because several cables share each corridor and African geolocation is
+// noisy, a link rarely maps to a single cable — the imprecision the
+// paper argues makes cable-level compliance auditing infeasible with
+// passive inference alone.
+package cable
+
+import (
+	"sort"
+
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/geoloc"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// Inference is a cable-mapping engine bound to a topology snapshot and a
+// geolocation database. It consumes only public knowledge: the cable
+// almanac (landing stations), country land borders, and geolocation.
+type Inference struct {
+	topo  *topology.Topology
+	geodb *geoloc.DB
+
+	// SearchRadiusKM bounds how far from a claimed endpoint location a
+	// candidate landing station may be (Nautilus uses generous radii to
+	// survive geolocation error; that is also what inflates candidate
+	// sets).
+	SearchRadiusKM float64
+
+	landBorders map[[2]string]bool
+}
+
+// NewInference builds the engine with the Nautilus-like default radius.
+func NewInference(t *topology.Topology, db *geoloc.DB) *Inference {
+	inf := &Inference{topo: t, geodb: db, SearchRadiusKM: 500, landBorders: map[[2]string]bool{}}
+	// Public borders knowledge: terrestrial conduits exist exactly where
+	// land crossings are plausible in this world.
+	for i := range t.Conduits {
+		c := &t.Conduits[i]
+		if !c.IsSubsea() {
+			inf.landBorders[borderKey(c.FromCountry, c.ToCountry)] = true
+		}
+	}
+	return inf
+}
+
+func borderKey(a, b string) [2]string {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// LinkMapping is the inference result for one sea-crossing IP link.
+type LinkMapping struct {
+	SrcTTL, DstTTL int
+	SrcCountry     string // claimed
+	DstCountry     string // claimed
+	Candidates     []topology.CableID
+	Truth          []topology.CableID // ground truth (evaluation only)
+}
+
+// PathMapping aggregates a traceroute's submarine links.
+type PathMapping struct {
+	Links []LinkMapping
+	// Union is the distinct candidate cables across the whole path —
+	// the paper's "maps a network path to up to 40 submarine cables".
+	Union []topology.CableID
+}
+
+// MapTraceroute runs inference over one traceroute. The net is used only
+// to obtain ground truth for evaluation (CablesOnLink); the inference
+// itself never touches it.
+func (inf *Inference) MapTraceroute(tr netsim.Traceroute, n *netsim.Net) PathMapping {
+	var pm PathMapping
+	union := map[topology.CableID]bool{}
+
+	var prev *netsim.TraceHop
+	for i := range tr.Hops {
+		h := &tr.Hops[i]
+		if h.Addr == 0 {
+			continue
+		}
+		if prev != nil {
+			if m, ok := inf.mapLink(prev, h); ok {
+				if n != nil && h.TrueLink != 0 {
+					m.Truth = n.CablesOnLink(h.TrueLink)
+				}
+				pm.Links = append(pm.Links, m)
+				for _, c := range m.Candidates {
+					union[c] = true
+				}
+			}
+		}
+		prev = h
+	}
+	for c := range union {
+		pm.Union = append(pm.Union, c)
+	}
+	sort.Slice(pm.Union, func(i, j int) bool { return pm.Union[i] < pm.Union[j] })
+	return pm
+}
+
+// mapLink decides whether the hop pair is a submarine crossing and, if
+// so, returns its candidate cables.
+func (inf *Inference) mapLink(a, b *netsim.TraceHop) (LinkMapping, bool) {
+	ga, okA := inf.geodb.Lookup(a.Addr)
+	gb, okB := inf.geodb.Lookup(b.Addr)
+	if !okA || !okB {
+		return LinkMapping{}, false
+	}
+	if ga.Country == gb.Country {
+		return LinkMapping{}, false
+	}
+	if inf.landBorders[borderKey(ga.Country, gb.Country)] {
+		// Plausibly terrestrial: Nautilus discards land-adjacent pairs
+		// unless latency forces a submarine detour; we keep the simple
+		// rule.
+		return LinkMapping{}, false
+	}
+	if geo.DistanceKm(ga.Coord, gb.Coord) < 200 {
+		return LinkMapping{}, false
+	}
+
+	m := LinkMapping{SrcTTL: a.TTL, DstTTL: b.TTL, SrcCountry: ga.Country, DstCountry: gb.Country}
+
+	// Latency feasibility: the RTT increase across the link bounds the
+	// cable length from above (light in fiber travels ~100 km per ms of
+	// RTT). Missing RTTs (silent hops never get here) and jitter get a
+	// generous multiplier.
+	maxKM := 40000.0
+	if a.RTT > 0 && b.RTT > 0 && b.RTT > a.RTT {
+		maxKM = (b.RTT - a.RTT) * 100 * 2.0
+		if maxKM < 500 {
+			maxKM = 500
+		}
+	}
+
+	for _, id := range inf.topo.CableIDs() {
+		c := inf.topo.Cables[id]
+		la, okLA := nearestLanding(c, ga.Coord, ga.Country, inf.SearchRadiusKM)
+		lb, okLB := nearestLanding(c, gb.Coord, gb.Country, inf.SearchRadiusKM)
+		if !okLA || !okLB || la == lb {
+			continue
+		}
+		if alongCableKM(c, la, lb) > maxKM {
+			continue
+		}
+		m.Candidates = append(m.Candidates, id)
+	}
+	if len(m.Candidates) == 0 {
+		// Relaxed stage: when no cable reaches both claimed endpoints
+		// (typical when one endpoint is far inland or badly geolocated),
+		// Nautilus falls back to one-sided matching — every cable that
+		// could carry the seaward end stays a candidate. This stage is
+		// the main source of the huge candidate sets Section 6.2
+		// criticizes.
+		for _, id := range inf.topo.CableIDs() {
+			c := inf.topo.Cables[id]
+			_, okLA := nearestLanding(c, ga.Coord, ga.Country, inf.SearchRadiusKM)
+			_, okLB := nearestLanding(c, gb.Coord, gb.Country, inf.SearchRadiusKM)
+			if okLA || okLB {
+				m.Candidates = append(m.Candidates, id)
+			}
+		}
+	}
+	return m, true
+}
+
+// nearestLanding returns the index of the cable's landing closest to p.
+// A landing is compatible when it is within the search radius of the
+// claimed coordinates OR in the claimed country — Nautilus's country-
+// level fallback, needed because African coordinates carry hundreds of
+// kilometers of error (and the very mechanism that inflates candidate
+// sets).
+func nearestLanding(c *topology.Cable, p geo.Coord, country string, radiusKM float64) (int, bool) {
+	best, bestD := -1, radiusKM
+	for i, l := range c.Landings {
+		d := geo.DistanceKm(l.Site, p)
+		if l.Country == country && d > radiusKM {
+			d = radiusKM // country match: always compatible
+		}
+		if d <= bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, best >= 0
+}
+
+// alongCableKM measures the cable path length between two landings.
+func alongCableKM(c *topology.Cable, i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	var km float64
+	for k := i; k < j; k++ {
+		km += geo.DistanceKm(c.Landings[k].Site, c.Landings[k+1].Site) * 1.3
+	}
+	return km
+}
+
+// Ambiguity summarizes inference precision over a set of path mappings —
+// the Section 6.2 result.
+type Ambiguity struct {
+	Paths              int
+	PathsWithSubmarine int
+	// MultiCable is the share of submarine paths mapped to >1 cable.
+	MultiCable float64
+	// MaxCandidates is the largest per-path candidate-set size.
+	MaxCandidates int
+	// MeanCandidates is the mean per-path candidate-set size.
+	MeanCandidates float64
+	// ExactShare is the share of submarine links whose candidate set is
+	// exactly the ground-truth set (precision of the method).
+	ExactShare float64
+	// ContainsTruthShare is the share of submarine links whose candidate
+	// set contains the true cable(s) (recall of the method).
+	ContainsTruthShare float64
+}
+
+// Summarize computes ambiguity statistics over many path mappings.
+func Summarize(pms []PathMapping) Ambiguity {
+	var out Ambiguity
+	out.Paths = len(pms)
+	multi := 0
+	var candSum int
+	links, exact, contains := 0, 0, 0
+	for _, pm := range pms {
+		if len(pm.Links) == 0 {
+			continue
+		}
+		out.PathsWithSubmarine++
+		if len(pm.Union) > 1 {
+			multi++
+		}
+		if len(pm.Union) > out.MaxCandidates {
+			out.MaxCandidates = len(pm.Union)
+		}
+		candSum += len(pm.Union)
+		for _, l := range pm.Links {
+			if len(l.Truth) == 0 {
+				continue
+			}
+			links++
+			if sameSet(l.Candidates, l.Truth) {
+				exact++
+			}
+			if containsAll(l.Candidates, l.Truth) {
+				contains++
+			}
+		}
+	}
+	if out.PathsWithSubmarine > 0 {
+		out.MultiCable = float64(multi) / float64(out.PathsWithSubmarine)
+		out.MeanCandidates = float64(candSum) / float64(out.PathsWithSubmarine)
+	}
+	if links > 0 {
+		out.ExactShare = float64(exact) / float64(links)
+		out.ContainsTruthShare = float64(contains) / float64(links)
+	}
+	return out
+}
+
+func sameSet(a, b []topology.CableID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return containsAll(a, b) && containsAll(b, a)
+}
+
+func containsAll(set, want []topology.CableID) bool {
+	m := make(map[topology.CableID]bool, len(set))
+	for _, c := range set {
+		m[c] = true
+	}
+	for _, w := range want {
+		if !m[w] {
+			return false
+		}
+	}
+	return true
+}

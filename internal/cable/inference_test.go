@@ -1,0 +1,162 @@
+package cable
+
+import (
+	"testing"
+
+	"github.com/afrinet/observatory/internal/bgp"
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/geoloc"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/netx"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+var (
+	testTopo = topology.Generate(topology.DefaultParams())
+	testNet  = netsim.New(testTopo, bgp.New(testTopo), 42)
+	testDB   = geoloc.New(testTopo, 42)
+	testInf  = NewInference(testTopo, testDB)
+)
+
+func TestAlongCableKM(t *testing.T) {
+	var wacs *topology.Cable
+	for _, id := range testTopo.CableIDs() {
+		if testTopo.Cables[id].Name == "WACS" {
+			wacs = testTopo.Cables[id]
+		}
+	}
+	if wacs == nil {
+		t.Fatal("WACS missing")
+	}
+	full := alongCableKM(wacs, 0, len(wacs.Landings)-1)
+	half := alongCableKM(wacs, 0, len(wacs.Landings)/2)
+	if full <= half || half <= 0 {
+		t.Fatalf("segment lengths inconsistent: full=%.0f half=%.0f", full, half)
+	}
+	// Symmetric in index order.
+	if alongCableKM(wacs, 3, 1) != alongCableKM(wacs, 1, 3) {
+		t.Fatal("alongCableKM not symmetric")
+	}
+}
+
+func TestNearestLandingCountryFallback(t *testing.T) {
+	var sat3 *topology.Cable
+	for _, id := range testTopo.CableIDs() {
+		if testTopo.Cables[id].Name == "SAT-3" {
+			sat3 = testTopo.Cables[id]
+		}
+	}
+	// A coordinate 1000 km from any landing but claiming NG must still
+	// match SAT-3's Lagos landing via the country rule.
+	inland := geo.Coord{Lat: 10.0, Lng: 8.0} // central Nigeria
+	if _, ok := nearestLanding(sat3, inland, "NG", 200); !ok {
+		t.Fatal("country fallback failed")
+	}
+	// Claiming a country with no landing and far coordinates: no match.
+	if _, ok := nearestLanding(sat3, geo.Coord{Lat: 46, Lng: 15}, "AT", 200); ok {
+		t.Fatal("matched a landing with no geographic or country basis")
+	}
+}
+
+func TestMapTracerouteFindsSubmarineLinks(t *testing.T) {
+	// Lagos eyeball to a German transit AS: the path crosses the sea.
+	var ng, de topology.ASN
+	for _, a := range testTopo.ASesIn("NG") {
+		if testTopo.ASes[a].Type == topology.ASFixedISP {
+			ng = a
+			break
+		}
+	}
+	for _, a := range testTopo.ASesIn("DE") {
+		if testTopo.ASes[a].Type == topology.ASTransit {
+			de = a
+			break
+		}
+	}
+	tr := testNet.Traceroute(ng, testNet.RouterAddr(de, 0))
+	pm := testInf.MapTraceroute(tr, testNet)
+	if len(pm.Links) == 0 {
+		t.Fatal("no submarine links inferred on an Africa-Europe path")
+	}
+	if len(pm.Union) == 0 {
+		t.Fatal("no candidate cables at all")
+	}
+}
+
+func TestSummarizeMath(t *testing.T) {
+	pms := []PathMapping{
+		{Links: []LinkMapping{{Candidates: []topology.CableID{1, 2}, Truth: []topology.CableID{1}}},
+			Union: []topology.CableID{1, 2}},
+		{Links: []LinkMapping{{Candidates: []topology.CableID{3}, Truth: []topology.CableID{3}}},
+			Union: []topology.CableID{3}},
+		{}, // no submarine links
+	}
+	s := Summarize(pms)
+	if s.Paths != 3 || s.PathsWithSubmarine != 2 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.MultiCable != 0.5 {
+		t.Fatalf("multi-cable share = %v, want 0.5", s.MultiCable)
+	}
+	if s.MaxCandidates != 2 || s.MeanCandidates != 1.5 {
+		t.Fatalf("candidate stats wrong: %+v", s)
+	}
+	if s.ExactShare != 0.5 { // second link is exact; first is a superset
+		t.Fatalf("exact share = %v", s.ExactShare)
+	}
+	if s.ContainsTruthShare != 1.0 {
+		t.Fatalf("recall = %v", s.ContainsTruthShare)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Paths != 0 || s.MultiCable != 0 {
+		t.Fatalf("empty summarize: %+v", s)
+	}
+}
+
+func TestSameSetAndContains(t *testing.T) {
+	a := []topology.CableID{1, 2, 3}
+	b := []topology.CableID{3, 2, 1}
+	if !sameSet(a, b) {
+		t.Fatal("order must not matter")
+	}
+	if sameSet(a, a[:2]) {
+		t.Fatal("different sizes are not the same set")
+	}
+	if !containsAll(a, a[:2]) || containsAll(a[:2], a) {
+		t.Fatal("containsAll wrong")
+	}
+}
+
+func TestLandAdjacentPairsSkipped(t *testing.T) {
+	// KE-UG share a land border (and a terrestrial conduit), so the
+	// inference must not treat an adjacent KE/UG hop pair as submarine.
+	if !testInf.landBorders[borderKey("KE", "UG")] {
+		t.Skip("KE-UG not in borders")
+	}
+	a := &netsim.TraceHop{TTL: 1, Addr: addrIn(t, "KE"), RTT: 5}
+	b := &netsim.TraceHop{TTL: 2, Addr: addrIn(t, "UG"), RTT: 9}
+	if _, ok := testInf.mapLink(a, b); ok {
+		// It may still map if geolocation mislocated a side; only fail
+		// when the claimed countries really were KE/UG.
+		ga, _ := testDB.Lookup(a.Addr)
+		gb, _ := testDB.Lookup(b.Addr)
+		if (ga.Country == "KE" && gb.Country == "UG") || (ga.Country == "UG" && gb.Country == "KE") {
+			t.Fatal("terrestrially adjacent pair classified as submarine")
+		}
+	}
+}
+
+func addrIn(t *testing.T, iso string) netx.Addr {
+	t.Helper()
+	for _, asn := range testTopo.ASesIn(iso) {
+		as := testTopo.ASes[asn]
+		if as.Type != topology.ASIXPRouteServer {
+			return as.Prefixes[0].Nth(7)
+		}
+	}
+	t.Fatalf("no AS in %s", iso)
+	panic("unreachable")
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/afrinet/observatory/internal/probes"
+)
+
+// Client is the probe-side HTTP client for the controller API —
+// what cmd/obsprobe uses to participate in the observatory.
+type Client struct {
+	Base string // e.g. "http://127.0.0.1:8600"
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the given controller base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: &http.Client{}}
+}
+
+func (c *Client) post(path string, body, out interface{}) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func (c *Client) get(path string, out interface{}) error {
+	resp, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out interface{}) error {
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("core: %s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Register announces a probe to the controller.
+func (c *Client) Register(p ProbeInfo) error {
+	return c.post("/api/v1/probes/register", p, nil)
+}
+
+// LeaseTasks fetches up to max queued tasks for the probe.
+func (c *Client) LeaseTasks(probeID string, max int) ([]probes.Task, error) {
+	var out []probes.Task
+	err := c.get(fmt.Sprintf("/api/v1/probes/%s/tasks?max=%d", probeID, max), &out)
+	return out, err
+}
+
+// SubmitResults uploads a batch of results.
+func (c *Client) SubmitResults(probeID string, rs []probes.Result) error {
+	return c.post(fmt.Sprintf("/api/v1/probes/%s/results", probeID), rs, nil)
+}
+
+// Submit posts an experiment.
+func (c *Client) Submit(owner, description string, as []probes.Assignment) (*Experiment, error) {
+	var out Experiment
+	err := c.post("/api/v1/experiments", submitRequest{Owner: owner, Description: description, Assignments: as}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Approve approves a pending experiment.
+func (c *Client) Approve(expID string) error {
+	return c.post(fmt.Sprintf("/api/v1/experiments/%s/approve", expID), struct{}{}, nil)
+}
+
+// Results fetches an experiment's collected results.
+func (c *Client) Results(expID string) ([]probes.Result, error) {
+	var out []probes.Result
+	err := c.get(fmt.Sprintf("/api/v1/experiments/%s/results", expID), &out)
+	return out, err
+}
+
+// Probes lists the registered probes.
+func (c *Client) Probes() ([]ProbeInfo, error) {
+	var out []ProbeInfo
+	err := c.get("/api/v1/probes", &out)
+	return out, err
+}
+
+// RunAgentOnce drains the probe's queue through the agent: it leases
+// tasks, executes them, and uploads results, returning the number of
+// tasks processed. Power or budget failures are reported as failed
+// results rather than dropped.
+func RunAgentOnce(cl *Client, agent *probes.Agent) (int, error) {
+	total := 0
+	for {
+		tasks, err := cl.LeaseTasks(agent.ID(), 64)
+		if err != nil {
+			return total, err
+		}
+		if len(tasks) == 0 {
+			return total, nil
+		}
+		results := make([]probes.Result, 0, len(tasks))
+		for _, t := range tasks {
+			res, err := agent.Execute(t)
+			if err != nil && res.Error == "" {
+				res.Error = err.Error()
+			}
+			results = append(results, res)
+		}
+		if err := cl.SubmitResults(agent.ID(), results); err != nil {
+			return total, err
+		}
+		total += len(tasks)
+	}
+}

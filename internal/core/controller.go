@@ -1,0 +1,235 @@
+// Package core is the observatory's control plane — the paper's primary
+// contribution (Section 7). The controller registers probes, vets and
+// schedules experiments, and collects results; probe placement is
+// purpose-driven (greedy IXP set cover plus mobile-carrier coverage)
+// and measurement targets are chosen to surface the components global
+// platforms miss: exchange fabrics, DNS resolvers, content off-nets, and
+// subsea-cable crossings.
+//
+// The controller speaks an HTTP/JSON protocol (see http.go) so probes
+// can run as separate processes; it is equally usable in-process.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// ProbeInfo is a registered vantage point.
+type ProbeInfo struct {
+	ID       string       `json:"id"`
+	ASN      topology.ASN `json:"asn"`
+	Country  string       `json:"country"`
+	HasWired bool         `json:"has_wired"`
+	// Kind distinguishes hardware probes from proxy/VPN vantages.
+	Kind string `json:"kind,omitempty"`
+}
+
+// ExperimentStatus is the vetting/progress state.
+type ExperimentStatus string
+
+const (
+	StatusPending  ExperimentStatus = "pending-review"
+	StatusApproved ExperimentStatus = "approved"
+	StatusRejected ExperimentStatus = "rejected"
+)
+
+// Experiment is a vetted batch of measurement assignments. Flexible
+// measurements require review (Section 7.1): experiments from the
+// trusted cohort are auto-approved; everything else waits.
+type Experiment struct {
+	ID          string              `json:"id"`
+	Owner       string              `json:"owner"`
+	Description string              `json:"description"`
+	Status      ExperimentStatus    `json:"status"`
+	Assignments []probes.Assignment `json:"assignments"`
+}
+
+// Controller is the observatory control plane.
+type Controller struct {
+	mu          sync.Mutex
+	probes      map[string]*ProbeInfo
+	experiments map[string]*Experiment
+	queues      map[string][]probes.Task // per-probe pending tasks
+	results     map[string][]probes.Result
+	trusted     map[string]bool
+	nextExpID   int
+}
+
+// NewController creates an empty control plane with the given trusted
+// experimenter cohort.
+func NewController(trusted ...string) *Controller {
+	c := &Controller{
+		probes:      make(map[string]*ProbeInfo),
+		experiments: make(map[string]*Experiment),
+		queues:      make(map[string][]probes.Task),
+		results:     make(map[string][]probes.Result),
+		trusted:     make(map[string]bool),
+	}
+	for _, t := range trusted {
+		c.trusted[t] = true
+	}
+	return c
+}
+
+// RegisterProbe adds or updates a vantage point.
+func (c *Controller) RegisterProbe(p ProbeInfo) error {
+	if p.ID == "" {
+		return fmt.Errorf("core: probe id required")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := p
+	c.probes[p.ID] = &cp
+	return nil
+}
+
+// Probes lists registered probes sorted by id.
+func (c *Controller) Probes() []ProbeInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ProbeInfo, 0, len(c.probes))
+	for _, p := range c.probes {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SubmitExperiment queues an experiment for vetting. Trusted owners are
+// approved (and scheduled) immediately.
+func (c *Controller) SubmitExperiment(owner, description string, assignments []probes.Assignment) (*Experiment, error) {
+	if len(assignments) == 0 {
+		return nil, fmt.Errorf("core: experiment has no assignments")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextExpID++
+	exp := &Experiment{
+		ID:          fmt.Sprintf("exp-%04d", c.nextExpID),
+		Owner:       owner,
+		Description: description,
+		Status:      StatusPending,
+		Assignments: assignments,
+	}
+	for i := range exp.Assignments {
+		exp.Assignments[i].Task.Experiment = exp.ID
+		if exp.Assignments[i].Task.ID == "" {
+			exp.Assignments[i].Task.ID = fmt.Sprintf("%s-t%04d", exp.ID, i)
+		}
+	}
+	c.experiments[exp.ID] = exp
+	if c.trusted[owner] {
+		c.approveLocked(exp)
+	}
+	return cloneExp(exp), nil
+}
+
+// Approve moves a pending experiment to approved and schedules its tasks.
+func (c *Controller) Approve(expID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exp, ok := c.experiments[expID]
+	if !ok {
+		return fmt.Errorf("core: unknown experiment %s", expID)
+	}
+	if exp.Status == StatusApproved {
+		return nil
+	}
+	if exp.Status == StatusRejected {
+		return fmt.Errorf("core: experiment %s was rejected", expID)
+	}
+	c.approveLocked(exp)
+	return nil
+}
+
+// Reject marks a pending experiment rejected.
+func (c *Controller) Reject(expID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exp, ok := c.experiments[expID]
+	if !ok {
+		return fmt.Errorf("core: unknown experiment %s", expID)
+	}
+	if exp.Status == StatusApproved {
+		return fmt.Errorf("core: experiment %s already approved", expID)
+	}
+	exp.Status = StatusRejected
+	return nil
+}
+
+func (c *Controller) approveLocked(exp *Experiment) {
+	exp.Status = StatusApproved
+	for _, a := range exp.Assignments {
+		c.queues[a.ProbeID] = append(c.queues[a.ProbeID], a.Task)
+	}
+}
+
+// Experiment returns a copy of the experiment's state.
+func (c *Controller) Experiment(id string) (*Experiment, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exp, ok := c.experiments[id]
+	if !ok {
+		return nil, false
+	}
+	return cloneExp(exp), true
+}
+
+func cloneExp(e *Experiment) *Experiment {
+	cp := *e
+	cp.Assignments = append([]probes.Assignment(nil), e.Assignments...)
+	return &cp
+}
+
+// LeaseTasks pops up to max tasks from a probe's queue.
+func (c *Controller) LeaseTasks(probeID string, max int) []probes.Task {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q := c.queues[probeID]
+	if max <= 0 || max > len(q) {
+		max = len(q)
+	}
+	lease := append([]probes.Task(nil), q[:max]...)
+	c.queues[probeID] = q[max:]
+	return lease
+}
+
+// PendingFor reports how many tasks a probe still has queued.
+func (c *Controller) PendingFor(probeID string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queues[probeID])
+}
+
+// SubmitResults records a batch of task results.
+func (c *Controller) SubmitResults(probeID string, rs []probes.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range rs {
+		r.ProbeID = probeID
+		c.results[r.Experiment] = append(c.results[r.Experiment], r)
+	}
+}
+
+// Results returns the collected results of one experiment.
+func (c *Controller) Results(expID string) []probes.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]probes.Result(nil), c.results[expID]...)
+}
+
+// Done reports whether all of an experiment's tasks have results.
+func (c *Controller) Done(expID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exp, ok := c.experiments[expID]
+	if !ok {
+		return false
+	}
+	return exp.Status == StatusApproved && len(c.results[expID]) >= len(exp.Assignments)
+}

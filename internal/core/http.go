@@ -1,0 +1,160 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/afrinet/observatory/internal/probes"
+)
+
+// Handler exposes the controller over HTTP/JSON:
+//
+//	POST /api/v1/probes/register          body ProbeInfo
+//	GET  /api/v1/probes                   -> []ProbeInfo
+//	GET  /api/v1/probes/{id}/tasks?max=N  -> []probes.Task (lease)
+//	POST /api/v1/probes/{id}/results      body []probes.Result
+//	POST /api/v1/experiments              body submitRequest -> Experiment
+//	GET  /api/v1/experiments/{id}         -> Experiment
+//	POST /api/v1/experiments/{id}/approve
+//	GET  /api/v1/experiments/{id}/results -> []probes.Result
+func (c *Controller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/probes/register", c.handleRegister)
+	mux.HandleFunc("/api/v1/probes", c.handleProbes)
+	mux.HandleFunc("/api/v1/probes/", c.handleProbeSub)
+	mux.HandleFunc("/api/v1/experiments", c.handleSubmit)
+	mux.HandleFunc("/api/v1/experiments/", c.handleExperimentSub)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (c *Controller) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var p ProbeInfo
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := c.RegisterProbe(p); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": p.ID})
+}
+
+func (c *Controller) handleProbes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Probes())
+}
+
+// handleProbeSub routes /api/v1/probes/{id}/(tasks|results).
+func (c *Controller) handleProbeSub(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/probes/")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("not found"))
+		return
+	}
+	id, action := parts[0], parts[1]
+	switch action {
+	case "tasks":
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+			return
+		}
+		max := 32
+		if s := r.URL.Query().Get("max"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				max = n
+			}
+		}
+		writeJSON(w, http.StatusOK, c.LeaseTasks(id, max))
+	case "results":
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+			return
+		}
+		var rs []probes.Result
+		if err := json.NewDecoder(r.Body).Decode(&rs); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		c.SubmitResults(id, rs)
+		writeJSON(w, http.StatusOK, map[string]int{"accepted": len(rs)})
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("not found"))
+	}
+}
+
+// submitRequest is the experiment submission body.
+type submitRequest struct {
+	Owner       string              `json:"owner"`
+	Description string              `json:"description"`
+	Assignments []probes.Assignment `json:"assignments"`
+}
+
+func (c *Controller) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	exp, err := c.SubmitExperiment(req.Owner, req.Description, req.Assignments)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, exp)
+}
+
+// handleExperimentSub routes /api/v1/experiments/{id}[/approve|/results].
+func (c *Controller) handleExperimentSub(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/experiments/")
+	parts := strings.Split(rest, "/")
+	id := parts[0]
+	switch {
+	case len(parts) == 1:
+		exp, ok := c.Experiment(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown experiment %s", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, exp)
+	case len(parts) == 2 && parts[1] == "approve":
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+			return
+		}
+		if err := c.Approve(id); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": string(StatusApproved)})
+	case len(parts) == 2 && parts[1] == "results":
+		writeJSON(w, http.StatusOK, c.Results(id))
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("not found"))
+	}
+}

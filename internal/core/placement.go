@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/ixp"
+	"github.com/afrinet/observatory/internal/registry"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// Placement strategies. The observatory's is purpose-driven (cover every
+// exchange, stay mobile-representative); the RIPE-Atlas-like baseline
+// reflects the geographic and access-technology bias the paper measures
+// in Section 6.2.
+
+// TargetedPlacement selects the observatory's vantage networks:
+//   - the greedy set cover of exchange memberships, so every African IXP
+//     has a probe inside a member AS (footnote 1's 34-ASN cover);
+//   - each African country's dominant mobile carrier, for last-mile
+//     representativeness (Section 7.1's mobile focus).
+func TargetedPlacement(t *topology.Topology) []topology.ASN {
+	dir := registry.AfricanIXPs(t)
+	cover := ixp.GreedySetCover(dir)
+	chosen := map[topology.ASN]bool{}
+	for _, a := range cover.Chosen {
+		chosen[a] = true
+	}
+	for _, c := range geo.AfricanCountries() {
+		if m := dominantMobile(t, c.ISO2); m != 0 {
+			chosen[m] = true
+		}
+	}
+	out := make([]topology.ASN, 0, len(chosen))
+	for a := range chosen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// dominantMobile picks a country's oldest mobile carrier.
+func dominantMobile(t *topology.Topology, iso2 string) topology.ASN {
+	var best topology.ASN
+	bestBorn := 1 << 30
+	for _, a := range t.ASesIn(iso2) {
+		as := t.ASes[a]
+		if as.Type != topology.ASMobileCarrier {
+			continue
+		}
+		if as.Born < bestBorn || (as.Born == bestBorn && a < best) {
+			best, bestBorn = a, as.Born
+		}
+	}
+	return best
+}
+
+// AtlasPlacement models the existing global platform's African
+// footprint: probes sit overwhelmingly in fixed-line academic,
+// enterprise, and incumbent networks, concentrated in the mature
+// markets — under-representing mobile carriers and entire subregions
+// (the bias of Section 6.2). n caps the probe count (Atlas's African
+// deployment is small); countries are visited in a maturity-weighted
+// order so the cap bites the under-served regions first.
+func AtlasPlacement(t *topology.Topology, n int) []topology.ASN {
+	if n <= 0 {
+		n = 48
+	}
+	// Region quotas as fractions of the deployment: mature markets hold
+	// most probes, Central and Northern a handful.
+	quota := map[geo.Region]int{
+		geo.AfricaSouthern: n * 26 / 100,
+		geo.AfricaEastern:  n * 30 / 100,
+		geo.AfricaNorthern: n * 12 / 100,
+		geo.AfricaWestern:  n * 20 / 100,
+		geo.AfricaCentral:  n * 12 / 100,
+	}
+	var out []topology.ASN
+	for _, r := range geo.AfricanRegions() {
+		want := quota[r]
+		if want < 2 {
+			want = 2
+		}
+		got := 0
+		// Round-robin over the region's countries so several probes can
+		// land in the same country (as Atlas's do in anchors' metros).
+		for round := 0; round < 4 && got < want; round++ {
+			for _, c := range geo.CountriesIn(r) {
+				if got >= want {
+					break
+				}
+				count := 0
+				for _, a := range t.ASesIn(c.ISO2) {
+					as := t.ASes[a]
+					// Fixed-line and academic bias; no mobile carriers.
+					if as.Type != topology.ASEducation && as.Type != topology.ASFixedISP &&
+						as.Type != topology.ASEnterprise {
+						continue
+					}
+					if count == round {
+						out = append(out, a)
+						got++
+						break
+					}
+					count++
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

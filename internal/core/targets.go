@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/afrinet/observatory/internal/content"
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/netx"
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/registry"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// Target selection — the "intentional, context-aware targeting" of the
+// abstract. Instead of spraying the address space, each task aims at a
+// component the platform wants visibility into.
+
+// IXPTraceTargets returns one traceroute target per exchange: an address
+// inside a member network chosen so a probe whose upstream peers at the
+// fabric will cross the peering LAN (the paper's Section 6.1
+// implication: measurements must target customers of the IX). Content
+// off-nets are preferred targets when present.
+func IXPTraceTargets(t *topology.Topology, n *netsim.Net) map[topology.IXPID]netx.Addr {
+	out := make(map[topology.IXPID]netx.Addr)
+	for _, rec := range registry.AfricanIXPs(t) {
+		var pick topology.ASN
+		// Prefer a content/cloud member (an off-net cache: stable,
+		// responsive, and reached across the fabric by every peer).
+		for _, m := range rec.Members {
+			as := t.ASes[m]
+			if as != nil && (as.Type == topology.ASContent || as.Type == topology.ASCloud) {
+				pick = m
+				break
+			}
+		}
+		if pick == 0 {
+			for _, m := range rec.Members {
+				as := t.ASes[m]
+				if as != nil && as.Type != topology.ASIXPRouteServer {
+					pick = m
+					break
+				}
+			}
+		}
+		if pick == 0 {
+			continue
+		}
+		out[rec.ID] = n.RouterAddr(pick, 0)
+	}
+	return out
+}
+
+// ResolverAuditTasks builds the DNS tasks of the hidden-dependency audit
+// (Section 5.2): resolve each country's most popular local domains so
+// the platform observes which resolver (and which country) serves them.
+func ResolverAuditTasks(cat *content.Catalog, perCountry int) []probes.Task {
+	var tasks []probes.Task
+	for _, c := range geo.AfricanCountries() {
+		sites := cat.SitesFor(c.ISO2)
+		for i := 0; i < perCountry && i < len(sites); i++ {
+			tasks = append(tasks, probes.Task{
+				ID:            fmt.Sprintf("dns-%s-%d", c.ISO2, i),
+				Kind:          probes.TaskDNS,
+				Domain:        sites[i].Domain,
+				OriginCountry: c.ISO2,
+				Value:         1,
+			})
+		}
+	}
+	return tasks
+}
+
+// ContentLocalityTasks builds the HTTP-fetch tasks of the Figure 2b
+// measurement for one country's top sites.
+func ContentLocalityTasks(cat *content.Catalog, iso2 string, limit int) []probes.Task {
+	var tasks []probes.Task
+	sites := cat.SitesFor(iso2)
+	if limit <= 0 || limit > len(sites) {
+		limit = len(sites)
+	}
+	for i := 0; i < limit; i++ {
+		tasks = append(tasks, probes.Task{
+			ID:            fmt.Sprintf("http-%s-%d", iso2, i),
+			Kind:          probes.TaskHTTPFetch,
+			Domain:        sites[i].Domain,
+			OriginCountry: iso2,
+			Value:         1,
+		})
+	}
+	return tasks
+}
+
+// CableSpanTargets returns traceroute targets whose paths from African
+// probes must ride subsea cables: one well-connected network per
+// coastal landing country plus the European transit hubs, giving the
+// cable-inference pipeline sea-crossing links to classify.
+func CableSpanTargets(t *topology.Topology, n *netsim.Net) []netx.Addr {
+	var out []netx.Addr
+	seen := map[string]bool{}
+	for _, id := range t.CableIDs() {
+		for _, l := range t.Cables[id].Landings {
+			if seen[l.Country] {
+				continue
+			}
+			seen[l.Country] = true
+			for _, a := range t.ASesIn(l.Country) {
+				as := t.ASes[a]
+				if as.Type == topology.ASFixedISP || as.Type == topology.ASTransit {
+					out = append(out, n.RouterAddr(a, 0))
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TracerouteAssignments fans a target list out across probes: every
+// probe traces every target (the full mesh the detour/IXP analyses
+// need) — callers with budgets should schedule the result.
+func TracerouteAssignments(probeIDs []string, targets []netx.Addr, prefix string) []probes.Assignment {
+	var out []probes.Assignment
+	for _, pid := range probeIDs {
+		for i, tg := range targets {
+			out = append(out, probes.Assignment{
+				ProbeID: pid,
+				Task: probes.Task{
+					ID:     fmt.Sprintf("%s-%s-%d", prefix, pid, i),
+					Kind:   probes.TaskTraceroute,
+					Target: tg.String(),
+					Value:  1,
+				},
+			})
+		}
+	}
+	return out
+}

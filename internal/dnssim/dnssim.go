@@ -1,0 +1,471 @@
+// Package dnssim models the DNS dependency structure the paper's
+// Section 5.2 analyzes: which recursive resolver each client network
+// uses (an in-country ISP resolver, a resolver outsourced to another
+// country, or an anycast public cloud resolver), where authoritative
+// servers sit, and what happens to resolution when cables are cut.
+//
+// The per-region resolver mixes are the generative model behind the
+// paper's Figure 2c (APNIC resolver-use data): most African regions lean
+// heavily on out-of-country and cloud resolvers, and the public clouds'
+// only African sites are in South Africa.
+package dnssim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// ResolverKind classifies where a client's recursive resolver runs.
+type ResolverKind int
+
+const (
+	ResolverLocalISP     ResolverKind = iota // in the client's country
+	ResolverOtherCountry                     // outsourced to another country
+	ResolverCloud                            // anycast public resolver
+)
+
+func (k ResolverKind) String() string {
+	switch k {
+	case ResolverLocalISP:
+		return "same-country"
+	case ResolverOtherCountry:
+		return "other-country"
+	default:
+		return "cloud"
+	}
+}
+
+// Resolver is a recursive resolver assignment for one client network.
+type Resolver struct {
+	Kind    ResolverKind
+	ASN     topology.ASN // hosting AS (for cloud: the anycast AS)
+	Country string       // hosting country ("" for anycast until resolved)
+}
+
+// resolverMix is the per-region client mix (fractions sum to 1).
+type resolverMix struct {
+	local, other, cloud float64
+	// otherEU is, within the "other country" share, the fraction
+	// outsourced outside Africa (the rest goes to regional hubs).
+	otherEU float64
+	// authLocal is the share of in-country domains whose authoritative
+	// DNS is hosted in-country.
+	authLocal float64
+}
+
+var mixes = map[geo.Region]resolverMix{
+	geo.AfricaNorthern: {local: 0.55, other: 0.15, cloud: 0.30, otherEU: 0.80, authLocal: 0.30},
+	geo.AfricaWestern:  {local: 0.25, other: 0.32, cloud: 0.43, otherEU: 0.65, authLocal: 0.15},
+	geo.AfricaCentral:  {local: 0.18, other: 0.37, cloud: 0.45, otherEU: 0.70, authLocal: 0.10},
+	geo.AfricaEastern:  {local: 0.42, other: 0.20, cloud: 0.38, otherEU: 0.45, authLocal: 0.25},
+	geo.AfricaSouthern: {local: 0.65, other: 0.05, cloud: 0.30, otherEU: 0.50, authLocal: 0.55},
+	geo.Europe:         {local: 0.72, other: 0.05, cloud: 0.23, otherEU: 0.0, authLocal: 0.85},
+	geo.NorthAmerica:   {local: 0.70, other: 0.04, cloud: 0.26, otherEU: 0.0, authLocal: 0.85},
+	geo.SouthAmerica:   {local: 0.55, other: 0.12, cloud: 0.33, otherEU: 0.40, authLocal: 0.55},
+	geo.AsiaPacific:    {local: 0.60, other: 0.10, cloud: 0.30, otherEU: 0.30, authLocal: 0.60},
+}
+
+// System is the DNS layer bound to a data plane.
+type System struct {
+	net  *netsim.Net
+	topo *topology.Topology
+	seed uint64
+
+	cloudASNs []topology.ASN // anycast resolver operators
+	// cloudSites lists each cloud resolver's instance locations
+	// (AS they are announced from). Only South Africa hosts African
+	// instances, per Section 5.2.
+	cloudSites map[topology.ASN][]topology.ASN
+	// hubResolvers per region: the African hub countries that sell
+	// outsourced resolver service.
+	assignments map[topology.ASN]Resolver
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// pick maps a hash onto [0,n) without the sign pitfalls of int casts.
+func pick(h uint64, n int) int { return int(h % uint64(n)) }
+
+func (s *System) f(vals ...uint64) float64 {
+	h := s.seed
+	for _, v := range vals {
+		h = splitmix(h ^ v)
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// New builds the DNS layer. Resolver assignments are deterministic in
+// the seed.
+func New(n *netsim.Net, seed int64) *System {
+	s := &System{
+		net:         n,
+		topo:        n.Topology(),
+		seed:        uint64(seed),
+		cloudSites:  make(map[topology.ASN][]topology.ASN),
+		assignments: make(map[topology.ASN]Resolver),
+	}
+	// Cloud resolvers run on the cloud/content ASes that operate
+	// public resolver services.
+	for _, asn := range s.topo.ASNs() {
+		as := s.topo.ASes[asn]
+		if as.Type != topology.ASCloud && as.Type != topology.ASContent {
+			continue
+		}
+		// The resolver operators in the model: the big CDN-C-style
+		// resolver and the three clouds.
+		switch as.Name {
+		case "GlobalCDN-C", "CloudOne", "CloudTwo", "CloudThree":
+			s.cloudASNs = append(s.cloudASNs, asn)
+		}
+	}
+	sort.Slice(s.cloudASNs, func(i, j int) bool { return s.cloudASNs[i] < s.cloudASNs[j] })
+
+	// Anycast sites: the operator AS itself (US), a European presence,
+	// and — only for operators with a South African region — a ZA site.
+	// Sites are represented by the AS whose location serves the
+	// instance; routing to an anycast site is "nearest reachable".
+	for _, cn := range s.cloudASNs {
+		as := s.topo.ASes[cn]
+		sites := []topology.ASN{cn} // home (US)
+		// European site: the operator's EU presence is modeled via the
+		// EU Tier-2 it is closest to; we pick the first German Tier-2.
+		for _, c := range []string{"DE", "FR", "NL"} {
+			for _, t2 := range s.topo.ASesIn(c) {
+				if s.topo.ASes[t2].Type == topology.ASTransit {
+					sites = append(sites, t2)
+					break
+				}
+			}
+			if len(sites) >= 2 {
+				break
+			}
+		}
+		if hasZARegion(as.Name) {
+			for _, t2 := range s.topo.ASesIn("ZA") {
+				if s.topo.ASes[t2].Type == topology.ASTransit {
+					sites = append(sites, t2)
+					break
+				}
+			}
+		}
+		s.cloudSites[cn] = sites
+	}
+	return s
+}
+
+// hasZARegion mirrors the topology content catalog: which operators have
+// a South African region.
+func hasZARegion(name string) bool {
+	switch name {
+	case "GlobalCDN-C", "CloudOne", "CloudTwo":
+		return true
+	}
+	return false
+}
+
+// regionalHubCountry returns the African country a region outsources
+// resolvers to when it does not outsource to Europe.
+func regionalHubCountry(r geo.Region) string {
+	switch r {
+	case geo.AfricaSouthern, geo.AfricaCentral:
+		return "ZA"
+	case geo.AfricaEastern:
+		return "ZA"
+	case geo.AfricaWestern:
+		return "NG"
+	case geo.AfricaNorthern:
+		return "EG"
+	}
+	return "ZA"
+}
+
+// ResolverFor returns the recursive resolver assignment of a client
+// network (deterministic per client AS).
+func (s *System) ResolverFor(client topology.ASN) Resolver {
+	if r, ok := s.assignments[client]; ok {
+		return r
+	}
+	as := s.topo.ASes[client]
+	if as == nil {
+		return Resolver{}
+	}
+	mix := mixes[as.Region]
+	r := Resolver{}
+	draw := s.f(uint64(client), 0x51)
+	switch {
+	case draw < mix.local:
+		r.Kind = ResolverLocalISP
+		r.Country = as.Country
+		r.ASN = s.inCountryResolverHost(as.Country, client)
+	case draw < mix.local+mix.other:
+		r.Kind = ResolverOtherCountry
+		if s.f(uint64(client), 0x52) < mix.otherEU {
+			// Outsourced to a European operator.
+			r.Country = []string{"FR", "DE", "GB"}[pick(splitmix(s.seed^uint64(client)^0x53), 3)]
+		} else {
+			r.Country = regionalHubCountry(as.Region)
+		}
+		r.ASN = s.inCountryResolverHost(r.Country, client)
+	default:
+		r.Kind = ResolverCloud
+		r.ASN = s.cloudASNs[pick(splitmix(s.seed^uint64(client)^0x54), len(s.cloudASNs))]
+	}
+	s.assignments[client] = r
+	return r
+}
+
+// inCountryResolverHost picks the AS hosting a resolver in the country:
+// prefer the incumbent ISP, else any ISP, else any AS.
+func (s *System) inCountryResolverHost(ctry string, salt topology.ASN) topology.ASN {
+	var isps, all []topology.ASN
+	for _, a := range s.topo.ASesIn(ctry) {
+		as := s.topo.ASes[a]
+		if as.Type == topology.ASIXPRouteServer {
+			continue
+		}
+		all = append(all, a)
+		if as.Type == topology.ASFixedISP || as.Type == topology.ASMobileCarrier {
+			isps = append(isps, a)
+		}
+	}
+	pool := isps
+	if len(pool) == 0 {
+		pool = all
+	}
+	if len(pool) == 0 {
+		return 0
+	}
+	return pool[pick(splitmix(s.seed^uint64(salt)^0x55), len(pool))]
+}
+
+// AnycastSite picks the nearest *reachable* instance of a cloud resolver
+// for a client, returning the site AS; ok=false when no instance is
+// reachable (e.g. mid cable cut).
+func (s *System) AnycastSite(client, cloud topology.ASN) (topology.ASN, bool) {
+	sites := s.cloudSites[cloud]
+	best := topology.ASN(0)
+	bestRTT := 0.0
+	for _, site := range sites {
+		rtt, ok := s.net.RTTBetween(client, site)
+		if !ok {
+			continue
+		}
+		if best == 0 || rtt < bestRTT {
+			best, bestRTT = site, rtt
+		}
+	}
+	return best, best != 0
+}
+
+// AuthPlacement decides where a domain's authoritative DNS is hosted,
+// given the domain's origin country: in-country, in a public cloud, or
+// in Europe. Deterministic per domain.
+type AuthLocation struct {
+	ASN     topology.ASN
+	Country string
+	Cloud   bool
+}
+
+// AuthorityFor places a domain's authoritative servers.
+func (s *System) AuthorityFor(domain, originCountry string) AuthLocation {
+	c, ok := geo.Lookup(originCountry)
+	if !ok {
+		return AuthLocation{}
+	}
+	mix := mixes[c.Region]
+	h := uint64(0)
+	for _, ch := range domain {
+		h = splitmix(h ^ uint64(ch))
+	}
+	draw := s.f(h, 0x61)
+	if draw < mix.authLocal {
+		return AuthLocation{ASN: s.inCountryResolverHost(originCountry, topology.ASN(h)), Country: originCountry}
+	}
+	// Remote authoritative: mostly on clouds, else plain EU hosting.
+	if s.f(h, 0x62) < 0.7 {
+		cloud := s.cloudASNs[pick(splitmix(h^0x63), len(s.cloudASNs))]
+		return AuthLocation{ASN: cloud, Country: s.topo.ASes[cloud].Country, Cloud: true}
+	}
+	euHost := s.inCountryResolverHost([]string{"DE", "FR", "GB", "NL"}[pick(splitmix(h^0x64), 4)], topology.ASN(h))
+	return AuthLocation{ASN: euHost, Country: s.topo.ASes[euHost].Country}
+}
+
+// Resolution is the outcome of one end-to-end DNS lookup.
+type Resolution struct {
+	OK         bool
+	LatencyMs  float64
+	Resolver   Resolver
+	ResolverAS topology.ASN // concrete AS serving the query (anycast resolved)
+	Auth       AuthLocation
+	FailReason string
+}
+
+// Resolve performs client -> recursive -> authoritative resolution over
+// the current data plane, failing when either leg is unreachable. This
+// is the "hidden dependency" code path: a client whose resolver sits
+// abroad loses DNS — and hence every local service — when the cable that
+// carries that leg is cut.
+func (s *System) Resolve(client topology.ASN, domain, originCountry string) Resolution {
+	res := Resolution{Resolver: s.ResolverFor(client)}
+	r := res.Resolver
+
+	serving := r.ASN
+	if r.Kind == ResolverCloud {
+		site, ok := s.AnycastSite(client, r.ASN)
+		if !ok {
+			res.FailReason = "no reachable anycast resolver instance"
+			return res
+		}
+		serving = site
+	}
+	res.ResolverAS = serving
+
+	rtt1, ok := s.net.RTTBetween(client, serving)
+	if !ok {
+		res.FailReason = fmt.Sprintf("resolver unreachable (AS%d)", serving)
+		return res
+	}
+
+	res.Auth = s.AuthorityFor(domain, originCountry)
+	if res.Auth.ASN == 0 {
+		res.FailReason = "no authoritative placement"
+		return res
+	}
+	rtt2, ok := s.net.RTTBetween(serving, res.Auth.ASN)
+	if !ok {
+		res.FailReason = fmt.Sprintf("authoritative unreachable (AS%d)", res.Auth.ASN)
+		return res
+	}
+	res.OK = true
+	res.LatencyMs = rtt1 + rtt2
+	return res
+}
+
+// ResolveWithPolicy is Resolve under counterfactual regulation — the
+// "legislate critical dependencies" intervention of Section 5.2's
+// takeaway. forceLocalResolver puts every client on an in-country
+// recursive resolver; forceLocalAuth additionally hosts the
+// authoritative DNS of domestic domains in their origin country (the
+// full localization the paper argues current content-localization laws
+// miss). The data plane stays as-is, so deltas isolate the dependency.
+func (s *System) ResolveWithPolicy(client topology.ASN, domain, originCountry string, forceLocalResolver, forceLocalAuth bool) Resolution {
+	if !forceLocalResolver && !forceLocalAuth {
+		return s.Resolve(client, domain, originCountry)
+	}
+	as := s.topo.ASes[client]
+	if as == nil {
+		return Resolution{FailReason: "unknown client"}
+	}
+	var res Resolution
+	if forceLocalResolver {
+		// The mandated resolver runs inside the client's own ISP when
+		// the client is one (operational practice), else at a domestic
+		// ISP. Note the residual exposure this leaves: reaching another
+		// domestic network can still detour through Europe when there is
+		// no local peering — DNS localization alone cannot fix Section
+		// 4.1's routing problem.
+		host := client
+		if as.Type != topology.ASMobileCarrier && as.Type != topology.ASFixedISP {
+			host = s.inCountryResolverHost(as.Country, client)
+		}
+		res.Resolver = Resolver{Kind: ResolverLocalISP, Country: as.Country, ASN: host}
+		if res.Resolver.ASN == 0 {
+			res.FailReason = "no in-country resolver host"
+			return res
+		}
+		res.ResolverAS = res.Resolver.ASN
+	} else {
+		// Resolver as deployed today; only the authoritative moves.
+		res.Resolver = s.ResolverFor(client)
+		res.ResolverAS = res.Resolver.ASN
+		if res.Resolver.Kind == ResolverCloud {
+			site, okSite := s.AnycastSite(client, res.Resolver.ASN)
+			if !okSite {
+				res.FailReason = "no reachable anycast resolver instance"
+				return res
+			}
+			res.ResolverAS = site
+		}
+	}
+	rtt1, ok := s.net.RTTBetween(client, res.ResolverAS)
+	if !ok {
+		res.FailReason = "resolver unreachable"
+		return res
+	}
+	res.Auth = s.AuthorityFor(domain, originCountry)
+	if forceLocalAuth {
+		if host := s.inCountryResolverHost(originCountry, topology.ASN(len(domain))); host != 0 {
+			res.Auth = AuthLocation{ASN: host, Country: originCountry}
+		}
+	}
+	if res.Auth.ASN == 0 {
+		res.FailReason = "no authoritative placement"
+		return res
+	}
+	rtt2, ok := s.net.RTTBetween(res.ResolverAS, res.Auth.ASN)
+	if !ok {
+		res.FailReason = "authoritative unreachable"
+		return res
+	}
+	res.OK = true
+	res.LatencyMs = rtt1 + rtt2
+	return res
+}
+
+// UseShare is one region's resolver-locality breakdown (Figure 2c).
+type UseShare struct {
+	Region       geo.Region
+	SameCountry  float64
+	OtherCountry float64
+	Cloud        float64
+	Samples      int
+}
+
+// MeasureResolverUse runs the APNIC-style sampling measurement: for each
+// client network in the region (weighted equally, as ad sampling roughly
+// does at AS granularity), observe which resolver its queries arrive
+// from and classify its location.
+func (s *System) MeasureResolverUse(region geo.Region) UseShare {
+	out := UseShare{Region: region}
+	var same, other, cloud int
+	for _, asn := range s.topo.ASNs() {
+		as := s.topo.ASes[asn]
+		if as.Region != region || !isClientNetwork(as) {
+			continue
+		}
+		r := s.ResolverFor(asn)
+		out.Samples++
+		switch r.Kind {
+		case ResolverLocalISP:
+			same++
+		case ResolverOtherCountry:
+			other++
+		default:
+			cloud++
+		}
+	}
+	if out.Samples > 0 {
+		out.SameCountry = float64(same) / float64(out.Samples)
+		out.OtherCountry = float64(other) / float64(out.Samples)
+		out.Cloud = float64(cloud) / float64(out.Samples)
+	}
+	return out
+}
+
+// isClientNetwork reports whether an AS originates end-user queries.
+func isClientNetwork(as *topology.AS) bool {
+	switch as.Type {
+	case topology.ASMobileCarrier, topology.ASFixedISP, topology.ASEducation, topology.ASEnterprise, topology.ASGovernment:
+		return true
+	}
+	return false
+}

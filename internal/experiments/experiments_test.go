@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/afrinet/observatory/internal/geo"
+)
+
+// The experiment tests assert the paper-shape invariants the repository
+// claims to reproduce. They share one environment; building it is the
+// expensive part.
+
+var (
+	envOnce sync.Once
+	env     *Env
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() { env = NewEnv(42, 2025) })
+	return env
+}
+
+func TestFig1GrowthBands(t *testing.T) {
+	r := Fig1Growth(42)
+	if r.AfricaCableGrowthPct < 35 || r.AfricaCableGrowthPct > 60 {
+		t.Errorf("cable growth %.0f%%, paper ~45%%", r.AfricaCableGrowthPct)
+	}
+	if r.AfricaIXPGrowthPct < 450 || r.AfricaIXPGrowthPct > 750 {
+		t.Errorf("IXP growth %.0f%%, paper ~600%%", r.AfricaIXPGrowthPct)
+	}
+	af := r.Series["Africa"]
+	eu := r.Series["Europe"]
+	// Africa's relative IXP growth exceeds Europe's (mature market).
+	afGrow := float64(af[len(af)-1].IXPs) / float64(af[0].IXPs)
+	euGrow := float64(eu[len(eu)-1].IXPs) / float64(eu[0].IXPs)
+	if afGrow <= euGrow {
+		t.Errorf("Africa IXP growth factor %.1f should exceed Europe's %.1f", afGrow, euGrow)
+	}
+	// Rendering should not panic and should mention the headline.
+	var b strings.Builder
+	r.Render(&b)
+	if !strings.Contains(b.String(), "Africa 2015->2025") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestFig2aDetourShape(t *testing.T) {
+	r := Fig2aDetours(testEnv(t))
+	if r.OverallPct < 30 || r.OverallPct > 95 {
+		t.Errorf("overall detours %.1f%% out of band", r.OverallPct)
+	}
+	byRegion := map[geo.Region]float64{}
+	for _, row := range r.Regions {
+		byRegion[row.Region] = row.DetourPct
+	}
+	// Southern Africa detours least (the maturity gradient).
+	for _, other := range []geo.Region{geo.AfricaWestern, geo.AfricaCentral, geo.AfricaNorthern} {
+		if byRegion[geo.AfricaSouthern] >= byRegion[other] {
+			t.Errorf("Southern (%.1f%%) should detour less than %s (%.1f%%)",
+				byRegion[geo.AfricaSouthern], other, byRegion[other])
+		}
+	}
+	// Attribution near the paper's ~40%: allow a wide band.
+	if r.OverallAttributedPct < 20 || r.OverallAttributedPct > 80 {
+		t.Errorf("attribution %.1f%% out of band (paper ~40%%)", r.OverallAttributedPct)
+	}
+}
+
+func TestFig2bContentLocalityShape(t *testing.T) {
+	r := Fig2bContentLocality(testEnv(t))
+	if r.OverallPct < 20 || r.OverallPct > 50 {
+		t.Errorf("overall locality %.1f%%, paper ~30%%", r.OverallPct)
+	}
+	vals := map[geo.Region]float64{}
+	for _, row := range r.Regions {
+		vals[row.Region] = row.LocalPct
+	}
+	if vals[geo.AfricaSouthern] <= vals[geo.AfricaWestern] {
+		t.Errorf("Southern (%.1f) should beat Western (%.1f)", vals[geo.AfricaSouthern], vals[geo.AfricaWestern])
+	}
+}
+
+func TestFig2cResolverShape(t *testing.T) {
+	r := Fig2cResolverUse(testEnv(t))
+	if len(r.Regions) != 5 {
+		t.Fatalf("regions = %d", len(r.Regions))
+	}
+	for _, row := range r.Regions {
+		sum := row.SamePct + row.OtherPct + row.CloudPct
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("%s shares sum to %.1f", row.Region, sum)
+		}
+		// The paper's alarm: substantial non-local resolution everywhere.
+		if row.OtherPct+row.CloudPct < 20 {
+			t.Errorf("%s remote resolver share %.1f suspiciously low", row.Region, row.OtherPct+row.CloudPct)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r := Fig3IXPPrevalence(testEnv(t))
+	vals := map[geo.Region]IXPPrevalenceRow{}
+	for _, row := range r.Regions {
+		vals[row.Region] = row
+	}
+	if !vals[geo.AfricaNorthern].Excluded {
+		t.Error("Northern Africa should be excluded (no IXPs in the data)")
+	}
+	// Central Africa is the best-covered region (the paper's 55%).
+	for _, other := range []geo.Region{geo.AfricaWestern, geo.AfricaEastern, geo.AfricaSouthern} {
+		if vals[geo.AfricaCentral].IXPPct <= vals[other].IXPPct {
+			t.Errorf("Central (%.1f%%) should top %s (%.1f%%)",
+				vals[geo.AfricaCentral].IXPPct, other, vals[other].IXPPct)
+		}
+	}
+	if r.OverallPct > 35 {
+		t.Errorf("overall IXP prevalence %.1f%% too high (paper ~10%%)", r.OverallPct)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	r := Fig4Outages(testEnv(t))
+	if r.AfricaVsEUFactor < 2.5 || r.AfricaVsEUFactor > 9 {
+		t.Errorf("Africa/EU factor %.1f out of band (paper ~4x)", r.AfricaVsEUFactor)
+	}
+	// Cable cuts are the slowest to resolve.
+	cable := r.MeanDurationByCause[1] // CauseCableCut
+	for cause, d := range r.MeanDurationByCause {
+		if cause != 1 && d >= cable {
+			t.Errorf("cause %v duration %.2f >= cable cuts %.2f", cause, d, cable)
+		}
+	}
+	if len(r.CableCutCountries) < 15 {
+		t.Errorf("only %d countries hit by cable cuts (paper ~30)", len(r.CableCutCountries))
+	}
+	if r.MeanCountriesPerCableCut < 4 {
+		t.Errorf("blast radius %.1f too small (paper ~10)", r.MeanCountriesPerCableCut)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := Table1Scan(testEnv(t))
+	var ant, caida, yarrp *struct {
+		m, n, x float64
+	}
+	for _, row := range r.Rows {
+		v := &struct{ m, n, x float64 }{row.Mobile, row.NonMobile, row.IXP}
+		switch row.Tool.String() {
+		case "ANT Hitlist":
+			ant = v
+		case "CAIDA Hitlist":
+			caida = v
+		case "YARRP":
+			yarrp = v
+		}
+	}
+	if ant == nil || caida == nil || yarrp == nil {
+		t.Fatal("missing tools")
+	}
+	if !(ant.m > caida.m && caida.m > yarrp.m) {
+		t.Errorf("mobile ordering broken: ant=%.2f caida=%.2f yarrp=%.2f", ant.m, caida.m, yarrp.m)
+	}
+	if ant.m < 0.85 {
+		t.Errorf("ANT mobile %.2f (paper 96%%)", ant.m)
+	}
+	if !(ant.x > caida.x && caida.x > yarrp.x) {
+		t.Errorf("IXP ordering broken: ant=%.2f caida=%.2f yarrp=%.2f", ant.x, caida.x, yarrp.x)
+	}
+	if ant.x > 0.45 {
+		t.Errorf("ANT IXP coverage %.2f too good (paper 23.5%%)", ant.x)
+	}
+	if yarrp.x > 0.10 {
+		t.Errorf("YARRP IXP coverage %.2f (paper 2.9%%)", yarrp.x)
+	}
+}
+
+func TestNautilusShape(t *testing.T) {
+	r := NautilusAmbiguity(testEnv(t))
+	s := r.Summary
+	if s.PathsWithSubmarine < 50 {
+		t.Fatalf("only %d submarine paths", s.PathsWithSubmarine)
+	}
+	if s.MultiCable < 0.4 {
+		t.Errorf("multi-cable share %.2f (paper >40%%)", s.MultiCable)
+	}
+	if s.MaxCandidates < 5 {
+		t.Errorf("max candidates %d; ambiguity should be severe", s.MaxCandidates)
+	}
+	if s.ContainsTruthShare <= 0 {
+		t.Error("zero recall means the method is broken, not imprecise")
+	}
+}
+
+func TestSetCoverShape(t *testing.T) {
+	r := SetCoverPlacement(testEnv(t))
+	if r.Universe != 77 || r.Uncovered != 0 {
+		t.Fatalf("cover incomplete: %+v", r)
+	}
+	if len(r.Chosen) < 15 || len(r.Chosen) > 50 {
+		t.Errorf("cover size %d (paper 34)", len(r.Chosen))
+	}
+}
+
+func TestKigaliPilotShape(t *testing.T) {
+	r := KigaliPilot(testEnv(t))
+	if r.Additional < 5 {
+		t.Errorf("Kigali adds only %d fabrics (paper +14)", r.Additional)
+	}
+	// A single targeted probe must at least match the whole Atlas-like
+	// deployment's fabric coverage.
+	if r.ObservatoryIXPs < r.AtlasIXPs {
+		t.Errorf("targeted probing (%d) fell below the Atlas mesh (%d)", r.ObservatoryIXPs, r.AtlasIXPs)
+	}
+}
+
+func TestWhatIfShape(t *testing.T) {
+	r := WhatIfCableCut(testEnv(t))
+	var before, after float64
+	for _, c := range r.Baseline.Countries {
+		before += c.PageLoadBefore
+		after += c.PageLoadAfter
+	}
+	if after >= before {
+		t.Error("the March-2024 cut did not hurt")
+	}
+	// The full corridor cut is strictly worse than the historical one.
+	var fullAfter float64
+	for _, c := range r.FullCut.Countries {
+		fullAfter += c.PageLoadAfter
+	}
+	if fullAfter >= after {
+		t.Errorf("full corridor (%.1f) should be worse than March 2024 (%.1f)", fullAfter, after)
+	}
+	// Localizing the DNS chain protects in-country content (Section 5.2).
+	_, safeLocal := localShares(r.FullCutSafe)
+	_, cutLocal := localShares(r.FullCut)
+	if safeLocal <= cutLocal {
+		t.Errorf("local-DNS mandate should rescue local content: %.2f vs %.2f", safeLocal, cutLocal)
+	}
+}
+
+func TestAblationPlacementShape(t *testing.T) {
+	r := AblationPlacement(testEnv(t))
+	for _, row := range r.Rows {
+		if row.Targeted < row.Atlas {
+			t.Errorf("at %d probes targeted (%d) lost to atlas (%d)", row.Probes, row.Targeted, row.Atlas)
+		}
+		if row.Targeted < row.Random {
+			t.Errorf("at %d probes targeted (%d) lost to random (%d)", row.Probes, row.Targeted, row.Random)
+		}
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.Targeted != r.Universe {
+		t.Errorf("full budget covers %d of %d", last.Targeted, r.Universe)
+	}
+}
+
+func TestAblationBudgetShape(t *testing.T) {
+	r := AblationBudget(testEnv(t))
+	if r.BudgetAwareDone == 0 {
+		t.Fatal("budget-aware did nothing")
+	}
+	awareEff := perSpend(r.BudgetAwareDone, r.BudgetAwareSpend)
+	rrEff := perSpend(r.RoundRobinDone, r.RoundRobinSpend)
+	if awareEff < rrEff {
+		t.Errorf("budget-aware efficiency %.1f under round-robin %.1f", awareEff, rrEff)
+	}
+}
+
+func TestAblationCorrelationShape(t *testing.T) {
+	r := AblationCorrelatedCuts(testEnv(t))
+	if r.CorrelatedMeanImpact <= r.IndependentMeanImpact {
+		t.Errorf("correlated cuts (%.1f) should out-damage independent (%.1f)",
+			r.CorrelatedMeanImpact, r.IndependentMeanImpact)
+	}
+}
+
+func TestRenderersDoNotPanic(t *testing.T) {
+	e := testEnv(t)
+	var b strings.Builder
+	Fig2aDetours(e).Render(&b)
+	Fig2bContentLocality(e).Render(&b)
+	Fig2cResolverUse(e).Render(&b)
+	Fig3IXPPrevalence(e).Render(&b)
+	Table1Scan(e).Render(&b)
+	NautilusAmbiguity(e).Render(&b)
+	SetCoverPlacement(e).Render(&b)
+	KigaliPilot(e).Render(&b)
+	AblationPlacement(e).Render(&b)
+	AblationCorrelatedCuts(e).Render(&b)
+	if b.Len() == 0 {
+		t.Fatal("renderers produced nothing")
+	}
+}
+
+func TestPlatformRunEndToEnd(t *testing.T) {
+	r, err := PlatformRun(testEnv(t), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Probes != 20 {
+		t.Fatalf("probes = %d", r.Probes)
+	}
+	if r.TasksRun == 0 {
+		t.Fatal("no tasks executed")
+	}
+	if r.DetourPct <= 0 {
+		t.Fatal("platform saw no detours at all")
+	}
+	if r.IXPsSeen == 0 {
+		t.Fatal("platform saw no fabrics")
+	}
+	if r.ResolverRemotePct <= 0 {
+		t.Fatal("platform saw no remote resolvers")
+	}
+	if r.MedianRTTms <= 0 {
+		t.Fatal("no RTTs collected")
+	}
+}
+
+func TestAnycastCensusShape(t *testing.T) {
+	r := AnycastCensus(testEnv(t))
+	if !r.Service.Anycast {
+		t.Fatal("three-instance service not classified anycast")
+	}
+	if r.Control.Anycast {
+		t.Fatal("unicast control classified anycast")
+	}
+	if r.Service.Instances < 2 {
+		t.Fatalf("instance lower bound %d", r.Service.Instances)
+	}
+}

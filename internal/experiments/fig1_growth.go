@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/report"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// GrowthPoint is one (region, year) infrastructure count.
+type GrowthPoint struct {
+	Year   int
+	IXPs   int
+	Cables int
+	ASes   int
+}
+
+// GrowthResult reproduces Figure 1: infrastructure growth per region
+// over the last decade, plus the headline Africa growth percentages
+// (cables +45%, IXPs +600%).
+type GrowthResult struct {
+	// Continental series; Africa's five subregions are merged to one
+	// "Africa" line, as the figure compares continents.
+	Series map[string][]GrowthPoint
+	Years  []int
+
+	AfricaCableGrowthPct float64
+	AfricaIXPGrowthPct   float64
+}
+
+// continentOf maps regions to the figure's line labels.
+func continentOf(r geo.Region) string {
+	if r.IsAfrica() {
+		return "Africa"
+	}
+	return r.String()
+}
+
+// Fig1Growth sweeps the topology timeline and counts infrastructure.
+func Fig1Growth(seed int64) GrowthResult {
+	res := GrowthResult{Series: make(map[string][]GrowthPoint)}
+	for year := 2015; year <= 2025; year++ {
+		res.Years = append(res.Years, year)
+		t := topology.Generate(topology.Params{Seed: seed, Year: year})
+
+		ixps := map[string]int{}
+		for _, id := range t.IXPIDs() {
+			ixps[continentOf(geo.MustLookup(t.IXPs[id].Country).Region)]++
+		}
+		cables := map[string]int{}
+		for _, id := range t.CableIDs() {
+			seen := map[string]bool{}
+			for _, l := range t.Cables[id].Landings {
+				cont := continentOf(geo.MustLookup(l.Country).Region)
+				if !seen[cont] {
+					seen[cont] = true
+					cables[cont]++
+				}
+			}
+		}
+		ases := map[string]int{}
+		for _, a := range t.ASNs() {
+			as := t.ASes[a]
+			if as.Type == topology.ASIXPRouteServer {
+				continue
+			}
+			ases[continentOf(as.Region)]++
+		}
+
+		for _, cont := range []string{"Africa", geo.Europe.String(), geo.NorthAmerica.String(), geo.SouthAmerica.String(), geo.AsiaPacific.String()} {
+			res.Series[cont] = append(res.Series[cont], GrowthPoint{
+				Year: year, IXPs: ixps[cont], Cables: cables[cont], ASes: ases[cont],
+			})
+		}
+	}
+
+	af := res.Series["Africa"]
+	first, last := af[0], af[len(af)-1]
+	if first.Cables > 0 {
+		res.AfricaCableGrowthPct = 100 * float64(last.Cables-first.Cables) / float64(first.Cables)
+	}
+	if first.IXPs > 0 {
+		res.AfricaIXPGrowthPct = 100 * float64(last.IXPs-first.IXPs) / float64(first.IXPs)
+	}
+	return res
+}
+
+// Render writes the figure as tables.
+func (r GrowthResult) Render(w io.Writer) {
+	for _, metric := range []string{"IXPs", "Cables", "ASes"} {
+		tb := report.NewTable(fmt.Sprintf("Fig 1 — %s by region over time", metric),
+			append([]string{"region"}, yearHeaders(r.Years)...)...)
+		for _, cont := range []string{"Africa", "Europe", "N. America", "S. America", "Asia-Pacific"} {
+			cells := []interface{}{cont}
+			for _, p := range r.Series[cont] {
+				switch metric {
+				case "IXPs":
+					cells = append(cells, p.IXPs)
+				case "Cables":
+					cells = append(cells, p.Cables)
+				default:
+					cells = append(cells, p.ASes)
+				}
+			}
+			tb.AddRow(cells...)
+		}
+		tb.Render(w)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Africa 2015->2025: cables %+.0f%% (paper: ~+45%%), IXPs %+.0f%% (paper: ~+600%%)\n",
+		r.AfricaCableGrowthPct, r.AfricaIXPGrowthPct)
+}
+
+func yearHeaders(years []int) []string {
+	out := make([]string, len(years))
+	for i, y := range years {
+		out[i] = fmt.Sprintf("%d", y)
+	}
+	return out
+}

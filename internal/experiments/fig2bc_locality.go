@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/report"
+)
+
+// ContentLocalityRow is one region's Figure 2b value.
+type ContentLocalityRow struct {
+	Region    geo.Region
+	LocalPct  float64
+	Countries int
+}
+
+// ContentLocalityResult reproduces Figure 2b.
+type ContentLocalityResult struct {
+	Regions    []ContentLocalityRow
+	OverallPct float64
+}
+
+// Fig2bContentLocality runs the ISOC-Pulse-style measurement in every
+// African country and aggregates per region.
+func Fig2bContentLocality(env *Env) ContentLocalityResult {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	byRegion := map[geo.Region]*acc{}
+	var allSum float64
+	var allN int
+	for _, c := range geo.AfricanCountries() {
+		ls := env.Web.MeasureLocality(c.ISO2)
+		if ls.Samples == 0 {
+			continue
+		}
+		a := byRegion[c.Region]
+		if a == nil {
+			a = &acc{}
+			byRegion[c.Region] = a
+		}
+		a.sum += ls.Local
+		a.n++
+		allSum += ls.Local
+		allN++
+	}
+	res := ContentLocalityResult{}
+	for _, r := range geo.AfricanRegions() {
+		if a := byRegion[r]; a != nil && a.n > 0 {
+			res.Regions = append(res.Regions, ContentLocalityRow{
+				Region: r, LocalPct: 100 * a.sum / float64(a.n), Countries: a.n,
+			})
+		}
+	}
+	if allN > 0 {
+		res.OverallPct = 100 * allSum / float64(allN)
+	}
+	return res
+}
+
+// Render writes Figure 2b.
+func (r ContentLocalityResult) Render(w io.Writer) {
+	tb := report.NewTable("Fig 2b — Content served from within Africa (per top-site fetch)",
+		"region", "countries", "local %")
+	for _, row := range r.Regions {
+		tb.AddRow(row.Region.String(), row.Countries, row.LocalPct)
+	}
+	tb.AddRow("ALL AFRICA", "", r.OverallPct)
+	tb.Render(w)
+	fmt.Fprintln(w, "(paper: ~30% of content local overall; Southern most local, Western least)")
+}
+
+// ResolverRow is one region's Figure 2c breakdown.
+type ResolverRow struct {
+	Region   geo.Region
+	SamePct  float64
+	OtherPct float64
+	CloudPct float64
+	Samples  int
+}
+
+// ResolverResult reproduces Figure 2c.
+type ResolverResult struct {
+	Regions []ResolverRow
+}
+
+// Fig2cResolverUse runs the APNIC-style resolver measurement per region.
+func Fig2cResolverUse(env *Env) ResolverResult {
+	var res ResolverResult
+	for _, r := range geo.AfricanRegions() {
+		us := env.DNS.MeasureResolverUse(r)
+		res.Regions = append(res.Regions, ResolverRow{
+			Region:  r,
+			SamePct: 100 * us.SameCountry, OtherPct: 100 * us.OtherCountry,
+			CloudPct: 100 * us.Cloud, Samples: us.Samples,
+		})
+	}
+	return res
+}
+
+// Render writes Figure 2c.
+func (r ResolverResult) Render(w io.Writer) {
+	tb := report.NewTable("Fig 2c — DNS resolver locality across Africa (APNIC-style sampling)",
+		"region", "client networks", "same-country %", "other-country %", "cloud %")
+	for _, row := range r.Regions {
+		tb.AddRow(row.Region.String(), row.Samples, row.SamePct, row.OtherPct, row.CloudPct)
+	}
+	tb.Render(w)
+	fmt.Fprintln(w, "(paper: heavy reliance on other-country and cloud resolvers; clouds centralized in South Africa)")
+}

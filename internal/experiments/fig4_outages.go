@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/metrics"
+	"github.com/afrinet/observatory/internal/outage"
+	"github.com/afrinet/observatory/internal/report"
+)
+
+// OutageResult reproduces Figure 4: the characterization of detected
+// outages over a two-year window.
+type OutageResult struct {
+	Years float64
+	// CountByContinent is detected country-outages per continent line.
+	CountByContinent map[string]int
+	// AfricaVsEUFactor is Africa's count over Europe's (paper: ~4x).
+	AfricaVsEUFactor float64
+	// MeanDurationByCause in days (paper: cable cuts longest).
+	MeanDurationByCause map[outage.Cause]float64
+	// CableCutCountries is the distinct African countries hit by cable
+	// cuts in the window (paper: ~30 over two years).
+	CableCutCountries []string
+	// MeanCountriesPerCableCut is the blast radius of one cable event
+	// (paper: ~10 countries for the March 2024 cuts).
+	MeanCountriesPerCableCut float64
+}
+
+// Fig4Outages generates the event history and runs Radar-style
+// detection + impact analysis.
+func Fig4Outages(env *Env) OutageResult {
+	const years = 2.0
+	model := outage.NewModel(env.Net, env.Seed)
+	events := model.GenerateEvents(years)
+
+	res := OutageResult{
+		Years:               years,
+		CountByContinent:    map[string]int{},
+		MeanDurationByCause: map[outage.Cause]float64{},
+	}
+
+	durations := map[outage.Cause][]float64{}
+	cableCountries := map[string]bool{}
+	var cableEvents, cableCountryTotal int
+
+	for _, ev := range events {
+		imp := model.Evaluate(ev)
+		for _, ctry := range imp.CountriesAffected {
+			res.CountByContinent[continentOf(geo.MustLookup(ctry).Region)]++
+			durations[ev.Cause] = append(durations[ev.Cause], ev.Duration)
+			if ev.Cause == outage.CauseCableCut && geo.MustLookup(ctry).Region.IsAfrica() &&
+				imp.Drop[ctry] >= 0.5 {
+				cableCountries[ctry] = true
+			}
+		}
+		if ev.Cause == outage.CauseCableCut && ev.Region.IsAfrica() {
+			cableEvents++
+			for _, ctry := range imp.CountriesAffected {
+				if imp.Drop[ctry] >= 0.5 {
+					cableCountryTotal++
+				}
+			}
+		}
+	}
+
+	for cause, ds := range durations {
+		res.MeanDurationByCause[cause] = metrics.Mean(ds)
+	}
+	for c := range cableCountries {
+		res.CableCutCountries = append(res.CableCutCountries, c)
+	}
+	sort.Strings(res.CableCutCountries)
+	if cableEvents > 0 {
+		res.MeanCountriesPerCableCut = float64(cableCountryTotal) / float64(cableEvents)
+	}
+	if eu := res.CountByContinent["Europe"]; eu > 0 {
+		res.AfricaVsEUFactor = float64(res.CountByContinent["Africa"]) / float64(eu)
+	}
+	return res
+}
+
+// Render writes Figure 4.
+func (r OutageResult) Render(w io.Writer) {
+	tb := report.NewTable(fmt.Sprintf("Fig 4 — Detected country-outages over %.0f years", r.Years),
+		"continent", "outages")
+	for _, cont := range []string{"Africa", "Europe", "N. America", "S. America", "Asia-Pacific"} {
+		tb.AddRow(cont, r.CountByContinent[cont])
+	}
+	tb.Render(w)
+	fmt.Fprintf(w, "Africa/Europe outage factor: %.1fx (paper: ~4x)\n\n", r.AfricaVsEUFactor)
+
+	tb2 := report.NewTable("Fig 4 — Mean outage duration by cause (days)", "cause", "mean days")
+	for _, c := range outage.Causes() {
+		tb2.AddRow(c.String(), fmt.Sprintf("%.2f", r.MeanDurationByCause[c]))
+	}
+	tb2.Render(w)
+	fmt.Fprintf(w, "African countries hit by cable cuts: %d (paper: ~30 over 2 years)\n", len(r.CableCutCountries))
+	fmt.Fprintf(w, "Mean countries affected per cable-cut event: %.1f (paper: ~10)\n", r.MeanCountriesPerCableCut)
+}

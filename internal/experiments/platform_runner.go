@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http/httptest"
+
+	"github.com/afrinet/observatory/internal/core"
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/metrics"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/netx"
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// PlatformRun demonstrates the observatory end to end AS A SYSTEM: it
+// stands up the controller behind a real HTTP listener, registers a
+// probe fleet at the targeted placement, submits the intra-African
+// traceroute mesh and the per-country DNS audit as vetted experiments,
+// executes them through the agents' task loop, and recomputes the
+// paper's headline statistics purely from the wire-format results —
+// never touching the simulator's internals. The inline drivers
+// (Fig2aDetours etc.) are the oracle this run is compared against.
+type PlatformRunResult struct {
+	Probes   int
+	TasksRun int
+	// DetourPct recomputed from uploaded traceroutes.
+	DetourPct float64
+	// IXPsSeen is the count of distinct African fabrics in the results.
+	IXPsSeen int
+	// ResolverRemotePct is the share of DNS audits answered by an
+	// out-of-country resolver.
+	ResolverRemotePct float64
+	// MedianRTTms across successful traceroutes.
+	MedianRTTms float64
+}
+
+// PlatformRun executes the end-to-end flow. Probe count is capped to
+// keep the HTTP round trips reasonable.
+func PlatformRun(env *Env, probeCap int) (PlatformRunResult, error) {
+	var res PlatformRunResult
+
+	ctrl := core.NewController("observatory")
+	srv := httptest.NewServer(ctrl.Handler())
+	defer srv.Close()
+	cl := core.NewClient(srv.URL)
+
+	// Fleet: targeted placement, capped, each probe an agent process.
+	placement := core.TargetedPlacement(env.Topo)
+	if probeCap > 0 && len(placement) > probeCap {
+		placement = placement[:probeCap]
+	}
+	agents := make(map[string]*probes.Agent, len(placement))
+	for i, asn := range placement {
+		id := fmt.Sprintf("probe-%02d", i)
+		as := env.Topo.ASes[asn]
+		cfg := probes.Config{ID: id, ASN: asn, HasWired: as.Type != topology.ASMobileCarrier}
+		if !cfg.HasWired {
+			cfg.CellBudget = probes.NewBudget(probes.PrepaidBundle{BundleMB: 200, BundlePrice: 1}, 50)
+		}
+		if err := cl.Register(core.ProbeInfo{ID: id, ASN: asn, Country: as.Country, HasWired: cfg.HasWired}); err != nil {
+			return res, fmt.Errorf("register %s: %w", id, err)
+		}
+		agents[id] = probes.NewAgent(cfg, env.Net, env.DNS, env.Web)
+	}
+	res.Probes = len(agents)
+
+	// Experiment 1: intra-African traceroute mesh (each probe traces a
+	// sample of the others).
+	var mesh []probes.Assignment
+	ids := make([]string, 0, len(agents))
+	for id := range agents {
+		ids = append(ids, id)
+	}
+	sortStrings(ids)
+	for i, src := range ids {
+		for j, dst := range ids {
+			if i == j || (i+j)%3 != 0 {
+				continue // sample the mesh
+			}
+			mesh = append(mesh, probes.Assignment{
+				ProbeID: src,
+				Task: probes.Task{
+					Kind:   probes.TaskTraceroute,
+					Target: env.Net.RouterAddr(agents[dst].ASN(), 0).String(),
+				},
+			})
+		}
+	}
+	exp1, err := cl.Submit("observatory", "intra-african mesh", mesh)
+	if err != nil {
+		return res, err
+	}
+
+	// Experiment 2: DNS dependency audit, one domain per probe country.
+	var audit []probes.Assignment
+	for _, id := range ids {
+		ctry := env.Topo.ASes[agents[id].ASN()].Country
+		sites := env.Web.Catalog().SitesFor(ctry)
+		if len(sites) == 0 {
+			continue
+		}
+		audit = append(audit, probes.Assignment{
+			ProbeID: id,
+			Task:    probes.Task{Kind: probes.TaskDNS, Domain: sites[0].Domain, OriginCountry: ctry},
+		})
+	}
+	exp2, err := cl.Submit("observatory", "resolver audit", audit)
+	if err != nil {
+		return res, err
+	}
+
+	// Drain every agent through the HTTP loop.
+	for _, id := range ids {
+		n, err := core.RunAgentOnce(cl, agents[id])
+		if err != nil {
+			return res, fmt.Errorf("agent %s: %w", id, err)
+		}
+		res.TasksRun += n
+	}
+
+	// Analyze experiment 1 from the wire results only.
+	trs, err := cl.Results(exp1.ID)
+	if err != nil {
+		return res, err
+	}
+	african := map[topology.IXPID]bool{}
+	for _, rec := range env.Dir {
+		if rec.Region.IsAfrica() {
+			african[rec.ID] = true
+		}
+	}
+	detours, pairs := 0, 0
+	var rtts []float64
+	seenIXPs := map[topology.IXPID]bool{}
+	for _, r := range trs {
+		pairs++
+		sawOutside := false
+		for _, hop := range r.Hops {
+			if hop.Addr == "" {
+				continue
+			}
+			addr, perr := netx.ParseAddr(hop.Addr)
+			if perr != nil {
+				return res, fmt.Errorf("bad hop address %q", hop.Addr)
+			}
+			if loc, ok := env.GeoDB.Lookup(addr); ok {
+				if c, okc := geo.Lookup(loc.Country); okc && !c.Region.IsAfrica() {
+					sawOutside = true
+				}
+			}
+			for _, cr := range env.Detector.Detect(hopOnlyTrace(addr, hop.TTL), nil) {
+				if cr.Strong && african[cr.IXP] {
+					seenIXPs[cr.IXP] = true
+				}
+			}
+		}
+		if sawOutside {
+			detours++
+		}
+		if r.OK {
+			rtts = append(rtts, r.RTTms)
+		}
+	}
+	if pairs > 0 {
+		res.DetourPct = 100 * float64(detours) / float64(pairs)
+	}
+	res.IXPsSeen = len(seenIXPs)
+	res.MedianRTTms = metrics.Median(rtts)
+
+	// Analyze experiment 2.
+	drs, err := cl.Results(exp2.ID)
+	if err != nil {
+		return res, err
+	}
+	remote, total := 0, 0
+	for _, r := range drs {
+		if !r.OK {
+			continue
+		}
+		total++
+		ctry := env.Topo.ASes[agents[r.ProbeID].ASN()].Country
+		if r.ResolverKind != "same-country" || r.ResolverCountry != ctry {
+			remote++
+		}
+	}
+	if total > 0 {
+		res.ResolverRemotePct = 100 * float64(remote) / float64(total)
+	}
+	return res, nil
+}
+
+// hopOnlyTrace wraps one wire hop as a single-hop traceroute for the
+// detector (which only needs addresses).
+func hopOnlyTrace(addr netx.Addr, ttl int) netsim.Traceroute {
+	return netsim.Traceroute{Hops: []netsim.TraceHop{{TTL: ttl, Addr: addr}}}
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Render writes the summary.
+func (r PlatformRunResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "== Platform run — the paper's measurements through the live observatory ==")
+	fmt.Fprintf(w, "probes registered:           %d\n", r.Probes)
+	fmt.Fprintf(w, "tasks executed over HTTP:    %d\n", r.TasksRun)
+	fmt.Fprintf(w, "intra-African detours:       %.1f%%\n", r.DetourPct)
+	fmt.Fprintf(w, "African fabrics observed:    %d\n", r.IXPsSeen)
+	fmt.Fprintf(w, "remote-resolver share:       %.1f%%\n", r.ResolverRemotePct)
+	fmt.Fprintf(w, "median mesh RTT:             %.1f ms\n", r.MedianRTTms)
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/afrinet/observatory/internal/report"
+	"github.com/afrinet/observatory/internal/whatif"
+)
+
+// WhatIfResult reproduces the paper's envisioned what-if analysis around
+// the March 2024 West-African cable disaster:
+//
+//   - the historical event (WACS, MainOne, SAT-3, ACE cut; the newer
+//     Equiano/2Africa systems survive and absorb, congested);
+//   - the catastrophic variant (the whole coastal corridor gone —
+//     the correlated-failure risk Section 5.1 warns legislation ignores);
+//   - the catastrophic variant under full DNS localization (in-country
+//     resolvers and in-country authoritatives for domestic domains — the
+//     Section 5.2 "legislate critical dependencies" intervention).
+type WhatIfResult struct {
+	Baseline    whatif.Outcome // March 2024 as it happened
+	FullCut     whatif.Outcome // entire corridor severed
+	FullCutSafe whatif.Outcome // entire corridor severed + local DNS chain
+}
+
+// westAfrica is the measured footprint.
+var westAfrica = []string{"NG", "GH", "CI", "SN", "BJ", "TG", "LR", "SL", "GN", "GM", "BF", "ML", "NE"}
+
+// WhatIfCableCut runs the scenario set.
+func WhatIfCableCut(env *Env) WhatIfResult {
+	eng := whatif.NewEngine(env.Net, env.DNS, env.Web)
+	march := whatif.FindCables(env.Topo, "WACS", "MainOne", "SAT-3", "ACE")
+	corridor := env.Topo.Corridors()["west-africa-coastal"]
+
+	var res WhatIfResult
+	res.Baseline = eng.Run(whatif.Scenario{
+		Name: "march-2024 (4 cables)", CutCables: march, Countries: westAfrica, SitesPerCountry: 40,
+	})
+	res.FullCut = eng.Run(whatif.Scenario{
+		Name: "full corridor", CutCables: corridor, Countries: westAfrica, SitesPerCountry: 40,
+	})
+	res.FullCutSafe = eng.Run(whatif.Scenario{
+		Name: "full corridor + local DNS chain", CutCables: corridor, Countries: westAfrica,
+		SitesPerCountry: 40, MandateLocalResolvers: true, MandateLocalAuthoritatives: true,
+	})
+	return res
+}
+
+// localShares averages the local-content success over countries that
+// have local sites in sample.
+func localShares(o whatif.Outcome) (before, after float64) {
+	n := 0
+	for _, c := range o.Countries {
+		if c.LocalBefore < 0 {
+			continue
+		}
+		before += c.LocalBefore
+		after += c.LocalAfter
+		n++
+	}
+	if n > 0 {
+		before /= float64(n)
+		after /= float64(n)
+	}
+	return before, after
+}
+
+// Render writes the scenario comparison.
+func (r WhatIfResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "== What-if — West-African subsea corridor failures ==")
+	tb := report.NewTable("Page-load success across West Africa",
+		"scenario", "all before %", "all after %", "local-content after %", "dns share of failures %")
+	for _, o := range []whatif.Outcome{r.Baseline, r.FullCut, r.FullCutSafe} {
+		var b, a, d float64
+		for _, rs := range whatif.ByRegion(o) {
+			b, a, d = 100*rs.PageLoadBefore, 100*rs.PageLoadAfter, 100*rs.DNSFailShare
+		}
+		_, localAfter := localShares(o)
+		tb.AddRow(o.Scenario.Name, b, a, 100*localAfter, d)
+	}
+	tb.Render(w)
+	fmt.Fprintf(w, "countries fully disconnected (march 2024): %d %v\n",
+		len(r.Baseline.Disconnected), r.Baseline.Disconnected)
+	fmt.Fprintf(w, "countries fully disconnected (full corridor): %d %v\n",
+		len(r.FullCut.Disconnected), r.FullCut.Disconnected)
+	fmt.Fprintln(w, "(with the whole corridor gone, localizing the DNS chain keeps in-country")
+	fmt.Fprintln(w, " services loading; content hosted abroad stays dark either way)")
+}

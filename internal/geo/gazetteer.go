@@ -1,0 +1,131 @@
+package geo
+
+// The static gazetteer. Hub coordinates are the country's primary
+// interconnection city: the capital for landlocked countries, the main
+// cable-landing city for coastal ones (e.g. Lagos for Nigeria, Mombasa is
+// modeled as Kenya's landing separately in the cable package while
+// Nairobi remains the hub). Populations are rough 2024 figures in
+// millions and only drive relative catalog sizes.
+
+var gazetteer = []Country{
+	// --- Northern Africa (6) ---
+	{ISO2: "DZ", Name: "Algeria", Region: AfricaNorthern, Hub: Coord{36.75, 3.06}, Coastal: true, Population: 46},
+	{ISO2: "EG", Name: "Egypt", Region: AfricaNorthern, Hub: Coord{30.04, 31.24}, Coastal: true, Population: 113},
+	{ISO2: "LY", Name: "Libya", Region: AfricaNorthern, Hub: Coord{32.89, 13.19}, Coastal: true, Population: 7},
+	{ISO2: "MA", Name: "Morocco", Region: AfricaNorthern, Hub: Coord{33.57, -7.59}, Coastal: true, Population: 38},
+	{ISO2: "SD", Name: "Sudan", Region: AfricaNorthern, Hub: Coord{15.50, 32.56}, Coastal: true, Population: 49},
+	{ISO2: "TN", Name: "Tunisia", Region: AfricaNorthern, Hub: Coord{36.81, 10.18}, Coastal: true, Population: 12},
+
+	// --- Western Africa (16) ---
+	{ISO2: "BJ", Name: "Benin", Region: AfricaWestern, Hub: Coord{6.37, 2.39}, Coastal: true, Population: 14},
+	{ISO2: "BF", Name: "Burkina Faso", Region: AfricaWestern, Hub: Coord{12.37, -1.53}, Coastal: false, Population: 23},
+	{ISO2: "CV", Name: "Cabo Verde", Region: AfricaWestern, Hub: Coord{14.93, -23.51}, Coastal: true, Population: 1},
+	{ISO2: "CI", Name: "Cote d'Ivoire", Region: AfricaWestern, Hub: Coord{5.36, -4.01}, Coastal: true, Population: 29},
+	{ISO2: "GM", Name: "Gambia", Region: AfricaWestern, Hub: Coord{13.45, -16.58}, Coastal: true, Population: 3},
+	{ISO2: "GH", Name: "Ghana", Region: AfricaWestern, Hub: Coord{5.56, -0.20}, Coastal: true, Population: 34},
+	{ISO2: "GN", Name: "Guinea", Region: AfricaWestern, Hub: Coord{9.54, -13.68}, Coastal: true, Population: 14},
+	{ISO2: "GW", Name: "Guinea-Bissau", Region: AfricaWestern, Hub: Coord{11.86, -15.60}, Coastal: true, Population: 2},
+	{ISO2: "LR", Name: "Liberia", Region: AfricaWestern, Hub: Coord{6.30, -10.80}, Coastal: true, Population: 5},
+	{ISO2: "ML", Name: "Mali", Region: AfricaWestern, Hub: Coord{12.64, -8.00}, Coastal: false, Population: 23},
+	{ISO2: "MR", Name: "Mauritania", Region: AfricaWestern, Hub: Coord{18.08, -15.98}, Coastal: true, Population: 5},
+	{ISO2: "NE", Name: "Niger", Region: AfricaWestern, Hub: Coord{13.51, 2.13}, Coastal: false, Population: 27},
+	{ISO2: "NG", Name: "Nigeria", Region: AfricaWestern, Hub: Coord{6.45, 3.39}, Coastal: true, Population: 224},
+	{ISO2: "SN", Name: "Senegal", Region: AfricaWestern, Hub: Coord{14.72, -17.47}, Coastal: true, Population: 18},
+	{ISO2: "SL", Name: "Sierra Leone", Region: AfricaWestern, Hub: Coord{8.48, -13.23}, Coastal: true, Population: 9},
+	{ISO2: "TG", Name: "Togo", Region: AfricaWestern, Hub: Coord{6.13, 1.22}, Coastal: true, Population: 9},
+
+	// --- Central Africa (9) ---
+	{ISO2: "AO", Name: "Angola", Region: AfricaCentral, Hub: Coord{-8.84, 13.23}, Coastal: true, Population: 36},
+	{ISO2: "CM", Name: "Cameroon", Region: AfricaCentral, Hub: Coord{4.05, 9.70}, Coastal: true, Population: 28},
+	{ISO2: "CF", Name: "Central African Republic", Region: AfricaCentral, Hub: Coord{4.39, 18.56}, Coastal: false, Population: 6},
+	{ISO2: "TD", Name: "Chad", Region: AfricaCentral, Hub: Coord{12.13, 15.06}, Coastal: false, Population: 18},
+	{ISO2: "CG", Name: "Congo", Region: AfricaCentral, Hub: Coord{-4.79, 11.86}, Coastal: true, Population: 6},
+	{ISO2: "CD", Name: "DR Congo", Region: AfricaCentral, Hub: Coord{-4.32, 15.31}, Coastal: true, Population: 102},
+	{ISO2: "GQ", Name: "Equatorial Guinea", Region: AfricaCentral, Hub: Coord{3.75, 8.78}, Coastal: true, Population: 2},
+	{ISO2: "GA", Name: "Gabon", Region: AfricaCentral, Hub: Coord{0.39, 9.45}, Coastal: true, Population: 2},
+	{ISO2: "ST", Name: "Sao Tome and Principe", Region: AfricaCentral, Hub: Coord{0.34, 6.73}, Coastal: true, Population: 1},
+
+	// --- Eastern Africa (17) ---
+	{ISO2: "BI", Name: "Burundi", Region: AfricaEastern, Hub: Coord{-3.38, 29.36}, Coastal: false, Population: 13},
+	{ISO2: "KM", Name: "Comoros", Region: AfricaEastern, Hub: Coord{-11.70, 43.26}, Coastal: true, Population: 1},
+	{ISO2: "DJ", Name: "Djibouti", Region: AfricaEastern, Hub: Coord{11.59, 43.15}, Coastal: true, Population: 1},
+	{ISO2: "ER", Name: "Eritrea", Region: AfricaEastern, Hub: Coord{15.32, 38.93}, Coastal: true, Population: 4},
+	{ISO2: "ET", Name: "Ethiopia", Region: AfricaEastern, Hub: Coord{9.03, 38.74}, Coastal: false, Population: 127},
+	{ISO2: "KE", Name: "Kenya", Region: AfricaEastern, Hub: Coord{-1.29, 36.82}, Coastal: true, Population: 55},
+	{ISO2: "MG", Name: "Madagascar", Region: AfricaEastern, Hub: Coord{-18.88, 47.51}, Coastal: true, Population: 30},
+	{ISO2: "MW", Name: "Malawi", Region: AfricaEastern, Hub: Coord{-13.97, 33.79}, Coastal: false, Population: 21},
+	{ISO2: "MU", Name: "Mauritius", Region: AfricaEastern, Hub: Coord{-20.16, 57.50}, Coastal: true, Population: 1},
+	{ISO2: "MZ", Name: "Mozambique", Region: AfricaEastern, Hub: Coord{-25.97, 32.57}, Coastal: true, Population: 34},
+	{ISO2: "RW", Name: "Rwanda", Region: AfricaEastern, Hub: Coord{-1.95, 30.06}, Coastal: false, Population: 14},
+	{ISO2: "SC", Name: "Seychelles", Region: AfricaEastern, Hub: Coord{-4.62, 55.45}, Coastal: true, Population: 1},
+	{ISO2: "SO", Name: "Somalia", Region: AfricaEastern, Hub: Coord{2.05, 45.32}, Coastal: true, Population: 18},
+	{ISO2: "SS", Name: "South Sudan", Region: AfricaEastern, Hub: Coord{4.85, 31.58}, Coastal: false, Population: 11},
+	{ISO2: "TZ", Name: "Tanzania", Region: AfricaEastern, Hub: Coord{-6.79, 39.21}, Coastal: true, Population: 67},
+	{ISO2: "UG", Name: "Uganda", Region: AfricaEastern, Hub: Coord{0.35, 32.58}, Coastal: false, Population: 48},
+	{ISO2: "ZM", Name: "Zambia", Region: AfricaEastern, Hub: Coord{-15.39, 28.32}, Coastal: false, Population: 20},
+
+	// --- Southern Africa (6) ---
+	{ISO2: "BW", Name: "Botswana", Region: AfricaSouthern, Hub: Coord{-24.65, 25.91}, Coastal: false, Population: 3},
+	{ISO2: "SZ", Name: "Eswatini", Region: AfricaSouthern, Hub: Coord{-26.31, 31.14}, Coastal: false, Population: 1},
+	{ISO2: "LS", Name: "Lesotho", Region: AfricaSouthern, Hub: Coord{-29.31, 27.48}, Coastal: false, Population: 2},
+	{ISO2: "NA", Name: "Namibia", Region: AfricaSouthern, Hub: Coord{-22.56, 17.08}, Coastal: true, Population: 3},
+	{ISO2: "ZA", Name: "South Africa", Region: AfricaSouthern, Hub: Coord{-26.20, 28.05}, Coastal: true, Population: 60},
+	// Zimbabwe is UN Eastern Africa but the paper's maturity analysis
+	// groups it with the southern cone; we follow the UN scheme for the
+	// other countries and keep Zimbabwe southern as SADC practice does.
+	{ISO2: "ZW", Name: "Zimbabwe", Region: AfricaSouthern, Hub: Coord{-17.83, 31.05}, Coastal: false, Population: 16},
+
+	// --- Europe (10 comparison countries; the transit hubs matter) ---
+	{ISO2: "DE", Name: "Germany", Region: Europe, Hub: Coord{50.11, 8.68}, Coastal: true, Population: 84}, // Frankfurt
+	{ISO2: "FR", Name: "France", Region: Europe, Hub: Coord{43.30, 5.37}, Coastal: true, Population: 68},  // Marseille
+	{ISO2: "GB", Name: "United Kingdom", Region: Europe, Hub: Coord{51.51, -0.13}, Coastal: true, Population: 68},
+	{ISO2: "NL", Name: "Netherlands", Region: Europe, Hub: Coord{52.37, 4.90}, Coastal: true, Population: 18},
+	{ISO2: "PT", Name: "Portugal", Region: Europe, Hub: Coord{38.72, -9.14}, Coastal: true, Population: 10},
+	{ISO2: "ES", Name: "Spain", Region: Europe, Hub: Coord{40.42, -3.70}, Coastal: true, Population: 48},
+	{ISO2: "IT", Name: "Italy", Region: Europe, Hub: Coord{45.46, 9.19}, Coastal: true, Population: 59},
+	{ISO2: "SE", Name: "Sweden", Region: Europe, Hub: Coord{59.33, 18.07}, Coastal: true, Population: 10},
+	{ISO2: "PL", Name: "Poland", Region: Europe, Hub: Coord{52.23, 21.01}, Coastal: true, Population: 38},
+	{ISO2: "GR", Name: "Greece", Region: Europe, Hub: Coord{37.98, 23.73}, Coastal: true, Population: 10},
+
+	// --- North America (4) ---
+	{ISO2: "US", Name: "United States", Region: NorthAmerica, Hub: Coord{39.05, -77.47}, Coastal: true, Population: 335}, // Ashburn
+	{ISO2: "CA", Name: "Canada", Region: NorthAmerica, Hub: Coord{43.65, -79.38}, Coastal: true, Population: 39},
+	{ISO2: "MX", Name: "Mexico", Region: NorthAmerica, Hub: Coord{19.43, -99.13}, Coastal: true, Population: 128},
+	{ISO2: "PA", Name: "Panama", Region: NorthAmerica, Hub: Coord{8.98, -79.52}, Coastal: true, Population: 4},
+
+	// --- South America (6) ---
+	{ISO2: "BR", Name: "Brazil", Region: SouthAmerica, Hub: Coord{-23.55, -46.63}, Coastal: true, Population: 216},
+	{ISO2: "AR", Name: "Argentina", Region: SouthAmerica, Hub: Coord{-34.60, -58.38}, Coastal: true, Population: 46},
+	{ISO2: "CL", Name: "Chile", Region: SouthAmerica, Hub: Coord{-33.45, -70.67}, Coastal: true, Population: 20},
+	{ISO2: "CO", Name: "Colombia", Region: SouthAmerica, Hub: Coord{4.71, -74.07}, Coastal: true, Population: 52},
+	{ISO2: "PE", Name: "Peru", Region: SouthAmerica, Hub: Coord{-12.05, -77.04}, Coastal: true, Population: 34},
+	{ISO2: "EC", Name: "Ecuador", Region: SouthAmerica, Hub: Coord{-0.18, -78.47}, Coastal: true, Population: 18},
+
+	// --- Asia-Pacific (8) ---
+	{ISO2: "SG", Name: "Singapore", Region: AsiaPacific, Hub: Coord{1.35, 103.82}, Coastal: true, Population: 6},
+	{ISO2: "IN", Name: "India", Region: AsiaPacific, Hub: Coord{19.08, 72.88}, Coastal: true, Population: 1428},
+	{ISO2: "JP", Name: "Japan", Region: AsiaPacific, Hub: Coord{35.68, 139.65}, Coastal: true, Population: 124},
+	{ISO2: "AU", Name: "Australia", Region: AsiaPacific, Hub: Coord{-33.87, 151.21}, Coastal: true, Population: 26},
+	{ISO2: "ID", Name: "Indonesia", Region: AsiaPacific, Hub: Coord{-6.21, 106.85}, Coastal: true, Population: 277},
+	{ISO2: "MY", Name: "Malaysia", Region: AsiaPacific, Hub: Coord{3.14, 101.69}, Coastal: true, Population: 34},
+	{ISO2: "PH", Name: "Philippines", Region: AsiaPacific, Hub: Coord{14.60, 120.98}, Coastal: true, Population: 117},
+	{ISO2: "AE", Name: "United Arab Emirates", Region: AsiaPacific, Hub: Coord{25.20, 55.27}, Coastal: true, Population: 10},
+}
+
+var (
+	byISO   map[string]*Country
+	ordered []*Country
+)
+
+func init() {
+	byISO = make(map[string]*Country, len(gazetteer))
+	ordered = make([]*Country, 0, len(gazetteer))
+	for i := range gazetteer {
+		c := &gazetteer[i]
+		if _, dup := byISO[c.ISO2]; dup {
+			panic("geo: duplicate country code " + c.ISO2)
+		}
+		byISO[c.ISO2] = c
+		ordered = append(ordered, c)
+	}
+}

@@ -1,0 +1,165 @@
+// Package geo provides the geographic substrate for the observatory:
+// countries, regions, coordinates, and great-circle math.
+//
+// The package embeds a static gazetteer of all 54 African countries plus a
+// set of comparison countries in Europe, the Americas, and Asia-Pacific.
+// Coordinates are those of each country's primary interconnection city
+// (usually the capital or the main cable landing city), which is what
+// matters for latency modeling.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Region identifies a macro-region used throughout the paper's analysis.
+// Africa is split into its five UN subregions because the paper reports
+// most results at that granularity; the rest of the world is kept at
+// continent granularity.
+type Region int
+
+const (
+	RegionUnknown Region = iota
+	AfricaNorthern
+	AfricaWestern
+	AfricaCentral
+	AfricaEastern
+	AfricaSouthern
+	Europe
+	NorthAmerica
+	SouthAmerica
+	AsiaPacific
+)
+
+var regionNames = map[Region]string{
+	RegionUnknown:  "Unknown",
+	AfricaNorthern: "Northern Africa",
+	AfricaWestern:  "Western Africa",
+	AfricaCentral:  "Central Africa",
+	AfricaEastern:  "Eastern Africa",
+	AfricaSouthern: "Southern Africa",
+	Europe:         "Europe",
+	NorthAmerica:   "N. America",
+	SouthAmerica:   "S. America",
+	AsiaPacific:    "Asia-Pacific",
+}
+
+// String returns the human-readable region name used in figures.
+func (r Region) String() string {
+	if s, ok := regionNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("Region(%d)", int(r))
+}
+
+// IsAfrica reports whether the region is one of Africa's five subregions.
+func (r Region) IsAfrica() bool {
+	switch r {
+	case AfricaNorthern, AfricaWestern, AfricaCentral, AfricaEastern, AfricaSouthern:
+		return true
+	}
+	return false
+}
+
+// AfricanRegions lists Africa's five subregions in the order figures
+// present them.
+func AfricanRegions() []Region {
+	return []Region{AfricaNorthern, AfricaWestern, AfricaCentral, AfricaEastern, AfricaSouthern}
+}
+
+// AllRegions lists every region, African subregions first.
+func AllRegions() []Region {
+	return []Region{
+		AfricaNorthern, AfricaWestern, AfricaCentral, AfricaEastern, AfricaSouthern,
+		Europe, NorthAmerica, SouthAmerica, AsiaPacific,
+	}
+}
+
+// Coord is a WGS84 coordinate in degrees.
+type Coord struct {
+	Lat float64
+	Lng float64
+}
+
+// Country describes one country in the gazetteer.
+type Country struct {
+	ISO2       string // ISO 3166-1 alpha-2 code
+	Name       string
+	Region     Region
+	Hub        Coord // primary interconnection city (capital or landing city)
+	Coastal    bool  // has a sea coast (can host a cable landing station)
+	Population int   // millions, rough 2024 figure; used to size site catalogs
+}
+
+// IsAfrican reports whether the country is on the African continent.
+func (c *Country) IsAfrican() bool { return c.Region.IsAfrica() }
+
+// earthRadiusKm is the mean Earth radius.
+const earthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle distance between two coordinates
+// using the haversine formula.
+func DistanceKm(a, b Coord) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLng := (b.Lng - a.Lng) * degToRad
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLng/2)*math.Sin(dLng/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// PropagationDelayMs returns the one-way speed-of-light-in-fiber delay for
+// a path of the given length. Fiber propagation is roughly 2/3 c, i.e.
+// ~200 km per millisecond; real paths are longer than great-circle, which
+// callers account for with a stretch factor.
+func PropagationDelayMs(km float64) float64 { return km / 200.0 }
+
+// Lookup returns the country with the given ISO2 code.
+func Lookup(iso2 string) (*Country, bool) {
+	c, ok := byISO[iso2]
+	return c, ok
+}
+
+// MustLookup is Lookup for codes known at compile time; it panics on a
+// bad code, which indicates a programming error, not an input error.
+func MustLookup(iso2 string) *Country {
+	c, ok := byISO[iso2]
+	if !ok {
+		panic("geo: unknown country code " + iso2)
+	}
+	return c
+}
+
+// Countries returns all countries in the gazetteer in a stable order
+// (African regions first, then comparison regions; alphabetical by code
+// within a region).
+func Countries() []*Country {
+	out := make([]*Country, len(ordered))
+	copy(out, ordered)
+	return out
+}
+
+// CountriesIn returns the countries of one region in stable order.
+func CountriesIn(r Region) []*Country {
+	var out []*Country
+	for _, c := range ordered {
+		if c.Region == r {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AfricanCountries returns all 54 African countries in stable order.
+func AfricanCountries() []*Country {
+	var out []*Country
+	for _, c := range ordered {
+		if c.IsAfrican() {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGazetteerIntegrity(t *testing.T) {
+	if got := len(AfricanCountries()); got != 54 {
+		t.Fatalf("African countries = %d, want 54", got)
+	}
+	seen := map[string]bool{}
+	for _, c := range Countries() {
+		if len(c.ISO2) != 2 {
+			t.Errorf("bad ISO2 %q", c.ISO2)
+		}
+		if seen[c.ISO2] {
+			t.Errorf("duplicate ISO2 %q", c.ISO2)
+		}
+		seen[c.ISO2] = true
+		if c.Region == RegionUnknown {
+			t.Errorf("%s has unknown region", c.ISO2)
+		}
+		if c.Hub.Lat < -90 || c.Hub.Lat > 90 || c.Hub.Lng < -180 || c.Hub.Lng > 180 {
+			t.Errorf("%s has out-of-range hub %v", c.ISO2, c.Hub)
+		}
+		if c.Population <= 0 {
+			t.Errorf("%s has non-positive population", c.ISO2)
+		}
+	}
+}
+
+func TestRegionCounts(t *testing.T) {
+	want := map[Region]int{
+		AfricaNorthern: 6,
+		AfricaWestern:  16,
+		AfricaCentral:  9,
+		AfricaEastern:  17,
+		AfricaSouthern: 6,
+	}
+	for r, n := range want {
+		if got := len(CountriesIn(r)); got != n {
+			t.Errorf("%s: %d countries, want %d", r, got, n)
+		}
+	}
+}
+
+func TestRegionIsAfrica(t *testing.T) {
+	for _, r := range AfricanRegions() {
+		if !r.IsAfrica() {
+			t.Errorf("%s should be African", r)
+		}
+	}
+	for _, r := range []Region{Europe, NorthAmerica, SouthAmerica, AsiaPacific, RegionUnknown} {
+		if r.IsAfrica() {
+			t.Errorf("%s should not be African", r)
+		}
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if Europe.String() != "Europe" {
+		t.Errorf("Europe.String() = %q", Europe.String())
+	}
+	if Region(99).String() == "" {
+		t.Error("unknown region should still stringify")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	c, ok := Lookup("RW")
+	if !ok || c.Name != "Rwanda" {
+		t.Fatalf("Lookup(RW) = %v, %v", c, ok)
+	}
+	if _, ok := Lookup("XX"); ok {
+		t.Fatal("Lookup(XX) should fail")
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup should panic on unknown code")
+		}
+	}()
+	MustLookup("ZZ")
+}
+
+func TestDistanceKnownPairs(t *testing.T) {
+	cases := []struct {
+		a, b    string
+		km, tol float64
+	}{
+		{"ZA", "KE", 2900, 350}, // Johannesburg - Nairobi
+		{"NG", "GB", 5000, 500}, // Lagos - London
+		{"EG", "FR", 2700, 400}, // Cairo - Marseille
+		{"RW", "BI", 160, 100},  // Kigali - Bujumbura
+	}
+	for _, c := range cases {
+		d := DistanceKm(MustLookup(c.a).Hub, MustLookup(c.b).Hub)
+		if math.Abs(d-c.km) > c.tol {
+			t.Errorf("distance %s-%s = %.0f km, want %.0f±%.0f", c.a, c.b, d, c.km, c.tol)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	// Symmetry and identity, over random coordinates.
+	f := func(lat1, lng1, lat2, lng2 float64) bool {
+		a := Coord{Lat: math.Mod(lat1, 90), Lng: math.Mod(lng1, 180)}
+		b := Coord{Lat: math.Mod(lat2, 90), Lng: math.Mod(lng2, 180)}
+		d1 := DistanceKm(a, b)
+		d2 := DistanceKm(b, a)
+		return d1 >= 0 && math.Abs(d1-d2) < 1e-6 && DistanceKm(a, a) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	cs := Countries()
+	for i := 0; i < len(cs)-2; i += 3 {
+		a, b, c := cs[i].Hub, cs[i+1].Hub, cs[i+2].Hub
+		if DistanceKm(a, c) > DistanceKm(a, b)+DistanceKm(b, c)+1e-6 {
+			t.Errorf("triangle inequality violated for %s %s %s", cs[i].ISO2, cs[i+1].ISO2, cs[i+2].ISO2)
+		}
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	if d := PropagationDelayMs(200); math.Abs(d-1.0) > 1e-9 {
+		t.Errorf("200 km should be 1 ms, got %v", d)
+	}
+	if d := PropagationDelayMs(0); d != 0 {
+		t.Errorf("0 km should be 0 ms, got %v", d)
+	}
+}
+
+func TestCountriesStableOrder(t *testing.T) {
+	a := Countries()
+	b := Countries()
+	for i := range a {
+		if a[i].ISO2 != b[i].ISO2 {
+			t.Fatal("Countries() order is not stable")
+		}
+	}
+	// Mutating the returned slice must not affect the gazetteer.
+	a[0] = nil
+	if Countries()[0] == nil {
+		t.Fatal("Countries() exposes internal storage")
+	}
+}
+
+func TestAllRegionsCoversEveryCountry(t *testing.T) {
+	total := 0
+	for _, r := range AllRegions() {
+		total += len(CountriesIn(r))
+	}
+	if total != len(Countries()) {
+		t.Fatalf("regions cover %d countries, gazetteer has %d", total, len(Countries()))
+	}
+}

@@ -1,0 +1,101 @@
+package geoloc
+
+import (
+	"testing"
+
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/metrics"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+var (
+	testTopo = topology.Generate(topology.DefaultParams())
+	testDB   = New(testTopo, 42)
+)
+
+func TestLookupDeterministic(t *testing.T) {
+	addr := testTopo.ASes[36924].Prefixes[0].Nth(77)
+	a, ok1 := testDB.Lookup(addr)
+	b, ok2 := testDB.Lookup(addr)
+	if !ok1 || !ok2 || a != b {
+		t.Fatal("lookup not deterministic")
+	}
+}
+
+func TestLookupUnknownAddr(t *testing.T) {
+	if _, ok := testDB.Lookup(1); ok {
+		t.Fatal("unknown address should not resolve")
+	}
+}
+
+func TestErrorProfileGap(t *testing.T) {
+	// The Africa-vs-Europe error gap is the paper's Section 6.2 premise.
+	collect := func(region geo.Region) []float64 {
+		var errs []float64
+		for _, asn := range testTopo.ASNs() {
+			as := testTopo.ASes[asn]
+			if as.Region != region || as.Type == topology.ASIXPRouteServer {
+				continue
+			}
+			for i := uint64(0); i < 8; i++ {
+				if res, ok := testDB.Lookup(as.Prefixes[0].Nth(100 + i*37)); ok {
+					errs = append(errs, res.ErrorKM)
+				}
+			}
+		}
+		return errs
+	}
+	euMed := metrics.Median(collect(geo.Europe))
+	westMed := metrics.Median(collect(geo.AfricaWestern))
+	if euMed <= 0 || westMed <= 0 {
+		t.Fatal("no samples")
+	}
+	if westMed < euMed*3 {
+		t.Fatalf("West African median error (%.0f km) should dwarf Europe's (%.0f km)", westMed, euMed)
+	}
+}
+
+func TestMostLookupsKeepCountry(t *testing.T) {
+	right, total := 0, 0
+	for _, asn := range testTopo.ASNs() {
+		as := testTopo.ASes[asn]
+		if as.Type == topology.ASIXPRouteServer {
+			continue
+		}
+		res, ok := testDB.Lookup(as.Prefixes[0].Nth(50))
+		if !ok {
+			continue
+		}
+		total++
+		if res.Country == as.Country {
+			right++
+		}
+	}
+	if share := float64(right) / float64(total); share < 0.7 {
+		t.Fatalf("country accuracy %.2f too low — the model should be wrong sometimes, not usually", share)
+	}
+}
+
+func TestIXPLANGeolocates(t *testing.T) {
+	x := testTopo.IXPs[testTopo.IXPIDs()[0]]
+	res, ok := testDB.Lookup(x.LAN.Nth(2))
+	if !ok {
+		t.Fatal("LAN address should geolocate")
+	}
+	if res.Country == "" {
+		t.Fatal("no claimed country")
+	}
+}
+
+func TestCoordinatesInRange(t *testing.T) {
+	for _, asn := range testTopo.ASNs() {
+		as := testTopo.ASes[asn]
+		res, ok := testDB.Lookup(as.Prefixes[0].Nth(9))
+		if !ok {
+			continue
+		}
+		if res.Coord.Lat < -90 || res.Coord.Lat > 90 || res.Coord.Lng < -180 || res.Coord.Lng > 180 {
+			t.Fatalf("coordinate out of range: %+v", res.Coord)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package ixp
+
+import (
+	"sort"
+
+	"github.com/afrinet/observatory/internal/registry"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// CoverResult is the outcome of the greedy set-cover placement analysis.
+type CoverResult struct {
+	// Chosen lists the selected vantage ASNs in pick order.
+	Chosen []topology.ASN
+	// CoveredBy maps each exchange to the chosen ASN that covers it.
+	CoveredBy map[topology.IXPID]topology.ASN
+	// Uncovered lists exchanges no candidate ASN is a member of.
+	Uncovered []topology.IXPID
+	// Universe is the number of exchanges in scope.
+	Universe int
+}
+
+// GreedySetCover selects a minimal-ish set of member ASNs such that
+// every exchange in the directory slice has at least one selected member
+// — the paper's method for choosing observatory vantage networks
+// ("a minimal set of 34 ASNs that jointly cover all 77 African IXPs").
+// Ties break toward the lower ASN so results are deterministic.
+func GreedySetCover(dir []registry.IXPRecord) CoverResult {
+	res := CoverResult{
+		CoveredBy: make(map[topology.IXPID]topology.ASN),
+		Universe:  len(dir),
+	}
+
+	memberships := make(map[topology.ASN]map[topology.IXPID]bool)
+	uncovered := make(map[topology.IXPID]bool, len(dir))
+	for _, rec := range dir {
+		uncovered[rec.ID] = true
+		for _, a := range rec.Members {
+			m := memberships[a]
+			if m == nil {
+				m = make(map[topology.IXPID]bool)
+				memberships[a] = m
+			}
+			m[rec.ID] = true
+		}
+	}
+
+	candidates := make([]topology.ASN, 0, len(memberships))
+	for a := range memberships {
+		candidates = append(candidates, a)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+
+	for len(uncovered) > 0 {
+		var best topology.ASN
+		bestGain := 0
+		for _, a := range candidates {
+			gain := 0
+			for id := range memberships[a] {
+				if uncovered[id] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain, best = gain, a
+			}
+		}
+		if bestGain == 0 {
+			break // remaining exchanges have no candidate members
+		}
+		res.Chosen = append(res.Chosen, best)
+		for id := range memberships[best] {
+			if uncovered[id] {
+				delete(uncovered, id)
+				res.CoveredBy[id] = best
+			}
+		}
+	}
+
+	for id := range uncovered {
+		res.Uncovered = append(res.Uncovered, id)
+	}
+	sort.Slice(res.Uncovered, func(i, j int) bool { return res.Uncovered[i] < res.Uncovered[j] })
+	return res
+}
+
+// CoverageOf reports how many exchanges of the directory a given vantage
+// set covers through membership.
+func CoverageOf(dir []registry.IXPRecord, vantages []topology.ASN) int {
+	vs := make(map[topology.ASN]bool, len(vantages))
+	for _, v := range vantages {
+		vs[v] = true
+	}
+	n := 0
+	for _, rec := range dir {
+		for _, m := range rec.Members {
+			if vs[m] {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

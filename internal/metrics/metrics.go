@@ -1,0 +1,141 @@
+// Package metrics provides the small statistical toolkit the experiment
+// drivers share: empirical CDFs, quantiles, shares, and bootstrap
+// confidence intervals.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0<=q<=1) with linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median is Quantile(xs, 0.5).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Share returns num/den as a fraction, 0 when den is 0.
+func Share(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Pct formats a fraction as "12.3%".
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// CDF is an empirical cumulative distribution.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF over the samples.
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Points returns n evenly spaced (x, P(X<=x)) pairs for plotting.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x := lo
+		if n > 1 {
+			x = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		out = append(out, [2]float64{x, c.At(x)})
+	}
+	return out
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// mean at the given confidence level (e.g. 0.95), using the provided
+// seed for reproducibility.
+func BootstrapCI(xs []float64, level float64, rounds int, seed int64) (lo, hi float64) {
+	if len(xs) == 0 || rounds <= 0 {
+		return 0, 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, rounds)
+	for r := 0; r < rounds; r++ {
+		var s float64
+		for i := 0; i < len(xs); i++ {
+			s += xs[rng.Intn(len(xs))]
+		}
+		means[r] = s / float64(len(xs))
+	}
+	alpha := (1 - level) / 2
+	return Quantile(means, alpha), Quantile(means, 1-alpha)
+}
+
+// Histogram counts samples into equal-width bins across [min,max].
+func Histogram(xs []float64, min, max float64, bins int) []int {
+	out := make([]int, bins)
+	if bins <= 0 || max <= min {
+		return out
+	}
+	w := (max - min) / float64(bins)
+	for _, x := range xs {
+		i := int((x - min) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		out[i]++
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+	if Median([]float64{9}) != 9 {
+		t.Fatal("single-element median")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestQuantileMonotonicProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		for i := range raw {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				return true
+			}
+		}
+		return Quantile(raw, qa) <= Quantile(raw, qb)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShareAndPct(t *testing.T) {
+	if Share(1, 4) != 0.25 || Share(3, 0) != 0 {
+		t.Fatal("share math wrong")
+	}
+	if Pct(0.123) != "12.3%" {
+		t.Fatalf("Pct = %q", Pct(0.123))
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 4})
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 0.75}, {4, 1}, {9, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatal("len wrong")
+	}
+	pts := c.Points(5)
+	if len(pts) != 5 || pts[0][0] != 1 || pts[4][0] != 4 {
+		t.Fatalf("points = %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][1] < pts[i-1][1] {
+			t.Fatal("CDF points not monotone")
+		}
+	}
+	if NewCDF(nil).At(1) != 0 {
+		t.Fatal("empty CDF should be 0 everywhere")
+	}
+}
+
+func TestCDFMatchesSortProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c := NewCDF(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		// At(max) is 1; At(just below min) is 0.
+		below := math.Nextafter(sorted[0], math.Inf(-1))
+		return c.At(sorted[len(sorted)-1]) == 1 && c.At(below) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	lo, hi := BootstrapCI(xs, 0.95, 200, 1)
+	mean := Mean(xs)
+	if !(lo <= mean && mean <= hi) {
+		t.Fatalf("CI [%v,%v] excludes mean %v", lo, hi, mean)
+	}
+	if lo2, hi2 := BootstrapCI(xs, 0.95, 200, 1); lo2 != lo || hi2 != hi {
+		t.Fatal("bootstrap not deterministic for fixed seed")
+	}
+	if lo, hi := BootstrapCI(nil, 0.95, 10, 1); lo != 0 || hi != 0 {
+		t.Fatal("empty bootstrap should be zero")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 1, 2, 3, 9, 100, -5}, 0, 10, 5)
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != 7 {
+		t.Fatalf("histogram dropped samples: %v", h)
+	}
+	if h[0] != 3 { // -5 clamps in, 0 and 1 in first bin [0,2)
+		t.Fatalf("first bin = %d: %v", h[0], h)
+	}
+	if h[4] != 2 { // 9 and the clamped 100
+		t.Fatalf("last bin = %d: %v", h[4], h)
+	}
+	if got := Histogram(nil, 0, 0, 0); len(got) != 0 {
+		t.Fatal("degenerate histogram")
+	}
+}

@@ -1,0 +1,80 @@
+package netsim
+
+import (
+	"sort"
+
+	"github.com/afrinet/observatory/internal/netx"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// Anycast support: a service prefix announced simultaneously from
+// several origin networks. BGP routes each source to its
+// policy-nearest origin, so probes from different vantages land on
+// different instances — the behaviour MAnycast-style censuses detect
+// (Section 7.2 lists anycast research among the observatory's intended
+// workloads).
+
+// anycastService is one announced service.
+type anycastService struct {
+	prefix  netx.Prefix
+	origins []topology.ASN
+}
+
+// AnnounceAnycast registers a service prefix announced by all origins.
+// The prefix must not collide with allocated unicast space or exchange
+// LANs; origins must exist. Announcements persist until the Net is
+// discarded.
+func (n *Net) AnnounceAnycast(p netx.Prefix, origins []topology.ASN) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	os := append([]topology.ASN(nil), origins...)
+	sort.Slice(os, func(i, j int) bool { return os[i] < os[j] })
+	n.anycast = append(n.anycast, anycastService{prefix: p, origins: os})
+}
+
+// anycastFor returns the service covering addr, if any. Must hold n.mu.
+func (n *Net) anycastFor(a netx.Addr) *anycastService {
+	for i := range n.anycast {
+		if n.anycast[i].prefix.Contains(a) {
+			return &n.anycast[i]
+		}
+	}
+	return nil
+}
+
+// anycastOrigin picks the instance BGP would deliver src's packets to:
+// the origin with the best (shortest, tie-broken lowest-ASN) policy
+// route from src. Must hold n.mu; uses the router's own locking.
+func (n *Net) anycastOrigin(src topology.ASN, svc *anycastService) (topology.ASN, bool) {
+	best := topology.ASN(0)
+	bestLen := 1 << 30
+	for _, o := range svc.origins {
+		path, ok := n.router.Path(src, o)
+		if !ok {
+			continue
+		}
+		if path.Len() < bestLen || (path.Len() == bestLen && o < best) {
+			best, bestLen = o, path.Len()
+		}
+	}
+	return best, best != 0
+}
+
+// AnycastInstanceFor exposes the instance selection (ground truth for
+// census evaluation).
+func (n *Net) AnycastInstanceFor(src topology.ASN, a netx.Addr) (topology.ASN, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	svc := n.anycastFor(a)
+	if svc == nil {
+		return 0, false
+	}
+	return n.anycastOrigin(src, svc)
+}
+
+// IsAnycast reports whether addr falls in an announced anycast prefix.
+func (n *Net) IsAnycast(a netx.Addr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.anycastFor(a) != nil
+}

@@ -1,0 +1,29 @@
+package netsim
+
+// Deterministic per-event randomness. Every stochastic decision in the
+// data plane (hop response, jitter, loss) is a pure function of the
+// network seed and the event coordinates, so repeated measurements of an
+// unchanged network return identical results and the whole repository is
+// reproducible run-to-run.
+
+// splitmix64 is the SplitMix64 finalizer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix folds any number of values into one 64-bit hash.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x8445d61a4e774912)
+	for _, v := range vals {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// float01 maps a hash to [0,1).
+func float01(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,308 @@
+// Package netsim is the data plane of the synthetic Internet: it expands
+// BGP AS-level paths into router-level traceroutes with realistic
+// addressing (including IXP peering-LAN hops), models latency from the
+// physical realization of each link over cables and terrestrial routes,
+// and applies failures (cable cuts) with re-realization, congestion, and
+// loss — the dynamics behind the paper's outage analysis.
+package netsim
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/afrinet/observatory/internal/bgp"
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/netx"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// Net is a simulated data plane over a topology and its routing.
+type Net struct {
+	topo   *topology.Topology
+	router *bgp.Router
+	seed   uint64
+
+	mu sync.Mutex
+	// conduitDown marks failed physical segments (by cable cuts).
+	conduitDown map[topology.ConduitID]bool
+	// cutCables tracks which cables are currently cut.
+	cutCables map[topology.CableID]bool
+	// repath caches re-realized physical paths for links whose default
+	// realization crosses a failed conduit. A nil entry means the link
+	// is physically down.
+	repath map[topology.LinkID][]topology.Segment
+	// loads counts links realized over each conduit (for congestion).
+	loads map[topology.ConduitID]int
+	// addrIndex maps addresses back to owning AS (including IXP LANs).
+	addrIndex *netx.Trie[topology.ASN]
+	ixpByLAN  *netx.Trie[topology.IXPID]
+	// anycast services (see anycast.go).
+	anycast []anycastService
+}
+
+// New builds a data plane with all conduits up. The seed drives all
+// per-event randomness (jitter, response probabilities).
+func New(t *topology.Topology, r *bgp.Router, seed int64) *Net {
+	n := &Net{
+		topo:        t,
+		router:      r,
+		seed:        uint64(seed),
+		conduitDown: make(map[topology.ConduitID]bool),
+		cutCables:   make(map[topology.CableID]bool),
+		repath:      make(map[topology.LinkID][]topology.Segment),
+		addrIndex:   &netx.Trie[topology.ASN]{},
+		ixpByLAN:    &netx.Trie[topology.IXPID]{},
+	}
+	for _, asn := range t.ASNs() {
+		for _, p := range t.ASes[asn].Prefixes {
+			n.addrIndex.Insert(p, asn)
+		}
+	}
+	for _, id := range t.IXPIDs() {
+		n.ixpByLAN.Insert(t.IXPs[id].LAN, id)
+	}
+	n.recomputeLoads()
+	return n
+}
+
+// Topology returns the underlying topology.
+func (n *Net) Topology() *topology.Topology { return n.topo }
+
+// Router returns the underlying routing engine.
+func (n *Net) Router() *bgp.Router { return n.router }
+
+// OwnerOf maps an address to the AS owning its covering prefix.
+func (n *Net) OwnerOf(a netx.Addr) (topology.ASN, bool) { return n.addrIndex.Lookup(a) }
+
+// IXPOf maps an address to the IXP whose peering LAN contains it.
+func (n *Net) IXPOf(a netx.Addr) (topology.IXPID, bool) { return n.ixpByLAN.Lookup(a) }
+
+// HostAddr returns the i-th host address inside an AS (i small).
+func (n *Net) HostAddr(asn topology.ASN, i int) netx.Addr {
+	as := n.topo.ASes[asn]
+	if as == nil || len(as.Prefixes) == 0 {
+		return 0
+	}
+	p := as.Prefixes[i%len(as.Prefixes)]
+	return p.Nth(uint64(256 + i))
+}
+
+// RouterAddr returns the address of one of an AS's backbone routers.
+func (n *Net) RouterAddr(asn topology.ASN, i int) netx.Addr {
+	as := n.topo.ASes[asn]
+	if as == nil || len(as.Prefixes) == 0 {
+		return 0
+	}
+	return as.Prefixes[0].Nth(uint64(1 + i%64))
+}
+
+// --- Failures ---------------------------------------------------------
+
+// CutCable fails every segment of the cable and recomputes link
+// realizations and routing.
+func (n *Net) CutCable(id topology.CableID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cutCables[id] {
+		return
+	}
+	n.cutCables[id] = true
+	for i := range n.topo.Conduits {
+		c := &n.topo.Conduits[i]
+		if c.Cable == id {
+			n.conduitDown[c.ID] = true
+		}
+	}
+	n.reRealize()
+}
+
+// RestoreCable repairs the cable's segments.
+func (n *Net) RestoreCable(id topology.CableID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.cutCables[id] {
+		return
+	}
+	delete(n.cutCables, id)
+	for i := range n.topo.Conduits {
+		c := &n.topo.Conduits[i]
+		if c.Cable == id {
+			delete(n.conduitDown, c.ID)
+		}
+	}
+	n.reRealize()
+}
+
+// RestoreAll repairs everything.
+func (n *Net) RestoreAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cutCables = make(map[topology.CableID]bool)
+	n.conduitDown = make(map[topology.ConduitID]bool)
+	n.reRealize()
+}
+
+// CutCables returns the currently-cut cables, sorted.
+func (n *Net) CutCables() []topology.CableID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]topology.CableID, 0, len(n.cutCables))
+	for id := range n.cutCables {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// reRealize recomputes effective physical paths for all links after a
+// failure change, and feeds physically-dead links to the BGP layer.
+// Must be called with n.mu held.
+func (n *Net) reRealize() {
+	n.repath = make(map[topology.LinkID][]topology.Segment)
+	up := func(id topology.ConduitID) bool { return !n.conduitDown[id] }
+	realizer := topology.NewRealizer(n.topo, up)
+	var dead []topology.LinkID
+	for i := range n.topo.Links {
+		l := &n.topo.Links[i]
+		uses := false
+		for _, s := range l.Path {
+			if n.conduitDown[s.Conduit] {
+				uses = true
+				break
+			}
+		}
+		if !uses {
+			continue // default path intact
+		}
+		segs, ok := topology.RealizeLink(realizer, n.topo, l)
+		if !ok {
+			n.repath[l.ID] = nil
+			dead = append(dead, l.ID)
+			continue
+		}
+		n.repath[l.ID] = segs
+	}
+	// Apply to routing: exactly the physically-dead links are down.
+	n.router.ResetFailures()
+	if len(dead) > 0 {
+		n.router.SetLinksDown(dead, true)
+	}
+	n.recomputeLoads()
+}
+
+// effectivePath returns the link's current physical realization and
+// whether the link is up. Must be called with n.mu held.
+func (n *Net) effectivePath(l *topology.Link) ([]topology.Segment, bool) {
+	if segs, ok := n.repath[l.ID]; ok {
+		return segs, segs != nil
+	}
+	return l.Path, true
+}
+
+// recomputeLoads counts how many links ride each conduit. Must be called
+// with n.mu held.
+func (n *Net) recomputeLoads() {
+	loads := make(map[topology.ConduitID]int)
+	for i := range n.topo.Links {
+		l := &n.topo.Links[i]
+		segs, okUp := n.effectivePath(l)
+		if !okUp {
+			continue
+		}
+		for _, s := range segs {
+			loads[s.Conduit]++
+		}
+	}
+	n.loads = loads
+}
+
+// conduitPenalty returns added one-way delay (ms) and loss probability
+// for one conduit under current load. A conduit carrying more links than
+// its capacity is congested — the "over-subscribed backup" effect the
+// paper describes during cable cuts.
+func (n *Net) conduitPenalty(id topology.ConduitID) (delayMs, loss float64) {
+	c := n.topo.ConduitByID(id)
+	if c == nil || c.Capacity <= 0 {
+		return 0, 0
+	}
+	ratio := float64(n.loads[id]) / c.Capacity
+	if ratio <= 1 {
+		return 0, 0
+	}
+	over := ratio - 1
+	delayMs = 40 * over
+	if delayMs > 200 {
+		delayMs = 200
+	}
+	loss = 0.5 * over
+	if loss > 0.9 {
+		loss = 0.9
+	}
+	return delayMs, loss
+}
+
+// LinkUp reports whether a link currently has a physical realization.
+func (n *Net) LinkUp(id topology.LinkID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	segs, ok := n.repath[id]
+	if !ok {
+		return true
+	}
+	return segs != nil
+}
+
+// CablesOnLink returns the cables carrying the link's *current*
+// realization (ground truth for cable-inference experiments).
+func (n *Net) CablesOnLink(id topology.LinkID) []topology.CableID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.topo.Link(id)
+	segs, up := n.effectivePath(l)
+	if !up {
+		return nil
+	}
+	seen := map[topology.CableID]bool{}
+	var out []topology.CableID
+	for _, s := range segs {
+		c := n.topo.ConduitByID(s.Conduit)
+		if c != nil && c.IsSubsea() && !seen[c.Cable] {
+			seen[c.Cable] = true
+			out = append(out, c.Cable)
+		}
+	}
+	return out
+}
+
+// linkLatency returns the one-way propagation+processing delay and the
+// compound congestion loss for a link under current conditions.
+// Must be called with n.mu held.
+func (n *Net) linkLatency(l *topology.Link) (ms float64, loss float64, up bool) {
+	segs, okUp := n.effectivePath(l)
+	if !okUp {
+		return 0, 1, false
+	}
+	var km float64
+	if len(segs) == 0 {
+		switch {
+		case l.Via != 0:
+			km = 20 // both ports at the exchange: metro cross-connect
+		default:
+			a, b := n.topo.Country(l.A), n.topo.Country(l.B)
+			if a != nil && b != nil && a.ISO2 != b.ISO2 {
+				km = geo.DistanceKm(a.Hub, b.Hub) * 1.4
+			} else {
+				km = 150 // domestic metro haul
+			}
+		}
+	}
+	pass := 1.0
+	for _, s := range segs {
+		km += s.KM
+		d, p := n.conduitPenalty(s.Conduit)
+		ms += d
+		pass *= 1 - p
+	}
+	ms += geo.PropagationDelayMs(km)
+	return ms, 1 - pass, true
+}

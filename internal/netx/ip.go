@@ -1,0 +1,146 @@
+// Package netx provides the IPv4 building blocks the simulator and the
+// measurement tools share: 32-bit addresses, CIDR prefixes, a
+// longest-prefix-match trie, and sequential address allocation.
+//
+// The simulator keeps addresses as uint32 throughout; conversion to
+// net/netip types happens only at the edges (wire formats, logs).
+package netx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// ParseAddr parses dotted-quad notation.
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netx: bad address %q", s)
+	}
+	var a uint32
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("netx: bad address %q", s)
+		}
+		a = a<<8 | uint32(n)
+	}
+	return Addr(a), nil
+}
+
+// MustParseAddr is ParseAddr for literals; it panics on error.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String formats the address as dotted-quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Prefix is an IPv4 CIDR prefix. The base address is kept masked.
+type Prefix struct {
+	base Addr
+	bits int
+}
+
+// MakePrefix returns the prefix containing addr with the given length,
+// masking host bits.
+func MakePrefix(addr Addr, bits int) Prefix {
+	if bits < 0 || bits > 32 {
+		panic(fmt.Sprintf("netx: bad prefix length %d", bits))
+	}
+	return Prefix{base: addr & maskFor(bits), bits: bits}
+}
+
+// ParsePrefix parses "a.b.c.d/len".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("netx: bad prefix %q", s)
+	}
+	addr, err := ParseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("netx: bad prefix %q", s)
+	}
+	return MakePrefix(addr, bits), nil
+}
+
+// MustParsePrefix is ParsePrefix for literals; it panics on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func maskFor(bits int) Addr {
+	if bits == 0 {
+		return 0
+	}
+	return Addr(^uint32(0) << (32 - bits))
+}
+
+// Base returns the (masked) network address.
+func (p Prefix) Base() Addr { return p.base }
+
+// Bits returns the prefix length.
+func (p Prefix) Bits() int { return p.bits }
+
+// Size returns the number of addresses covered by the prefix.
+func (p Prefix) Size() uint64 { return 1 << (32 - uint(p.bits)) }
+
+// Contains reports whether addr is inside the prefix.
+func (p Prefix) Contains(addr Addr) bool { return addr&maskFor(p.bits) == p.base }
+
+// Overlaps reports whether the two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	if p.bits <= q.bits {
+		return p.Contains(q.base)
+	}
+	return q.Contains(p.base)
+}
+
+// Nth returns the i-th address of the prefix (0 = network address).
+// It panics when i is out of range, which indicates a bug in the caller's
+// allocation arithmetic.
+func (p Prefix) Nth(i uint64) Addr {
+	if i >= p.Size() {
+		panic(fmt.Sprintf("netx: address index %d out of range for %s", i, p))
+	}
+	return p.base + Addr(i)
+}
+
+// String formats the prefix in CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.base, p.bits) }
+
+// Subnets carves the prefix into consecutive subnets of length newBits.
+// It returns at most limit subnets (limit <= 0 means all).
+func (p Prefix) Subnets(newBits, limit int) []Prefix {
+	if newBits < p.bits || newBits > 32 {
+		panic(fmt.Sprintf("netx: cannot subnet %s into /%d", p, newBits))
+	}
+	n := 1 << uint(newBits-p.bits)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	step := Addr(1) << (32 - uint(newBits))
+	out := make([]Prefix, n)
+	for i := 0; i < n; i++ {
+		out[i] = Prefix{base: p.base + Addr(i)*step, bits: newBits}
+	}
+	return out
+}

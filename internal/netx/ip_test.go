@@ -1,0 +1,174 @@
+package netx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Addr
+		ok   bool
+	}{
+		{"0.0.0.0", 0, true},
+		{"255.255.255.255", 0xFFFFFFFF, true},
+		{"10.1.2.3", 0x0A010203, true},
+		{"196.60.0.1", Addr(196)<<24 | Addr(60)<<16 | 1, true},
+		{"1.2.3", 0, false},
+		{"1.2.3.4.5", 0, false},
+		{"256.1.1.1", 0, false},
+		{"-1.2.3.4", 0, false},
+		{"a.b.c.d", 0, false},
+		{"01.2.3.4", 0, false}, // leading zero rejected
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseAddr(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseAddr(%q) err=%v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		back, err := ParseAddr(addr.String())
+		return err == nil && back == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParseAddr("not-an-addr")
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	if p.Bits() != 8 || p.Base() != MustParseAddr("10.0.0.0") {
+		t.Fatalf("bad prefix %v", p)
+	}
+	if p.String() != "10.0.0.0/8" {
+		t.Fatalf("String = %q", p.String())
+	}
+	// Host bits are masked.
+	q := MustParsePrefix("10.1.2.3/8")
+	if q.Base() != p.Base() {
+		t.Fatalf("host bits not masked: %v", q)
+	}
+	for _, bad := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustParsePrefix("196.60.0.0/14")
+	if !p.Contains(MustParseAddr("196.60.0.1")) || !p.Contains(MustParseAddr("196.63.255.255")) {
+		t.Fatal("Contains misses in-range addresses")
+	}
+	if p.Contains(MustParseAddr("196.64.0.0")) || p.Contains(MustParseAddr("196.59.255.255")) {
+		t.Fatal("Contains accepts out-of-range addresses")
+	}
+	all := MustParsePrefix("0.0.0.0/0")
+	if !all.Contains(MustParseAddr("255.1.2.3")) {
+		t.Fatal("/0 should contain everything")
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustParsePrefix("10.0.0.0/8")
+	b := MustParsePrefix("10.5.0.0/16")
+	c := MustParsePrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("nested prefixes should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint prefixes should not overlap")
+	}
+	if !a.Overlaps(a) {
+		t.Fatal("prefix should overlap itself")
+	}
+}
+
+func TestPrefixSizeAndNth(t *testing.T) {
+	p := MustParsePrefix("192.168.1.0/24")
+	if p.Size() != 256 {
+		t.Fatalf("/24 size = %d", p.Size())
+	}
+	if p.Nth(0) != MustParseAddr("192.168.1.0") || p.Nth(255) != MustParseAddr("192.168.1.255") {
+		t.Fatal("Nth endpoints wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Nth out of range should panic")
+		}
+	}()
+	p.Nth(256)
+}
+
+func TestSubnets(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/22")
+	subs := p.Subnets(24, 0)
+	if len(subs) != 4 {
+		t.Fatalf("got %d /24s, want 4", len(subs))
+	}
+	want := []string{"10.0.0.0/24", "10.0.1.0/24", "10.0.2.0/24", "10.0.3.0/24"}
+	for i, s := range subs {
+		if s.String() != want[i] {
+			t.Errorf("subnet %d = %s, want %s", i, s, want[i])
+		}
+	}
+	if got := p.Subnets(24, 2); len(got) != 2 {
+		t.Fatalf("limit ignored: %d", len(got))
+	}
+	// Same-length subnetting returns the prefix itself.
+	if got := p.Subnets(22, 0); len(got) != 1 || got[0] != p {
+		t.Fatalf("self subnetting = %v", got)
+	}
+}
+
+func TestSubnetsPanicsOnWidening(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParsePrefix("10.0.0.0/24").Subnets(8, 0)
+}
+
+func TestSubnetsDisjointProperty(t *testing.T) {
+	f := func(base uint32, extraBits uint8) bool {
+		bits := 8 + int(extraBits%12) // /8../19
+		newBits := bits + 1 + int(extraBits%3)
+		p := MakePrefix(Addr(base), bits)
+		subs := p.Subnets(newBits, 16)
+		for i := range subs {
+			if !p.Contains(subs[i].Base()) {
+				return false
+			}
+			for j := i + 1; j < len(subs); j++ {
+				if subs[i].Overlaps(subs[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

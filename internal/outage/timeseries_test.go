@@ -1,0 +1,133 @@
+package outage
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrafficSeriesShape(t *testing.T) {
+	s := TrafficSeries("KE", 14, nil, DefaultSeriesParams(), 1)
+	if len(s) != 14*24 {
+		t.Fatalf("series length = %d", len(s))
+	}
+	var sum float64
+	for _, p := range s {
+		if p.Volume <= 0 {
+			t.Fatalf("non-positive volume at hour %d", p.Hour)
+		}
+		sum += p.Volume
+	}
+	mean := sum / float64(len(s))
+	if mean < 0.8 || mean > 1.2 {
+		t.Fatalf("series mean = %.2f, want ~1", mean)
+	}
+	// Diurnal structure: evening beats pre-dawn on average.
+	var evening, dawn float64
+	n := 0
+	for day := 0; day < 14; day++ {
+		evening += s[day*24+20].Volume
+		dawn += s[day*24+4].Volume
+		n++
+	}
+	if evening/float64(n) <= dawn/float64(n) {
+		t.Fatal("no diurnal cycle")
+	}
+}
+
+func TestTrafficSeriesDeterministic(t *testing.T) {
+	a := TrafficSeries("NG", 7, nil, DefaultSeriesParams(), 5)
+	b := TrafficSeries("NG", 7, nil, DefaultSeriesParams(), 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("series not deterministic")
+		}
+	}
+	c := TrafficSeries("GH", 7, nil, DefaultSeriesParams(), 5)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different countries should see different noise")
+	}
+}
+
+func TestTrafficSeriesAppliesImpacts(t *testing.T) {
+	imp := []CountryImpact{{Country: "SN", StartDay: 3, Duration: 2, Drop: 0.8}}
+	with := TrafficSeries("SN", 10, imp, DefaultSeriesParams(), 1)
+	without := TrafficSeries("SN", 10, nil, DefaultSeriesParams(), 1)
+	inWindow := with[3*24+5].Volume / without[3*24+5].Volume
+	if math.Abs(inWindow-0.2) > 1e-9 {
+		t.Fatalf("impact not applied: ratio %.3f", inWindow)
+	}
+	if with[24].Volume != without[24].Volume {
+		t.Fatal("impact leaked outside its window")
+	}
+	// Impacts for other countries must not apply.
+	other := TrafficSeries("SN", 10, []CountryImpact{{Country: "ML", StartDay: 3, Duration: 2, Drop: 0.8}},
+		DefaultSeriesParams(), 1)
+	if other[3*24+5].Volume != without[3*24+5].Volume {
+		t.Fatal("impact applied to the wrong country")
+	}
+}
+
+func TestSeriesDetectorFindsOutage(t *testing.T) {
+	imp := []CountryImpact{{Country: "SN", StartDay: 5, Duration: 1.5, Drop: 0.7}}
+	series := TrafficSeries("SN", 21, imp, DefaultSeriesParams(), 1)
+	windows := NewSeriesDetector().Detect("SN", series)
+	if len(windows) == 0 {
+		t.Fatal("missed a 70% 36-hour outage")
+	}
+	w := windows[0]
+	start, end := 5*24, 5*24+36
+	if w.StartHour > start+6 || w.EndHour < end-6 {
+		t.Fatalf("window [%d,%d) misaligned with truth [%d,%d)", w.StartHour, w.EndHour, start, end)
+	}
+	if w.Depth < 0.4 {
+		t.Fatalf("depth %.2f too shallow", w.Depth)
+	}
+}
+
+func TestSeriesDetectorIgnoresNoise(t *testing.T) {
+	series := TrafficSeries("KE", 28, nil, DefaultSeriesParams(), 1)
+	if ws := NewSeriesDetector().Detect("KE", series); len(ws) != 0 {
+		t.Fatalf("false positives on clean series: %+v", ws)
+	}
+}
+
+func TestSeriesDetectorMissesShortBlips(t *testing.T) {
+	// A one-hour blip stays under MinHours.
+	imp := []CountryImpact{{Country: "KE", StartDay: 2, Duration: 1.0 / 24, Drop: 0.9}}
+	series := TrafficSeries("KE", 14, imp, DefaultSeriesParams(), 1)
+	for _, w := range NewSeriesDetector().Detect("KE", series) {
+		if w.StartHour/24 == 2 {
+			t.Fatal("detector should miss sub-threshold-duration blips")
+		}
+	}
+}
+
+func TestSeriesDetectorEmpty(t *testing.T) {
+	if ws := NewSeriesDetector().Detect("X", nil); ws != nil {
+		t.Fatal("empty series should detect nothing")
+	}
+}
+
+func TestRunRadar(t *testing.T) {
+	m := NewModel(testNet, 42)
+	rep := m.RunRadar(120, 7)
+	if len(rep.Impacts) == 0 {
+		t.Fatal("no impacts over four months")
+	}
+	if len(rep.Detected) == 0 {
+		t.Fatal("detector found nothing")
+	}
+	if rep.Recall < 0.5 {
+		t.Fatalf("recall %.2f; the detector should catch most sustained outages", rep.Recall)
+	}
+	if rep.Recall > 0 && rep.MeanDurationError > 3 {
+		t.Fatalf("duration error %.1f days too large", rep.MeanDurationError)
+	}
+}

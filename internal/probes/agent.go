@@ -1,0 +1,200 @@
+package probes
+
+import (
+	"fmt"
+
+	"github.com/afrinet/observatory/internal/content"
+	"github.com/afrinet/observatory/internal/dnssim"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// Interface names the agent's uplinks.
+type Interface string
+
+const (
+	IfaceWired    Interface = "wired"
+	IfaceCellular Interface = "cellular"
+)
+
+// PowerModel simulates intermittent grid power: the probe is off during
+// outage slots. Deterministic per (seed, probe, hour).
+type PowerModel struct {
+	seed uint64
+	// OutageProb is the chance any given hour has no grid power and no
+	// battery left.
+	OutageProb float64
+}
+
+// NewPowerModel builds a model with the given hourly outage probability.
+func NewPowerModel(seed int64, outageProb float64) *PowerModel {
+	return &PowerModel{seed: uint64(seed), OutageProb: outageProb}
+}
+
+func pmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Up reports whether the probe has power in the given absolute hour.
+func (p *PowerModel) Up(probeID string, hour int) bool {
+	if p == nil {
+		return true
+	}
+	h := p.seed
+	for _, c := range probeID {
+		h = pmix(h ^ uint64(c))
+	}
+	h = pmix(h ^ uint64(hour))
+	return float64(h>>11)/float64(1<<53) >= p.OutageProb
+}
+
+// Config describes one agent.
+type Config struct {
+	ID  string
+	ASN topology.ASN // hosting network
+	// HasWired is true when the site has fixed broadband; the cellular
+	// dongle is always present (mobile focus).
+	HasWired bool
+	// CellBudget meters the cellular interface; nil means unmetered.
+	CellBudget *Budget
+	// Power models grid reliability; nil means always up.
+	Power *PowerModel
+}
+
+// Agent executes measurement tasks against the simulated data plane.
+// It is the in-process equivalent of the observatory's probe binary;
+// cmd/obsprobe wraps it behind the HTTP task protocol.
+type Agent struct {
+	cfg Config
+	net *netsim.Net
+	dns *dnssim.System
+	web *content.System
+
+	// Hour is the agent's notion of time-of-day (advanced by the
+	// harness; no wall-clock dependence so runs are reproducible).
+	Hour int
+}
+
+// NewAgent builds an agent bound to the simulated plane. dns and web may
+// be nil when the agent only runs ping/traceroute work.
+func NewAgent(cfg Config, n *netsim.Net, dns *dnssim.System, web *content.System) *Agent {
+	return &Agent{cfg: cfg, net: n, dns: dns, web: web}
+}
+
+// ID returns the agent id.
+func (a *Agent) ID() string { return a.cfg.ID }
+
+// ASN returns the hosting network.
+func (a *Agent) ASN() topology.ASN { return a.cfg.ASN }
+
+// ErrPowerOut reports a probe offline due to a power outage.
+var ErrPowerOut = fmt.Errorf("probes: probe is down (power outage)")
+
+// Execute runs one task and returns its result. Interface selection is
+// cost-aware: wired when available (unmetered), else cellular within
+// budget; budget exhaustion fails the task rather than overspending.
+func (a *Agent) Execute(t Task) (Result, error) {
+	res := Result{TaskID: t.ID, Experiment: t.Experiment, ProbeID: a.cfg.ID, Kind: t.Kind}
+
+	if a.cfg.Power != nil && !a.cfg.Power.Up(a.cfg.ID, a.Hour) {
+		return res, ErrPowerOut
+	}
+
+	bytes := t.EstimatedBytes()
+	iface := IfaceWired
+	if !a.cfg.HasWired {
+		iface = IfaceCellular
+	}
+	if iface == IfaceCellular && a.cfg.CellBudget != nil {
+		cost := a.cfg.CellBudget.CostOf(bytes, a.Hour%24)
+		if err := a.cfg.CellBudget.Charge(bytes, a.Hour%24); err != nil {
+			res.Error = err.Error()
+			return res, err
+		}
+		res.CostPaid = cost
+	}
+	res.Interface = string(iface)
+	res.Bytes = bytes
+
+	switch t.Kind {
+	case TaskPing:
+		addr, err := t.TargetAddr()
+		if err != nil {
+			res.Error = err.Error()
+			return res, err
+		}
+		rtt, ok := a.net.Ping(a.cfg.ASN, addr)
+		res.OK = ok
+		res.RTTms = rtt
+	case TaskTraceroute:
+		addr, err := t.TargetAddr()
+		if err != nil {
+			res.Error = err.Error()
+			return res, err
+		}
+		tr := a.net.Traceroute(a.cfg.ASN, addr)
+		res.OK = tr.Reached
+		res.RTTms = tr.RTT
+		for _, h := range tr.Hops {
+			hr := HopRecord{TTL: h.TTL, RTT: h.RTT}
+			if h.Addr != 0 {
+				hr.Addr = h.Addr.String()
+			}
+			res.Hops = append(res.Hops, hr)
+		}
+	case TaskDNS:
+		if a.dns == nil {
+			res.Error = "agent has no dns engine"
+			return res, fmt.Errorf("probes: %s", res.Error)
+		}
+		r := a.dns.Resolve(a.cfg.ASN, t.Domain, t.OriginCountry)
+		res.OK = r.OK
+		res.RTTms = r.LatencyMs
+		res.ResolverKind = r.Resolver.Kind.String()
+		res.ResolverCountry = r.Resolver.Country
+		res.AuthCountry = r.Auth.Country
+		if !r.OK {
+			res.Error = r.FailReason
+		}
+	case TaskHTTPFetch:
+		if a.web == nil {
+			res.Error = "agent has no web engine"
+			return res, fmt.Errorf("probes: %s", res.Error)
+		}
+		site, ok := a.findSite(t.Domain, t.OriginCountry)
+		if !ok {
+			res.Error = "unknown site"
+			return res, fmt.Errorf("probes: unknown site %s", t.Domain)
+		}
+		f := a.web.Fetch(a.cfg.ASN, site)
+		res.OK = f.OK
+		res.RTTms = f.RTTms
+		res.ServedCountry = f.ServedCountry
+		res.ServedLocal = f.LocalToAfrica
+	default:
+		res.Error = "unknown task kind"
+		return res, fmt.Errorf("probes: unknown task kind %q", t.Kind)
+	}
+	return res, nil
+}
+
+func (a *Agent) findSite(domain, ctry string) (content.Site, bool) {
+	if ctry != "" {
+		for _, s := range a.web.Catalog().SitesFor(ctry) {
+			if s.Domain == domain {
+				return s, true
+			}
+		}
+	}
+	for _, c := range a.web.Catalog().Countries() {
+		for _, s := range a.web.Catalog().SitesFor(c) {
+			if s.Domain == domain {
+				return s, true
+			}
+		}
+	}
+	return content.Site{}, false
+}

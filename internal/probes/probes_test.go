@@ -1,0 +1,294 @@
+package probes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/afrinet/observatory/internal/bgp"
+	"github.com/afrinet/observatory/internal/content"
+	"github.com/afrinet/observatory/internal/dnssim"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+var (
+	testTopo = topology.Generate(topology.DefaultParams())
+	testNet  = netsim.New(testTopo, bgp.New(testTopo), 42)
+	testDNS  = dnssim.New(testNet, 42)
+	testWeb  = content.New(testNet, 42)
+)
+
+const kigali = topology.ASN(36924)
+
+func TestPerMB(t *testing.T) {
+	p := PerMB{RatePerMB: 0.5}
+	if got := p.Cost(0, 2<<20, 12); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("2 MB at 0.5 = %v", got)
+	}
+	if p.Cost(1<<30, 0, 0) != 0 {
+		t.Fatal("zero bytes should be free")
+	}
+}
+
+func TestPrepaidBundleBoundaries(t *testing.T) {
+	p := PrepaidBundle{BundleMB: 10, BundlePrice: 2}
+	mb := int64(1 << 20)
+	cases := []struct {
+		used, extra int64
+		want        float64
+	}{
+		{0, 1, 2},           // first byte buys the first bundle
+		{1, 9*mb - 1, 0},    // still inside bundle one
+		{9 * mb, 1 * mb, 0}, // exactly fills bundle one
+		{10 * mb, 1, 2},     // next byte buys bundle two
+		{0, 25 * mb, 6},     // three bundles at once
+		{5 * mb, 0, 0},      // nothing new
+	}
+	for _, c := range cases {
+		if got := p.Cost(c.used, c.extra, 0); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Cost(%d,%d) = %v, want %v", c.used, c.extra, got, c.want)
+		}
+	}
+}
+
+func TestPrepaidBundleMonotonic(t *testing.T) {
+	p := PrepaidBundle{BundleMB: 5, BundlePrice: 1}
+	f := func(used, extraA, extraB uint32) bool {
+		a, b := int64(extraA%(100<<20)), int64(extraB%(100<<20))
+		if a > b {
+			a, b = b, a
+		}
+		u := int64(used % (100 << 20))
+		return p.Cost(u, a, 0) <= p.Cost(u, b, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeOfDay(t *testing.T) {
+	p := TimeOfDay{PeakPerMB: 1.0, OffPeakPerMB: 0.1, OffPeakFrom: 22, OffPeakTo: 6}
+	mb := int64(1 << 20)
+	if got := p.Cost(0, mb, 12); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("noon cost = %v", got)
+	}
+	if got := p.Cost(0, mb, 23); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("night cost = %v", got)
+	}
+	if got := p.Cost(0, mb, 3); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("early-morning cost = %v (window wraps midnight)", got)
+	}
+	if got := p.Cost(0, mb, 6); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("hour 6 should be peak again, got %v", got)
+	}
+}
+
+func TestBudgetChargeAndExhaustion(t *testing.T) {
+	b := NewBudget(PerMB{RatePerMB: 1}, 2.0)
+	if err := b.Charge(1<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Spent() != 1 || b.Remaining() != 1 {
+		t.Fatalf("spent=%v remaining=%v", b.Spent(), b.Remaining())
+	}
+	if err := b.Charge(2<<20, 0); err != ErrBudgetExhausted {
+		t.Fatalf("over-budget charge err = %v", err)
+	}
+	// Failed charge leaves no side effects.
+	if b.Spent() != 1 || b.UsedBytes() != 1<<20 {
+		t.Fatal("failed charge mutated the budget")
+	}
+	if err := b.Charge(1<<20, 0); err != nil {
+		t.Fatal("exact-fit charge should succeed")
+	}
+}
+
+func TestTaskEstimatedBytes(t *testing.T) {
+	for _, k := range []TaskKind{TaskPing, TaskTraceroute, TaskDNS, TaskHTTPFetch} {
+		if (Task{Kind: k}).EstimatedBytes() <= 0 {
+			t.Fatalf("%s estimate not positive", k)
+		}
+	}
+	one := (Task{Kind: TaskPing, Repeat: 1}).EstimatedBytes()
+	three := (Task{Kind: TaskPing, Repeat: 3}).EstimatedBytes()
+	if three != 3*one {
+		t.Fatalf("repeat scaling wrong: %d vs %d", three, one)
+	}
+	if (Task{Kind: TaskHTTPFetch}).EstimatedBytes() <= (Task{Kind: TaskPing}).EstimatedBytes() {
+		t.Fatal("a fetch must cost more than a ping")
+	}
+}
+
+func newTestAgent(id string, wired bool, budget *Budget) *Agent {
+	return NewAgent(Config{ID: id, ASN: kigali, HasWired: wired, CellBudget: budget},
+		testNet, testDNS, testWeb)
+}
+
+func TestAgentExecutesEveryKind(t *testing.T) {
+	a := newTestAgent("p1", true, nil)
+	target := testNet.RouterAddr(15169, 0).String()
+	tasks := []Task{
+		{ID: "1", Kind: TaskPing, Target: target},
+		{ID: "2", Kind: TaskTraceroute, Target: target},
+		{ID: "3", Kind: TaskDNS, Domain: "site0.RW", OriginCountry: "RW"},
+		{ID: "4", Kind: TaskHTTPFetch, Domain: "site0.RW", OriginCountry: "RW"},
+	}
+	for _, task := range tasks {
+		res, err := a.Execute(task)
+		if err != nil {
+			t.Fatalf("%s: %v", task.Kind, err)
+		}
+		if res.Kind != task.Kind || res.Interface != string(IfaceWired) {
+			t.Fatalf("%s: malformed result %+v", task.Kind, res)
+		}
+	}
+}
+
+func TestAgentTracerouteHops(t *testing.T) {
+	a := newTestAgent("p2", true, nil)
+	res, err := a.Execute(Task{ID: "t", Kind: TaskTraceroute, Target: testNet.RouterAddr(15169, 0).String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hops) == 0 {
+		t.Fatal("no hops in result")
+	}
+}
+
+func TestAgentBudgetEnforced(t *testing.T) {
+	// A budget that affords exactly one bundle of one traceroute-ish size.
+	b := NewBudget(PrepaidBundle{BundleMB: 1, BundlePrice: 1}, 1.0)
+	a := newTestAgent("p3", false, b)
+	target := testNet.RouterAddr(15169, 0).String()
+	if _, err := a.Execute(Task{ID: "1", Kind: TaskTraceroute, Target: target}); err != nil {
+		t.Fatalf("first task should fit: %v", err)
+	}
+	// Burn through the rest of the bundle.
+	for i := 0; i < 1000; i++ {
+		if _, err := a.Execute(Task{ID: "x", Kind: TaskTraceroute, Target: target}); err == ErrBudgetExhausted {
+			return // enforced
+		}
+	}
+	t.Fatal("budget never exhausted")
+}
+
+func TestAgentCellularCostReported(t *testing.T) {
+	b := NewBudget(PerMB{RatePerMB: 100}, 50.0)
+	a := newTestAgent("p4", false, b)
+	res, err := a.Execute(Task{ID: "1", Kind: TaskPing, Target: testNet.RouterAddr(15169, 0).String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interface != string(IfaceCellular) || res.CostPaid <= 0 {
+		t.Fatalf("cellular accounting missing: %+v", res)
+	}
+}
+
+func TestPowerOutage(t *testing.T) {
+	pm := NewPowerModel(1, 1.0) // always out
+	a := NewAgent(Config{ID: "p5", ASN: kigali, HasWired: true, Power: pm}, testNet, testDNS, testWeb)
+	if _, err := a.Execute(Task{ID: "1", Kind: TaskPing, Target: "1.2.3.4"}); err != ErrPowerOut {
+		t.Fatalf("err = %v, want ErrPowerOut", err)
+	}
+	pm2 := NewPowerModel(1, 0.0) // never out
+	if !pm2.Up("x", 5) {
+		t.Fatal("zero outage probability should always be up")
+	}
+}
+
+func TestPowerModelDeterministic(t *testing.T) {
+	pm := NewPowerModel(9, 0.5)
+	for h := 0; h < 50; h++ {
+		if pm.Up("probe", h) != pm.Up("probe", h) {
+			t.Fatal("power model not deterministic")
+		}
+	}
+}
+
+func TestScheduleBudgetAwareRespectsBudgets(t *testing.T) {
+	// One wired (free) agent and one broke cellular agent: everything
+	// must land on the wired one.
+	wired := newTestAgent("wired", true, nil)
+	broke := newTestAgent("broke", false, NewBudget(PerMB{RatePerMB: 1000}, 0.001))
+	var tasks []Task
+	for i := 0; i < 10; i++ {
+		tasks = append(tasks, Task{ID: string(rune('a' + i)), Kind: TaskPing, Target: "80.0.0.1", Value: 1})
+	}
+	out := ScheduleBudgetAware([]*Agent{wired, broke}, tasks, 12, nil)
+	if len(out) != 10 {
+		t.Fatalf("scheduled %d of 10", len(out))
+	}
+	for _, a := range out {
+		if a.ProbeID != "wired" {
+			t.Fatalf("task landed on the broke probe: %+v", a)
+		}
+	}
+}
+
+func TestScheduleBudgetAwareDropsUnaffordable(t *testing.T) {
+	broke := newTestAgent("broke", false, NewBudget(PerMB{RatePerMB: 1000}, 0.0001))
+	tasks := []Task{{ID: "t", Kind: TaskHTTPFetch, Domain: "site0.RW", Value: 1}}
+	if out := ScheduleBudgetAware([]*Agent{broke}, tasks, 0, nil); len(out) != 0 {
+		t.Fatalf("unaffordable task scheduled: %+v", out)
+	}
+}
+
+func TestScheduleValueOrdering(t *testing.T) {
+	// The scheduler must run high-value tasks first when capacity is
+	// constrained.
+	b := NewBudget(PrepaidBundle{BundleMB: 1, BundlePrice: 1}, 1.0) // one bundle only
+	agent := newTestAgent("cell", false, b)
+	tasks := []Task{
+		{ID: "low", Kind: TaskHTTPFetch, Domain: "d", Value: 1},
+		{ID: "high", Kind: TaskHTTPFetch, Domain: "d", Value: 10},
+	}
+	out := ScheduleBudgetAware([]*Agent{agent}, tasks, 0, nil)
+	if len(out) == 0 || out[0].Task.ID != "high" {
+		t.Fatalf("high-value task not first: %+v", out)
+	}
+}
+
+func TestScheduleRoundRobinDealsEvenly(t *testing.T) {
+	a1 := newTestAgent("a1", true, nil)
+	a2 := newTestAgent("a2", true, nil)
+	var tasks []Task
+	for i := 0; i < 6; i++ {
+		tasks = append(tasks, Task{ID: string(rune('a' + i)), Kind: TaskPing, Target: "80.0.0.1"})
+	}
+	out := ScheduleRoundRobin([]*Agent{a1, a2}, tasks, nil)
+	counts := map[string]int{}
+	for _, asg := range out {
+		counts[asg.ProbeID]++
+	}
+	if counts["a1"] != 3 || counts["a2"] != 3 {
+		t.Fatalf("uneven deal: %+v", counts)
+	}
+}
+
+func TestScheduleEligibility(t *testing.T) {
+	a1 := newTestAgent("a1", true, nil)
+	a2 := newTestAgent("a2", true, nil)
+	tasks := []Task{{ID: "t", Kind: TaskPing, Target: "80.0.0.1", Value: 1}}
+	only2 := func(_ Task, a *Agent) bool { return a.ID() == "a2" }
+	out := ScheduleBudgetAware([]*Agent{a1, a2}, tasks, 0, only2)
+	if len(out) != 1 || out[0].ProbeID != "a2" {
+		t.Fatalf("eligibility ignored: %+v", out)
+	}
+}
+
+func TestTargetAddrErrors(t *testing.T) {
+	if _, err := (Task{ID: "x", Kind: TaskPing}).TargetAddr(); err == nil {
+		t.Fatal("missing target should error")
+	}
+	if _, err := (Task{ID: "x", Target: "bogus"}).TargetAddr(); err == nil {
+		t.Fatal("bad target should error")
+	}
+}
+
+func TestAgentUnknownKind(t *testing.T) {
+	a := newTestAgent("p9", true, nil)
+	if _, err := a.Execute(Task{ID: "1", Kind: "nonsense"}); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}

@@ -1,0 +1,109 @@
+package probes
+
+import (
+	"fmt"
+
+	"github.com/afrinet/observatory/internal/netx"
+)
+
+// TaskKind is a measurement primitive the agent can run.
+type TaskKind string
+
+const (
+	TaskPing       TaskKind = "ping"
+	TaskTraceroute TaskKind = "traceroute"
+	TaskDNS        TaskKind = "dns"
+	TaskHTTPFetch  TaskKind = "http"
+)
+
+// Task is one measurement assignment. Tasks travel between controller
+// and agents as JSON.
+type Task struct {
+	ID         string   `json:"id"`
+	Experiment string   `json:"experiment"`
+	Kind       TaskKind `json:"kind"`
+	// Target is the probe destination (dotted quad) for ping/traceroute.
+	Target string `json:"target,omitempty"`
+	// Domain is the name to resolve / site to fetch.
+	Domain string `json:"domain,omitempty"`
+	// OriginCountry hints the domain's audience country (DNS tasks).
+	OriginCountry string `json:"origin_country,omitempty"`
+	// Repeat is how many times to run the primitive (default 1).
+	Repeat int `json:"repeat,omitempty"`
+	// Value is the scheduler's priority weight.
+	Value float64 `json:"value,omitempty"`
+}
+
+// TargetAddr parses the task's target address.
+func (t Task) TargetAddr() (netx.Addr, error) {
+	if t.Target == "" {
+		return 0, fmt.Errorf("probes: task %s has no target", t.ID)
+	}
+	return netx.ParseAddr(t.Target)
+}
+
+// EstimatedBytes models the task's low-level network usage, including
+// L3/L4 overheads — the paper notes budgeting must use network-level
+// bytes, not application payloads, because that is what billing meters.
+func (t Task) EstimatedBytes() int64 {
+	reps := int64(t.Repeat)
+	if reps <= 0 {
+		reps = 1
+	}
+	switch t.Kind {
+	case TaskPing:
+		// 64B echo + reply, a few tries.
+		return reps * 3 * 2 * 64
+	case TaskTraceroute:
+		// ~30 TTL-limited probes + ICMP errors, with IP/UDP overhead.
+		return reps * 30 * (60 + 56)
+	case TaskDNS:
+		// Query + response + the resolver's upstream chatter billed to
+		// us only on the access leg: ~2 packets of ~120B.
+		return reps * 2 * 120
+	case TaskHTTPFetch:
+		// Handshake + headers + a capped body sample (the tool fetches
+		// headers and the first KBs only, as FindCDN-style detection
+		// needs, not full pages).
+		return reps * (3*60 + 2*800 + 16*1024)
+	default:
+		return reps * 256
+	}
+}
+
+// Result is one task's outcome as the agent reports it.
+type Result struct {
+	TaskID     string   `json:"task_id"`
+	Experiment string   `json:"experiment"`
+	ProbeID    string   `json:"probe_id"`
+	Kind       TaskKind `json:"kind"`
+	OK         bool     `json:"ok"`
+	Error      string   `json:"error,omitempty"`
+
+	// RTTms carries ping/dns/http latency.
+	RTTms float64 `json:"rtt_ms,omitempty"`
+
+	// Hops carries traceroute output.
+	Hops []HopRecord `json:"hops,omitempty"`
+
+	// Resolver/auth fields for DNS tasks.
+	ResolverKind    string `json:"resolver_kind,omitempty"`
+	ResolverCountry string `json:"resolver_country,omitempty"`
+	AuthCountry     string `json:"auth_country,omitempty"`
+
+	// Served fields for HTTP tasks.
+	ServedCountry string `json:"served_country,omitempty"`
+	ServedLocal   bool   `json:"served_local,omitempty"`
+
+	// Interface the agent used (wired/cellular) and what it paid.
+	Interface string  `json:"interface,omitempty"`
+	CostPaid  float64 `json:"cost_paid,omitempty"`
+	Bytes     int64   `json:"bytes,omitempty"`
+}
+
+// HopRecord is one traceroute hop on the wire.
+type HopRecord struct {
+	TTL  int     `json:"ttl"`
+	Addr string  `json:"addr,omitempty"` // empty for silent hops
+	RTT  float64 `json:"rtt_ms,omitempty"`
+}

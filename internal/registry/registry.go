@@ -1,0 +1,138 @@
+// Package registry derives the public-database views of the topology
+// that measurement tools consume: RIR delegated statistics (the AfriNIC
+// delegated file the paper uses as its coverage denominator) and the
+// PCH/PeeringDB-style IXP directory (names, countries, peering LANs,
+// member lists).
+//
+// Measurement code must depend on these views rather than reaching into
+// the topology's ground truth: the views contain exactly the information
+// a real measurement study has.
+package registry
+
+import (
+	"sort"
+
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/netx"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// Delegation is one RIR delegated-statistics record for a country.
+type Delegation struct {
+	Country  string
+	Region   geo.Region
+	ASNs     []topology.ASN
+	Prefixes []netx.Prefix
+}
+
+// DelegatedStats builds the per-country delegation file for one RIR
+// region set. Passing nil includes every country.
+func DelegatedStats(t *topology.Topology, include func(geo.Region) bool) []Delegation {
+	byCountry := make(map[string]*Delegation)
+	for _, asn := range t.ASNs() {
+		as := t.ASes[asn]
+		if include != nil && !include(as.Region) {
+			continue
+		}
+		d := byCountry[as.Country]
+		if d == nil {
+			d = &Delegation{Country: as.Country, Region: as.Region}
+			byCountry[as.Country] = d
+		}
+		d.ASNs = append(d.ASNs, asn)
+		d.Prefixes = append(d.Prefixes, as.Prefixes...)
+	}
+	var out []Delegation
+	for _, d := range byCountry {
+		sort.Slice(d.ASNs, func(i, j int) bool { return d.ASNs[i] < d.ASNs[j] })
+		sort.Slice(d.Prefixes, func(i, j int) bool { return d.Prefixes[i].Base() < d.Prefixes[j].Base() })
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Country < out[j].Country })
+	return out
+}
+
+// AfriNIC returns the African delegated statistics.
+func AfriNIC(t *topology.Topology) []Delegation {
+	return DelegatedStats(t, func(r geo.Region) bool { return r.IsAfrica() })
+}
+
+// IXPRecord is one directory entry (PCH / PeeringDB analogue).
+type IXPRecord struct {
+	ID      topology.IXPID
+	Name    string
+	Country string
+	Region  geo.Region
+	LAN     netx.Prefix
+	Members []topology.ASN
+	RSASN   topology.ASN // the route-server/management ASN
+}
+
+// IXPDirectory lists every exchange in the snapshot.
+func IXPDirectory(t *topology.Topology) []IXPRecord {
+	var out []IXPRecord
+	for _, id := range t.IXPIDs() {
+		x := t.IXPs[id]
+		members := append([]topology.ASN(nil), x.Members...)
+		out = append(out, IXPRecord{
+			ID: id, Name: x.Name, Country: x.Country,
+			Region: geo.MustLookup(x.Country).Region,
+			LAN:    x.LAN, Members: members,
+			RSASN: RouteServerASN(id),
+		})
+	}
+	return out
+}
+
+// AfricanIXPs filters the directory to African exchanges.
+func AfricanIXPs(t *topology.Topology) []IXPRecord {
+	var out []IXPRecord
+	for _, rec := range IXPDirectory(t) {
+		if rec.Region.IsAfrica() {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// RouteServerASN returns the management ASN delegated to an exchange.
+func RouteServerASN(id topology.IXPID) topology.ASN {
+	return topology.ASN(327000) + topology.ASN(id)
+}
+
+// Classify is the paper's Table 1 ASN classification.
+type Classify int
+
+const (
+	ClassNonMobile Classify = iota
+	ClassMobile
+	ClassIXP
+)
+
+func (c Classify) String() string {
+	switch c {
+	case ClassMobile:
+		return "mobile"
+	case ClassIXP:
+		return "ixp"
+	default:
+		return "non-mobile"
+	}
+}
+
+// ClassifyASN reproduces the paper's methodology: an ASN is Mobile when
+// Radar-style mobile traffic share is >= 65%, IXP when it holds an
+// exchange LAN (PCH/PeeringDB), otherwise Non-mobile/Non-IX.
+func ClassifyASN(t *topology.Topology, asn topology.ASN) Classify {
+	as := t.ASes[asn]
+	if as == nil {
+		return ClassNonMobile
+	}
+	if as.Type == topology.ASIXPRouteServer {
+		return ClassIXP
+	}
+	if as.IsMobile() {
+		return ClassMobile
+	}
+	return ClassNonMobile
+}

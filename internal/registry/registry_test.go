@@ -1,0 +1,119 @@
+package registry
+
+import (
+	"testing"
+
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+var testTopo = topology.Generate(topology.DefaultParams())
+
+func TestAfriNICDelegations(t *testing.T) {
+	dels := AfriNIC(testTopo)
+	if len(dels) != 54 {
+		t.Fatalf("AfriNIC delegations for %d countries, want 54", len(dels))
+	}
+	totalASNs := 0
+	for _, d := range dels {
+		if !d.Region.IsAfrica() {
+			t.Fatalf("non-African delegation %s", d.Country)
+		}
+		if len(d.ASNs) == 0 {
+			t.Errorf("%s has no delegated ASNs", d.Country)
+		}
+		totalASNs += len(d.ASNs)
+		// Stable sorted ASN lists.
+		for i := 1; i < len(d.ASNs); i++ {
+			if d.ASNs[i] < d.ASNs[i-1] {
+				t.Fatalf("%s ASN list unsorted", d.Country)
+			}
+		}
+	}
+	// Cross-check against the topology.
+	want := 0
+	for _, asn := range testTopo.ASNs() {
+		if testTopo.ASes[asn].Region.IsAfrica() {
+			want++
+		}
+	}
+	if totalASNs != want {
+		t.Fatalf("delegated %d ASNs, topology has %d African", totalASNs, want)
+	}
+}
+
+func TestIXPDirectory(t *testing.T) {
+	dir := IXPDirectory(testTopo)
+	if len(dir) != len(testTopo.IXPIDs()) {
+		t.Fatalf("directory has %d entries, topology %d", len(dir), len(testTopo.IXPIDs()))
+	}
+	lans := map[string]bool{}
+	for _, rec := range dir {
+		if rec.Name == "" || rec.Country == "" {
+			t.Fatalf("incomplete record %+v", rec)
+		}
+		if lans[rec.LAN.String()] {
+			t.Fatalf("duplicate LAN %v", rec.LAN)
+		}
+		lans[rec.LAN.String()] = true
+		if rec.RSASN != RouteServerASN(rec.ID) {
+			t.Fatalf("route-server ASN mismatch for %s", rec.Name)
+		}
+	}
+}
+
+func TestAfricanIXPs(t *testing.T) {
+	if got := len(AfricanIXPs(testTopo)); got != 77 {
+		t.Fatalf("African directory = %d, want 77", got)
+	}
+}
+
+func TestClassifyASN(t *testing.T) {
+	sawMobile, sawNon, sawIXP := false, false, false
+	for _, asn := range testTopo.ASNs() {
+		as := testTopo.ASes[asn]
+		c := ClassifyASN(testTopo, asn)
+		switch {
+		case as.Type == topology.ASIXPRouteServer:
+			if c != ClassIXP {
+				t.Fatalf("route server AS%d classified %v", asn, c)
+			}
+			sawIXP = true
+		case as.MobileShare >= 0.65:
+			if c != ClassMobile {
+				t.Fatalf("mobile AS%d classified %v (share %.2f)", asn, c, as.MobileShare)
+			}
+			sawMobile = true
+		default:
+			if c != ClassNonMobile {
+				t.Fatalf("AS%d classified %v", asn, c)
+			}
+			sawNon = true
+		}
+	}
+	if !sawMobile || !sawNon || !sawIXP {
+		t.Fatal("classification classes not all exercised")
+	}
+	if ClassifyASN(testTopo, 999999999) != ClassNonMobile {
+		t.Fatal("unknown ASN should default to non-mobile")
+	}
+}
+
+func TestClassifyStrings(t *testing.T) {
+	if ClassMobile.String() != "mobile" || ClassIXP.String() != "ixp" || ClassNonMobile.String() != "non-mobile" {
+		t.Fatal("class strings changed")
+	}
+}
+
+func TestDelegatedStatsFilter(t *testing.T) {
+	euOnly := DelegatedStats(testTopo, func(r geo.Region) bool { return r == geo.Europe })
+	for _, d := range euOnly {
+		if d.Region != geo.Europe {
+			t.Fatalf("filter leaked %s", d.Country)
+		}
+	}
+	all := DelegatedStats(testTopo, nil)
+	if len(all) <= len(euOnly) {
+		t.Fatal("nil filter should include everything")
+	}
+}

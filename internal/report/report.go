@@ -1,0 +1,142 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV series, the formats cmd/repro uses to regenerate the paper's
+// tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends one row; values are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a named sequence of (x, y) points — one figure line.
+type Series struct {
+	Name   string
+	Points [][2]float64
+}
+
+// WriteCSV writes one or more series as long-format CSV
+// (series,x,y per line) for external plotting.
+func WriteCSV(w io.Writer, series ...Series) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, p[0], p[1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BarChart renders a quick horizontal ASCII bar chart of labeled values
+// in [0,1] (fractions) or arbitrary positive scales.
+func BarChart(w io.Writer, title string, labels []string, values []float64, maxVal float64) {
+	if title != "" {
+		fmt.Fprintf(w, "== %s ==\n", title)
+	}
+	wide := 0
+	for _, l := range labels {
+		if len(l) > wide {
+			wide = len(l)
+		}
+	}
+	if maxVal <= 0 {
+		for _, v := range values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+		if maxVal == 0 {
+			maxVal = 1
+		}
+	}
+	const barWidth = 40
+	for i, l := range labels {
+		v := values[i]
+		n := int(v / maxVal * barWidth)
+		if n < 0 {
+			n = 0
+		}
+		if n > barWidth {
+			n = barWidth
+		}
+		fmt.Fprintf(w, "%s  %s %.1f\n", pad(l, wide), strings.Repeat("#", n), v)
+	}
+}

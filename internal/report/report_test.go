@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta-long-name", 12.345)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: every "value" column starts at the same offset.
+	hdrIdx := strings.Index(lines[1], "value")
+	if hdrIdx < 0 {
+		t.Fatal("header missing")
+	}
+	if !strings.Contains(lines[4], "12.3") {
+		t.Fatalf("float not formatted: %q", lines[4])
+	}
+	if got := strings.Index(lines[3], "1"); got != hdrIdx {
+		t.Fatalf("column misaligned: %d vs %d\n%s", got, hdrIdx, out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	if strings.Contains(tb.String(), "==") {
+		t.Fatal("empty title should not render a banner")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b,
+		Series{Name: "s1", Points: [][2]float64{{1, 2}, {3, 4}}},
+		Series{Name: "s2", Points: [][2]float64{{5, 6}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "series,x,y\ns1,1,2\ns1,3,4\ns2,5,6\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, "Bars", []string{"aa", "b"}, []float64{1.0, 0.5}, 1.0)
+	out := b.String()
+	if !strings.Contains(out, "== Bars ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	full := strings.Count(lines[1], "#")
+	half := strings.Count(lines[2], "#")
+	if full != 40 || half != 20 {
+		t.Fatalf("bar widths %d/%d", full, half)
+	}
+}
+
+func TestBarChartAutoScale(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, "", []string{"x"}, []float64{5}, 0)
+	if strings.Count(b.String(), "#") != 40 {
+		t.Fatal("auto max should make the largest bar full width")
+	}
+	// All-zero values must not divide by zero.
+	var b2 strings.Builder
+	BarChart(&b2, "", []string{"x"}, []float64{0}, 0)
+}

@@ -1,0 +1,185 @@
+package scan
+
+import (
+	"testing"
+
+	"github.com/afrinet/observatory/internal/bgp"
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/registry"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+var (
+	testTopo    = topology.Generate(topology.DefaultParams())
+	testNet     = netsim.New(testTopo, bgp.New(testTopo), 42)
+	testTable   = bgp.BuildRoutedTable(testTopo)
+	testBuilder = NewBuilder(testNet, testTable, 42)
+)
+
+func TestBuildCAIDAOnePerSlash24(t *testing.T) {
+	h := testBuilder.BuildCAIDA()
+	s24s := testTable.Slash24s()
+	if len(h.Targets) != len(s24s) {
+		t.Fatalf("CAIDA targets = %d, /24s = %d", len(h.Targets), len(s24s))
+	}
+	// Each target sits inside its /24 with a nonzero host part.
+	for i, a := range h.Targets[:200] {
+		if !s24s[i].Contains(a) {
+			t.Fatalf("target %d outside its /24", i)
+		}
+		if a == s24s[i].Base() {
+			t.Fatalf("target %d is the network address", i)
+		}
+	}
+}
+
+func TestBuildYARRPShare(t *testing.T) {
+	full := len(testBuilder.BuildCAIDA().Targets)
+	half := len(testBuilder.BuildYARRP(0.5).Targets)
+	ratio := float64(half) / float64(full)
+	if ratio < 0.42 || ratio > 0.58 {
+		t.Fatalf("YARRP 0.5 sample ratio = %.2f", ratio)
+	}
+	if n := len(testBuilder.BuildYARRP(0).Targets); n != 0 {
+		t.Fatalf("zero share produced %d targets", n)
+	}
+}
+
+func TestBuildANTResponsiveBias(t *testing.T) {
+	h := testBuilder.BuildANT()
+	if len(h.Targets) == 0 {
+		t.Fatal("empty ANT hitlist")
+	}
+	// The first entry of each responsive pair must actually respond —
+	// that is the list's defining property.
+	responsive := 0
+	checked := 0
+	for i := 0; i < len(h.Targets) && checked < 300; i += 2 {
+		if _, isIXP := testNet.IXPOf(h.Targets[i]); isIXP {
+			continue
+		}
+		checked++
+		if testNet.AddrResponds(h.Targets[i]) {
+			responsive++
+		}
+	}
+	if float64(responsive)/float64(checked) < 0.9 {
+		t.Fatalf("ANT primary entries responsive %d/%d", responsive, checked)
+	}
+}
+
+func TestHitlistsDeterministic(t *testing.T) {
+	other := NewBuilder(testNet, testTable, 42)
+	a := testBuilder.BuildANT().Targets
+	b := other.BuildANT().Targets
+	if len(a) != len(b) {
+		t.Fatal("ANT lists differ in size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ANT lists differ at %d", i)
+		}
+	}
+}
+
+func TestAnalyzeStatic(t *testing.T) {
+	obs := testBuilder.AnalyzeStatic(testBuilder.BuildANT())
+	if obs.Entries == 0 || len(obs.ASNs) == 0 {
+		t.Fatal("static analysis found nothing")
+	}
+	// Observed ASNs must exist (be topology ASNs or route servers).
+	for asn := range obs.ASNs {
+		if testTopo.ASes[asn] == nil {
+			t.Fatalf("observed unknown AS%d", asn)
+		}
+	}
+}
+
+func TestRunObservesVantageUpstream(t *testing.T) {
+	// A tiny run from one vantage must at least observe transit ASes.
+	h := Hitlist{Tool: ToolCAIDA, Targets: testBuilder.BuildCAIDA().Targets[:300]}
+	vantage := ArkVantages(testTopo, 14)[:1]
+	obs := testBuilder.Run(h, vantage, 0, 0)
+	sawTransit := false
+	for asn := range obs.ASNs {
+		if as := testTopo.ASes[asn]; as != nil && as.Type == topology.ASTransit {
+			sawTransit = true
+		}
+	}
+	if !sawTransit {
+		t.Fatal("no transit AS observed on any path")
+	}
+}
+
+func TestRunEmptyVantages(t *testing.T) {
+	h := testBuilder.BuildCAIDA()
+	obs := testBuilder.Run(h, nil, 0, 0)
+	if len(obs.ASNs) != 0 {
+		t.Fatal("no vantages should observe nothing")
+	}
+}
+
+func TestCoverageOrdering(t *testing.T) {
+	// The paper's headline: ANT > CAIDA on mobile coverage, and every
+	// tool is poor on IXPs relative to its AS coverage.
+	ant := Coverage(testTopo, testBuilder.AnalyzeStatic(testBuilder.BuildANT()))
+	caida := Coverage(testTopo, testBuilder.Run(testBuilder.BuildCAIDA(), ArkVantages(testTopo, 14), 0, 0.7))
+	if ant.Mobile <= caida.Mobile {
+		t.Fatalf("ANT mobile (%.2f) should beat CAIDA (%.2f)", ant.Mobile, caida.Mobile)
+	}
+	if ant.Mobile < 0.85 {
+		t.Fatalf("ANT mobile coverage %.2f, paper says ~96%%", ant.Mobile)
+	}
+	if caida.IXP > 0.25 {
+		t.Fatalf("CAIDA IXP coverage %.2f too high, paper says 7.8%%", caida.IXP)
+	}
+	if ant.IXP <= caida.IXP {
+		t.Fatalf("ANT IXP (%.2f) should beat CAIDA (%.2f)", ant.IXP, caida.IXP)
+	}
+}
+
+func TestCoverageByRegionShape(t *testing.T) {
+	obs := testBuilder.AnalyzeStatic(testBuilder.BuildANT())
+	rows := CoverageByRegion(testTopo, obs)
+	if len(rows) != 5 {
+		t.Fatalf("regional rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mobile < 0 || r.Mobile > 1 || r.NonMobile < 0 || r.NonMobile > 1 || r.IXP < 0 || r.IXP > 1 {
+			t.Fatalf("coverage out of [0,1]: %+v", r)
+		}
+	}
+}
+
+func TestArkVantagesBias(t *testing.T) {
+	vs := ArkVantages(testTopo, 13)
+	if len(vs) == 0 {
+		t.Fatal("no vantages")
+	}
+	african := 0
+	for _, v := range vs {
+		if testTopo.RegionOf(v).IsAfrica() {
+			african++
+		}
+		if as := testTopo.ASes[v]; as.Type == topology.ASMobileCarrier {
+			t.Fatal("Ark does not sit in mobile networks")
+		}
+	}
+	if african > len(vs)/3 {
+		t.Fatalf("Ark vantages too African (%d/%d): the bias is the point", african, len(vs))
+	}
+}
+
+func TestExpectedClassesComplete(t *testing.T) {
+	exp := expectedByClass(testTopo, geo.RegionUnknown)
+	if exp[registry.ClassMobile] == 0 || exp[registry.ClassNonMobile] == 0 || exp[registry.ClassIXP] != 77 {
+		t.Fatalf("expected classes: %+v", exp)
+	}
+}
+
+func TestToolStrings(t *testing.T) {
+	if ToolANT.String() == "" || ToolCAIDA.String() == "" || ToolYARRP.String() == "" {
+		t.Fatal("tool strings empty")
+	}
+}

@@ -1,0 +1,245 @@
+package topology
+
+import (
+	"github.com/afrinet/observatory/internal/geo"
+)
+
+// The cable catalog models the real subsea systems serving each region,
+// with in-service years and shared corridors. Corridors capture the
+// paper's key resilience observation: cables are laid along the same
+// physical paths (e.g. four West-African systems pass the same stretch
+// near Abidjan; the Red Sea funnels most Europe-East-Africa systems), so
+// one seabed event cuts several systems at once, as in March 2024.
+
+// landingSpec describes one landing station of a cable in the catalog.
+type landingSpec struct {
+	iso2 string
+	city string
+	lat  float64 // 0,0 means "use the country hub"
+	lng  float64
+}
+
+type cableSpec struct {
+	name     string
+	born     int
+	corridor string
+	capacity float64
+	landings []landingSpec
+}
+
+// Named landing sites that differ from country hubs.
+var (
+	mombasa    = landingSpec{"KE", "Mombasa", -4.04, 39.66}
+	alexandria = landingSpec{"EG", "Alexandria", 31.20, 29.92}
+	melkbos    = landingSpec{"ZA", "Melkbosstrand", -33.72, 18.44}
+	mtunzini   = landingSpec{"ZA", "Mtunzini", -28.95, 31.75}
+	lagos      = landingSpec{"NG", "Lagos", 6.42, 3.40}
+	abidjan    = landingSpec{"CI", "Abidjan", 5.30, -4.02}
+	accra      = landingSpec{"GH", "Accra", 5.55, -0.20}
+	dakar      = landingSpec{"SN", "Dakar", 14.69, -17.45}
+	djibouti   = landingSpec{"DJ", "Djibouti City", 11.60, 43.15}
+	marseille  = landingSpec{"FR", "Marseille", 43.30, 5.37}
+	lisbon     = landingSpec{"PT", "Lisbon", 38.72, -9.14}
+	sesimbra   = landingSpec{"PT", "Sesimbra", 38.44, -9.10}
+	london     = landingSpec{"GB", "Bude", 50.83, -4.55}
+	fortaleza  = landingSpec{"BR", "Fortaleza", -3.73, -38.52}
+	luanda     = landingSpec{"AO", "Luanda", -8.84, 13.23}
+)
+
+func hub(iso2 string) landingSpec { return landingSpec{iso2: iso2} }
+
+// cableCatalog lists every cable system in the model. African systems are
+// chosen so that the 2015->2025 count grows by ~44% (18 -> 26),
+// matching Section 2's reported growth.
+var cableCatalog = []cableSpec{
+	// --- Africa, west coast corridor ---
+	{"SAT-3", 2002, "west-africa-coastal", 40, []landingSpec{sesimbra, dakar, abidjan, accra, hub("BJ"), lagos, hub("GA"), luanda, melkbos}},
+	{"WACS", 2012, "west-africa-coastal", 80, []landingSpec{london, lisbon, hub("CV"), abidjan, accra, hub("TG"), lagos, hub("CM"), hub("CD"), luanda, hub("NA"), melkbos}},
+	{"ACE", 2012, "west-africa-coastal", 60, []landingSpec{marseille, lisbon, hub("MR"), dakar, hub("GM"), hub("GW"), hub("GN"), hub("SL"), hub("LR"), abidjan, accra, hub("BJ"), lagos, hub("ST"), hub("GQ"), hub("GA")}},
+	{"MainOne", 2010, "west-africa-coastal", 50, []landingSpec{sesimbra, accra, lagos}},
+	{"Glo-1", 2010, "west-africa-coastal", 40, []landingSpec{london, accra, lagos}},
+	{"Equiano", 2022, "west-africa-coastal", 240, []landingSpec{lisbon, hub("TG"), lagos, hub("NA"), melkbos}},
+	{"2Africa-West", 2023, "west-africa-coastal", 300, []landingSpec{london, lisbon, dakar, abidjan, accra, lagos, hub("CG"), luanda, hub("NA"), melkbos}},
+
+	// --- Africa, east coast corridor ---
+	{"EASSy", 2010, "east-africa-coastal", 60, []landingSpec{mtunzini, hub("MZ"), hub("KM"), hub("TZ"), mombasa, hub("SO"), djibouti, hub("SD")}},
+	{"LION", 2009, "east-africa-coastal", 30, []landingSpec{hub("MU"), hub("MG")}},
+	{"LION2", 2012, "east-africa-coastal", 40, []landingSpec{hub("MU"), hub("MG"), mombasa}},
+	{"DARE1", 2020, "east-africa-coastal", 60, []landingSpec{djibouti, hub("SO"), mombasa}},
+	{"2Africa-East", 2023, "red-sea", 300, []landingSpec{alexandria, djibouti, mombasa, hub("TZ"), hub("MZ"), mtunzini}},
+	{"SAFE", 2002, "south-indian", 30, []landingSpec{melkbos, hub("MU"), hub("IN"), hub("MY")}},
+	{"SEAS", 2012, "east-africa-coastal", 20, []landingSpec{hub("TZ"), hub("SC")}},
+
+	// --- Red Sea / Mediterranean trunk (Europe <-> Egypt <-> East Africa/Asia) ---
+	{"FLAG-FEA", 1997, "red-sea", 30, []landingSpec{london, alexandria, hub("AE"), hub("IN"), hub("JP")}},
+	{"SEA-ME-WE-4", 2005, "red-sea", 50, []landingSpec{marseille, alexandria, hub("AE"), hub("IN"), hub("SG")}},
+	{"SEA-ME-WE-5", 2016, "red-sea", 120, []landingSpec{marseille, alexandria, djibouti, hub("AE"), hub("IN"), hub("SG")}},
+	{"AAE-1", 2017, "red-sea", 120, []landingSpec{marseille, alexandria, djibouti, hub("AE"), hub("IN"), hub("SG")}},
+	{"EIG", 2011, "red-sea", 60, []landingSpec{london, lisbon, alexandria, djibouti, hub("AE"), hub("IN")}},
+	{"SEACOM", 2009, "red-sea", 60, []landingSpec{alexandria, djibouti, mombasa, hub("TZ"), hub("MZ"), mtunzini}},
+	{"PEACE", 2022, "red-sea", 180, []landingSpec{marseille, alexandria, djibouti, mombasa}},
+	{"TEAMS", 2009, "east-africa-coastal", 40, []landingSpec{mombasa, hub("AE")}},
+
+	// --- Mediterranean short-haul ---
+	{"Atlas-Offshore", 2000, "mediterranean", 30, []landingSpec{marseille, hub("MA")}},
+	{"Hannibal", 2009, "mediterranean", 30, []landingSpec{hub("IT"), hub("TN")}},
+	{"Didon", 2009, "mediterranean", 30, []landingSpec{hub("IT"), hub("TN")}},
+
+	// --- South Atlantic ---
+	{"SACS", 2018, "south-atlantic", 80, []landingSpec{luanda, fortaleza}},
+	{"EllaLink", 2021, "south-atlantic", 100, []landingSpec{sesimbra, fortaleza}},
+
+	// --- North Atlantic (mature; slow growth) ---
+	{"TAT-14", 2001, "north-atlantic", 60, []landingSpec{london, hub("US")}},
+	{"Apollo", 2003, "north-atlantic", 60, []landingSpec{london, hub("FR"), hub("US")}},
+	{"Dunant", 2020, "north-atlantic", 250, []landingSpec{marseille, hub("US")}},
+	{"Amitie", 2023, "north-atlantic", 300, []landingSpec{london, hub("FR"), hub("US")}},
+
+	// --- Americas ---
+	{"GlobeNet", 2001, "americas", 40, []landingSpec{hub("US"), fortaleza, hub("AR")}},
+	{"SAm-1", 2001, "americas", 40, []landingSpec{hub("US"), hub("CO"), hub("PE"), hub("CL"), hub("AR"), fortaleza}},
+	{"Monet", 2017, "americas", 120, []landingSpec{hub("US"), fortaleza}},
+	{"Seabras-1", 2017, "americas", 120, []landingSpec{hub("US"), fortaleza}},
+	{"Tannat", 2018, "americas", 120, []landingSpec{fortaleza, hub("AR")}},
+	{"Curie", 2020, "americas", 150, []landingSpec{hub("US"), hub("PA"), hub("CL")}},
+	{"Firmina", 2024, "americas", 300, []landingSpec{hub("US"), fortaleza, hub("AR")}},
+
+	// --- Asia-Pacific ---
+	{"PC-1", 2001, "asia-pacific", 40, []landingSpec{hub("US"), hub("JP")}},
+	{"i2i", 2002, "asia-pacific", 30, []landingSpec{hub("IN"), hub("SG")}},
+	{"APG", 2016, "asia-pacific", 120, []landingSpec{hub("SG"), hub("MY"), hub("PH"), hub("JP")}},
+	{"FASTER", 2016, "asia-pacific", 120, []landingSpec{hub("US"), hub("JP")}},
+	{"ASC", 2018, "asia-pacific", 120, []landingSpec{hub("AU"), hub("ID"), hub("SG")}},
+	{"INDIGO", 2019, "asia-pacific", 120, []landingSpec{hub("AU"), hub("ID"), hub("SG")}},
+	{"JGA", 2020, "asia-pacific", 150, []landingSpec{hub("AU"), hub("JP")}},
+	{"SJC2", 2021, "asia-pacific", 150, []landingSpec{hub("SG"), hub("PH"), hub("JP")}},
+	{"Echo", 2023, "asia-pacific", 250, []landingSpec{hub("US"), hub("ID"), hub("SG")}},
+	{"Apricot", 2024, "asia-pacific", 250, []landingSpec{hub("SG"), hub("ID"), hub("PH"), hub("JP")}},
+}
+
+// terrestrialSpec declares a cross-border terrestrial conduit. African
+// terrestrial capacity is deliberately thin — the paper's Section 2 notes
+// that poor terrestrial connectivity pushes intra-African traffic onto
+// subsea paths — while Europe and North America get dense, fat meshes.
+type terrestrialSpec struct {
+	a, b     string
+	capacity float64
+	born     int
+}
+
+var terrestrialCatalog = []terrestrialSpec{
+	// Africa: a sparse set of operational cross-border fiber routes.
+	{"ZA", "BW", 20, 2000}, {"ZA", "NA", 20, 2000}, {"ZA", "MZ", 20, 2000},
+	{"ZA", "ZW", 15, 2000}, {"ZA", "LS", 10, 2000}, {"ZA", "SZ", 10, 2000},
+	{"BW", "ZM", 8, 2010}, {"ZW", "ZM", 10, 2005}, {"MZ", "MW", 8, 2010},
+	{"MZ", "ZW", 8, 2008}, {"ZM", "TZ", 8, 2012}, {"ZM", "MW", 6, 2012},
+	{"KE", "UG", 15, 2005}, {"KE", "TZ", 12, 2005}, {"KE", "ET", 8, 2016},
+	{"UG", "RW", 10, 2009}, {"RW", "BI", 6, 2012}, {"RW", "CD", 4, 2014},
+	{"TZ", "RW", 8, 2012}, {"TZ", "BI", 4, 2014}, {"TZ", "MW", 6, 2014},
+	{"ET", "DJ", 15, 2006}, {"SD", "EG", 8, 2010}, {"SD", "ET", 4, 2014},
+	{"SS", "UG", 4, 2016}, {"SS", "SD", 3, 2014}, {"SO", "KE", 3, 2018}, {"ER", "SD", 2, 2013}, {"ER", "ET", 2, 2016},
+	{"NG", "BJ", 10, 2005}, {"BJ", "TG", 8, 2005}, {"TG", "GH", 8, 2005},
+	{"GH", "CI", 8, 2006}, {"CI", "BF", 6, 2008}, {"BF", "GH", 6, 2008},
+	{"BF", "ML", 5, 2010}, {"ML", "SN", 6, 2008}, {"SN", "GM", 5, 2010},
+	{"SN", "MR", 4, 2012}, {"NE", "NG", 5, 2010}, {"NE", "BF", 4, 2012},
+	{"GN", "SN", 3, 2014}, {"SL", "GN", 3, 2016}, {"LR", "SL", 3, 2016},
+	{"CM", "TD", 4, 2012}, {"CM", "GA", 4, 2012}, {"CM", "NG", 5, 2014},
+	{"CM", "CF", 2, 2016}, {"GA", "CG", 3, 2014}, {"CG", "CD", 4, 2012},
+	{"CD", "AO", 3, 2016}, {"AO", "NA", 5, 2014}, {"TD", "SD", 2, 2018},
+	{"DZ", "TN", 8, 2000}, {"DZ", "MA", 6, 2005}, {"LY", "TN", 4, 2008},
+	{"LY", "EG", 4, 2008}, {"DZ", "NE", 2, 2018}, {"ML", "DZ", 2, 2018},
+
+	// Europe: dense, fat mesh (only the hubs we model).
+	{"GB", "FR", 400, 1995}, {"GB", "NL", 400, 1995}, {"FR", "DE", 400, 1995},
+	{"NL", "DE", 400, 1995}, {"FR", "ES", 300, 1995}, {"ES", "PT", 300, 1995},
+	{"FR", "IT", 300, 1995}, {"DE", "PL", 300, 1998}, {"DE", "SE", 200, 1998},
+	{"IT", "GR", 200, 2000}, {"DE", "IT", 300, 1995}, {"FR", "GB", 400, 1995},
+
+	// North America.
+	{"US", "CA", 400, 1995}, {"US", "MX", 200, 1998}, {"MX", "PA", 60, 2005},
+
+	// South America.
+	{"BR", "AR", 80, 2000}, {"AR", "CL", 60, 2002}, {"BR", "CO", 40, 2008},
+	{"CO", "EC", 40, 2008}, {"EC", "PE", 40, 2008}, {"PE", "CL", 40, 2008},
+
+	// Asia-Pacific land/short-sea routes.
+	{"SG", "MY", 120, 1998}, {"MY", "ID", 60, 2005}, {"IN", "AE", 60, 2005},
+}
+
+// buildCables instantiates the catalog for a given year: cables born
+// after the year are excluded. It returns the cables and the conduit
+// list (subsea segments plus terrestrial conduits).
+func buildCables(year int) (map[CableID]*Cable, []Conduit) {
+	cables := make(map[CableID]*Cable)
+	var conduits []Conduit
+	nextConduit := ConduitID(1)
+
+	resolve := func(ls landingSpec) Landing {
+		c := geo.MustLookup(ls.iso2)
+		site := c.Hub
+		city := ls.city
+		if ls.lat != 0 || ls.lng != 0 {
+			site = geo.Coord{Lat: ls.lat, Lng: ls.lng}
+		}
+		if city == "" {
+			city = c.Name
+		}
+		return Landing{Country: ls.iso2, City: city, Site: site}
+	}
+
+	id := CableID(1)
+	for _, spec := range cableCatalog {
+		if spec.born > year {
+			continue
+		}
+		c := &Cable{
+			ID:       id,
+			Name:     spec.name,
+			Born:     spec.born,
+			Corridor: spec.corridor,
+			Capacity: spec.capacity,
+		}
+		for _, ls := range spec.landings {
+			c.Landings = append(c.Landings, resolve(ls))
+		}
+		cables[id] = c
+
+		// Each consecutive landing pair is one conduit segment. Subsea
+		// paths are longer than great-circle; 1.3x is a standard stretch.
+		for i := 0; i+1 < len(c.Landings); i++ {
+			from, to := c.Landings[i], c.Landings[i+1]
+			if from.Country == to.Country {
+				continue
+			}
+			conduits = append(conduits, Conduit{
+				ID:          nextConduit,
+				FromCountry: from.Country,
+				ToCountry:   to.Country,
+				Cable:       id,
+				KM:          geo.DistanceKm(from.Site, to.Site) * 1.3,
+				Capacity:    spec.capacity,
+				Born:        spec.born,
+			})
+			nextConduit++
+		}
+		id++
+	}
+
+	for _, ts := range terrestrialCatalog {
+		if ts.born > year {
+			continue
+		}
+		a, b := geo.MustLookup(ts.a), geo.MustLookup(ts.b)
+		conduits = append(conduits, Conduit{
+			ID:          nextConduit,
+			FromCountry: ts.a,
+			ToCountry:   ts.b,
+			KM:          geo.DistanceKm(a.Hub, b.Hub) * 1.4, // terrestrial routes wander more
+			Capacity:    ts.capacity,
+			Born:        ts.born,
+		})
+		nextConduit++
+	}
+
+	return cables, conduits
+}

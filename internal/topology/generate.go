@@ -1,0 +1,754 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/netx"
+)
+
+// Generate builds the Internet snapshot for p.Year with seed p.Seed.
+// Generation is fully deterministic for a given Params. The full 2025 AS
+// population (with birth years and address allocations) is generated
+// first and then filtered by year, so an AS keeps its ASN and prefixes
+// across year sweeps (as real networks do); links and IXP memberships
+// are derived for the filtered population.
+func Generate(p Params) *Topology {
+	if p.Year == 0 {
+		p.Year = 2025
+	}
+	g := &generator{
+		rng:  rand.New(rand.NewSource(p.Seed)),
+		year: p.Year,
+		topo: &Topology{
+			Seed:   p.Seed,
+			Year:   p.Year,
+			ASes:   make(map[ASN]*AS),
+			IXPs:   make(map[IXPID]*IXP),
+			Cables: make(map[CableID]*Cable),
+		},
+		alloc:    newAddrAllocator(),
+		linkSeen: make(map[[2]ASN]bool),
+	}
+	g.topo.Cables, g.topo.Conduits = buildCables(p.Year)
+
+	g.makeTier1s()
+	g.makeTier2s()
+	g.makeContentASes()
+	g.makeCountryASes()
+	g.filterByYear()
+	g.makeIXPs()
+
+	g.linkTier1Mesh()
+	g.linkTier2s()
+	g.linkContent()
+	g.linkStubs()
+	g.linkIXPPeering()
+
+	g.topo.buildIndexes()
+	realizeLinks(g.topo)
+	return g.topo
+}
+
+type generator struct {
+	rng  *rand.Rand
+	year int
+	topo *Topology
+
+	alloc *addrAllocator
+
+	// full 2025 population before the year filter
+	all []*AS
+
+	tier1s   []ASN
+	tier2s   map[geo.Region][]ASN // by region
+	t2ByCtry map[string][]ASN
+	content  []ASN
+
+	linkSeen map[[2]ASN]bool
+}
+
+// addrAllocator hands out /20 blocks from each RIR's /8 pools in a
+// stable order. All five African subregions draw from the single
+// AfriNIC pool (one shared cursor), mirroring how the RIR actually
+// allocates; other regions each have their own pool.
+type addrAllocator struct {
+	pools   map[string][]netx.Prefix
+	cursor  map[string]int // index of next /20 within the pool list
+	perPool int            // /20s per /8
+}
+
+// rirKey collapses the African subregions onto one allocation domain.
+func rirKey(r geo.Region) string {
+	if r.IsAfrica() {
+		return "afrinic"
+	}
+	return r.String()
+}
+
+func newAddrAllocator() *addrAllocator {
+	a := &addrAllocator{
+		pools:   make(map[string][]netx.Prefix),
+		cursor:  make(map[string]int),
+		perPool: 1 << 12, // 4096 /20s per /8
+	}
+	for r, specs := range regionPools {
+		key := rirKey(r)
+		if _, done := a.pools[key]; done {
+			continue
+		}
+		for _, s := range specs {
+			a.pools[key] = append(a.pools[key], netx.MustParsePrefix(s))
+		}
+	}
+	return a
+}
+
+// next returns the region's next free /20.
+func (a *addrAllocator) next(r geo.Region) netx.Prefix {
+	key := rirKey(r)
+	i := a.cursor[key]
+	a.cursor[key] = i + 1
+	pool := a.pools[key]
+	if i >= a.perPool*len(pool) {
+		panic("topology: address pool exhausted for " + key)
+	}
+	p8 := pool[i/a.perPool]
+	within := i % a.perPool
+	return netx.MakePrefix(p8.Nth(uint64(within)<<12), 20)
+}
+
+func (g *generator) addAS(as *AS) *AS {
+	if _, dup := g.topo.ASes[as.ASN]; dup {
+		panic(fmt.Sprintf("topology: duplicate ASN %d", as.ASN))
+	}
+	for i := 0; i < prefixCountFor(as.Type); i++ {
+		as.Prefixes = append(as.Prefixes, g.alloc.next(as.Region))
+	}
+	as.Responsive = responsiveFor(as.Type)
+	// A fraction of networks are "dark": they drop every unsolicited
+	// probe and emit no ICMP. Dark networks are what keeps hitlist and
+	// scanning coverage below 100% in Table 1.
+	if g.rng.Float64() < darkProbFor(as.Type) {
+		as.Responsive = 0
+	}
+	g.topo.ASes[as.ASN] = as
+	g.all = append(g.all, as)
+	return as
+}
+
+func (g *generator) makeTier1s() {
+	for _, spec := range tier1Specs {
+		c := geo.MustLookup(spec.country)
+		g.tier1s = append(g.tier1s, spec.asn)
+		g.addAS(&AS{
+			ASN: spec.asn, Name: spec.name, Country: spec.country,
+			Region: c.Region, Type: ASTransit, Tier: Tier1, Born: 1995,
+			MobileShare: 0,
+		})
+	}
+}
+
+func (g *generator) makeTier2s() {
+	g.tier2s = make(map[geo.Region][]ASN)
+	g.t2ByCtry = make(map[string][]ASN)
+	// Iterate countries in gazetteer order for determinism.
+	for _, c := range geo.Countries() {
+		n := tier2Seats[c.ISO2]
+		for i := 0; i < n; i++ {
+			// African Tier-2s share the continental base; offset them
+			// into a distinct band to avoid stub collisions.
+			var asn ASN
+			if c.Region.IsAfrica() {
+				asn = 37700 + ASN(len(g.tier2s[geo.AfricaNorthern])+
+					len(g.tier2s[geo.AfricaWestern])+len(g.tier2s[geo.AfricaCentral])+
+					len(g.tier2s[geo.AfricaEastern])+len(g.tier2s[geo.AfricaSouthern]))
+			} else {
+				asn = regionASNBase[c.Region] + ASN(900) + ASN(len(g.tier2s[c.Region]))
+			}
+			as := g.addAS(&AS{
+				ASN: asn, Name: fmt.Sprintf("%s-Transit-%d", c.ISO2, i+1),
+				Country: c.ISO2, Region: c.Region, Type: ASTransit, Tier: Tier2,
+				Born: 2000 + i*3,
+			})
+			g.tier2s[c.Region] = append(g.tier2s[c.Region], as.ASN)
+			g.t2ByCtry[c.ISO2] = append(g.t2ByCtry[c.ISO2], as.ASN)
+		}
+	}
+}
+
+func (g *generator) makeContentASes() {
+	for _, spec := range contentSpecs {
+		c := geo.MustLookup(spec.country)
+		g.content = append(g.content, spec.asn)
+		g.addAS(&AS{
+			ASN: spec.asn, Name: spec.name, Country: spec.country,
+			Region: c.Region, Type: spec.typ, Tier: TierStub, Born: spec.born,
+		})
+	}
+}
+
+// asCountFor returns the 2025 AS count for a country.
+func asCountFor(c *geo.Country) int {
+	if n, ok := asCountOverrides[c.ISO2]; ok {
+		return n
+	}
+	prof := regionProfiles[c.Region]
+	n := int(float64(c.Population) * prof.asFactor)
+	if n < prof.minAS {
+		n = prof.minAS
+	}
+	if n > prof.maxAS {
+		n = prof.maxAS
+	}
+	return n
+}
+
+// hostingCountries are markets with local hosting/cloud providers, which
+// the content substrate uses for in-country origin hosting.
+var hostingCountries = map[string]bool{
+	"ZA": true, "KE": true, "NG": true, "EG": true, "MU": true,
+	"DE": true, "FR": true, "GB": true, "NL": true, "US": true,
+	"BR": true, "SG": true, "JP": true, "IN": true, "AU": true,
+}
+
+func (g *generator) makeCountryASes() {
+	nextAfricanASN := ASN(36800)
+	nextByRegion := map[geo.Region]ASN{}
+	takeASN := func(r geo.Region) ASN {
+		if r.IsAfrica() {
+			a := nextAfricanASN
+			nextAfricanASN++
+			if nextAfricanASN == kigaliProbeASN {
+				nextAfricanASN++ // reserved for Rwanda's incumbent
+			}
+			return a
+		}
+		if _, ok := nextByRegion[r]; !ok {
+			nextByRegion[r] = regionASNBase[r]
+		}
+		a := nextByRegion[r]
+		nextByRegion[r]++
+		return a
+	}
+
+	for _, c := range geo.Countries() {
+		prof := regionProfiles[c.Region]
+		total := asCountFor(c)
+
+		// Type plan: incumbent fixed ISP first, then mobile carriers,
+		// then a mix of smaller ISPs, enterprises, education,
+		// government, and (in hosting markets) local hosting providers.
+		var plan []ASType
+		plan = append(plan, ASFixedISP)
+		for i := 0; i < prof.mobileCarriers && len(plan) < total; i++ {
+			plan = append(plan, ASMobileCarrier)
+		}
+		if hostingCountries[c.ISO2] && len(plan) < total {
+			plan = append(plan, ASCloud)
+		}
+		mix := []ASType{ASEnterprise, ASFixedISP, ASEnterprise, ASEducation,
+			ASGovernment, ASEnterprise, ASMobileCarrier, ASFixedISP}
+		for i := 0; len(plan) < total; i++ {
+			plan = append(plan, mix[i%len(mix)])
+		}
+
+		pre := (len(plan)*int(prof.preShare*100) + 99) / 100 // ceil
+		typeCount := map[ASType]int{}
+		for idx, typ := range plan {
+			asn := takeASN(c.Region)
+			if c.ISO2 == "RW" && typ == ASFixedISP && typeCount[ASFixedISP] == 0 {
+				asn = kigaliProbeASN
+			}
+			typeCount[typ]++
+			born := 2000 + (idx*7)%15 // 2000..2014
+			if idx >= pre {
+				born = 2016 + (idx*5)%10 // 2016..2025
+			}
+			mobileShare := 0.05 + g.rng.Float64()*0.15
+			switch typ {
+			case ASMobileCarrier:
+				mobileShare = prof.mobileShareEyeball + g.rng.Float64()*(0.98-prof.mobileShareEyeball)
+			case ASFixedISP:
+				// In mobile-first markets even "fixed" ISPs resell LTE.
+				mobileShare = 0.15 + g.rng.Float64()*0.35
+			}
+			g.addAS(&AS{
+				ASN:     asn,
+				Name:    fmt.Sprintf("%s-%s-%d", c.ISO2, typ, typeCount[typ]),
+				Country: c.ISO2, Region: c.Region, Type: typ, Tier: TierStub,
+				Born: born, MobileShare: mobileShare,
+			})
+		}
+	}
+}
+
+// filterByYear removes ASes born after the snapshot year.
+func (g *generator) filterByYear() {
+	kept := g.all[:0]
+	for _, as := range g.all {
+		if as.Born <= g.year {
+			kept = append(kept, as)
+		} else {
+			delete(g.topo.ASes, as.ASN)
+		}
+	}
+	g.all = kept
+}
+
+func (g *generator) makeIXPs() {
+	lanPool := netx.MustParsePrefix(ixpLANPool)
+	lans := lanPool.Subnets(24, 0)
+
+	id := IXPID(1)
+	for _, spec := range ixpCatalog {
+		if spec.born > g.year {
+			// Consume the LAN slot anyway so LANs are stable across years.
+			id++
+			continue
+		}
+		c := geo.MustLookup(spec.country)
+		x := &IXP{
+			ID: id, Name: spec.name, Country: spec.country,
+			Born: spec.born, LAN: lans[int(id)-1],
+		}
+		g.topo.IXPs[id] = x
+
+		// The route-server/management AS holds the LAN prefix; it is
+		// delegated by the RIR but never advertised in BGP — which is
+		// exactly why Table 1's prefix- and BGP-driven scanners miss it.
+		g.addAS(&AS{
+			ASN: ixpASNBase + ASN(id), Name: spec.name + "-RS",
+			Country: spec.country, Region: c.Region,
+			Type: ASIXPRouteServer, Tier: TierStub, Born: spec.born,
+			Prefixes: []netx.Prefix{x.LAN},
+		})
+		id++
+	}
+
+	// Membership. Local eyeballs/enterprises join with the regional
+	// probability; Tier-2s always join their country's exchanges; large
+	// exchanges attract remote members from the same region.
+	for _, xid := range sortedIXPIDs(g.topo.IXPs) {
+		x := g.topo.IXPs[xid]
+		spec := ixpCatalog[int(xid)-1]
+		prof := regionProfiles[geo.MustLookup(x.Country).Region]
+		seen := map[ASN]bool{}
+		join := func(a ASN) {
+			if !seen[a] {
+				seen[a] = true
+				x.Members = append(x.Members, a)
+			}
+		}
+		for _, as := range g.all {
+			if as.Country != x.Country || as.Born > g.year {
+				continue
+			}
+			switch as.Type {
+			case ASTransit:
+				join(as.ASN)
+			case ASMobileCarrier, ASFixedISP, ASCloud:
+				if g.rng.Float64() < prof.ixpJoinProb {
+					join(as.ASN)
+				}
+			case ASEnterprise, ASEducation:
+				if g.rng.Float64() < prof.ixpJoinProb*0.25 {
+					join(as.ASN)
+				}
+			case ASGovernment:
+				if g.rng.Float64() < prof.ixpJoinProb*0.1 {
+					join(as.ASN)
+				}
+			}
+		}
+		region := geo.MustLookup(x.Country).Region
+		if spec.large {
+			// Remote peering from the same region (and, for the biggest
+			// European fabrics, from Africa — the paper's detour sinks).
+			for _, as := range g.all {
+				if as.Born > g.year || as.Country == x.Country || as.Tier == Tier1 {
+					continue
+				}
+				p := 0.0
+				if as.Region == region && (as.Type == ASFixedISP || as.Type == ASMobileCarrier || as.Type == ASTransit) {
+					p = 0.12
+					// Central Africa's hub exchanges aggregate the whole
+					// subregion: with barely any terrestrial alternatives,
+					// ISPs remote-peer at the regional fabric, which is why
+					// the region's intra-regional routes cross IXPs more
+					// than anywhere else (Figure 3's Central spike).
+					if region == geo.AfricaCentral {
+						p = 0.78
+					}
+				}
+				if region == geo.Europe && as.Region.IsAfrica() && as.Type == ASTransit {
+					p = 0.8 // African Tier-2s peer remotely in Europe
+				}
+				if p > 0 && g.rng.Float64() < p {
+					join(as.ASN)
+				}
+			}
+		}
+		// Pan-African carriers (the continental Tier-2s) buy ports at
+		// exchanges across the continent, the way WIOCC, Angola Cables,
+		// and Liquid do — which is what makes a ~34-ASN set cover of all
+		// 77 exchanges possible (the paper's footnote 1).
+		if region.IsAfrica() {
+			for _, t2 := range g.africanTier2s() {
+				as := g.topo.ASes[t2]
+				if as.Country == x.Country || as.Born > g.year {
+					continue
+				}
+				p := 0.12
+				if ixpCatalog[int(xid)-1].large {
+					p = 0.6 // the big regional fabrics attract every carrier
+				}
+				if g.rng.Float64() < p {
+					join(t2)
+				}
+			}
+			// Every exchange has at least its country's oldest ISPs on
+			// the fabric (an exchange with no members would not be in
+			// the PCH directory at all). Northern Africa's nascent
+			// exchanges list a single member — which is why they never
+			// show up in traceroutes (Figure 3 excludes the region).
+			var eyeballs []*AS
+			for _, as := range g.all {
+				if as.Country == x.Country && as.Born <= g.year &&
+					(as.Type == ASFixedISP || as.Type == ASMobileCarrier) {
+					eyeballs = append(eyeballs, as)
+				}
+			}
+			sort.Slice(eyeballs, func(i, j int) bool {
+				if eyeballs[i].Born != eyeballs[j].Born {
+					return eyeballs[i].Born < eyeballs[j].Born
+				}
+				return eyeballs[i].ASN < eyeballs[j].ASN
+			})
+			forced := 2
+			if region == geo.AfricaNorthern {
+				forced = 1
+			}
+			for i := 0; i < len(eyeballs) && i < forced; i++ {
+				join(eyeballs[i].ASN)
+			}
+		}
+		sort.Slice(x.Members, func(i, j int) bool { return x.Members[i] < x.Members[j] })
+	}
+}
+
+func sortedIXPIDs(m map[IXPID]*IXP) []IXPID {
+	out := make([]IXPID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// addLink appends a link unless the pair is already connected (first
+// relationship wins; providers are wired before IXP peering, so a
+// customer link is never shadowed by later peering).
+func (g *generator) addLink(a, b ASN, kind RelKind, via IXPID, born int) {
+	if a == b {
+		return
+	}
+	key := [2]ASN{a, b}
+	if b < a {
+		key = [2]ASN{b, a}
+	}
+	if g.linkSeen[key] {
+		return
+	}
+	g.linkSeen[key] = true
+	id := LinkID(len(g.topo.Links))
+	g.topo.Links = append(g.topo.Links, Link{
+		ID: id, A: a, B: b, Kind: kind, Via: via, Born: born,
+	})
+}
+
+func (g *generator) linkTier1Mesh() {
+	for i, a := range g.tier1s {
+		for _, b := range g.tier1s[i+1:] {
+			g.addLink(a, b, PeerPeer, 0, 1995)
+		}
+	}
+}
+
+// euTier2s returns the European wholesale market in a stable order.
+func (g *generator) euTier2s() []ASN { return g.tier2s[geo.Europe] }
+
+func (g *generator) linkTier2s() {
+	for _, region := range geo.AllRegions() {
+		t2s := g.tier2s[region]
+		for i, t2 := range t2s {
+			as := g.topo.ASes[t2]
+			if region.IsAfrica() {
+				// African Tier-2s buy all transit in Europe (the paper's
+				// "only common provider is in Europe").
+				eu := g.euTier2s()
+				g.addLink(t2, g.tier1s[2+(i%3)], CustomerProvider, 0, as.Born) // an EU Tier-1
+				g.addLink(t2, eu[i%len(eu)], CustomerProvider, 0, as.Born)
+			} else {
+				g.addLink(t2, g.tier1s[i%len(g.tier1s)], CustomerProvider, 0, as.Born)
+				g.addLink(t2, g.tier1s[(i+1)%len(g.tier1s)], CustomerProvider, 0, as.Born)
+			}
+			// Same-region Tier-2s peer with each other; about half of
+			// that peering runs over the region's big public fabrics
+			// (Frankfurt/Amsterdam-style), the rest is private.
+			for _, other := range t2s[i+1:] {
+				via := IXPID(0)
+				if x := g.largeIXPIn(region); x != 0 && g.rng.Float64() < 0.5 {
+					via = x
+				}
+				g.addLink(t2, other, PeerPeer, via, maxInt(as.Born, g.topo.ASes[other].Born))
+			}
+		}
+	}
+	// African Tier-2s from different subregions interconnect only
+	// partially (Southern/Eastern peer; Western/Northern mostly do not).
+	afT2 := g.africanTier2s()
+	for i, a := range afT2 {
+		for _, b := range afT2[i+1:] {
+			ra, rb := g.topo.RegionOf(a), g.topo.RegionOf(b)
+			p := 0.15
+			if (ra == geo.AfricaSouthern || ra == geo.AfricaEastern) &&
+				(rb == geo.AfricaSouthern || rb == geo.AfricaEastern) {
+				p = 0.9
+			}
+			if g.rng.Float64() < p {
+				g.addLink(a, b, PeerPeer, 0, 2016)
+			}
+		}
+	}
+}
+
+// largeIXPIn returns one large exchange of the region (lowest id), or 0.
+func (g *generator) largeIXPIn(r geo.Region) IXPID {
+	for _, id := range sortedIXPIDs(g.topo.IXPs) {
+		x := g.topo.IXPs[id]
+		if geo.MustLookup(x.Country).Region == r && ixpCatalog[int(id)-1].large {
+			return id
+		}
+	}
+	return 0
+}
+
+func (g *generator) africanTier2s() []ASN {
+	var out []ASN
+	for _, r := range geo.AfricanRegions() {
+		out = append(out, g.tier2s[r]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (g *generator) linkContent() {
+	for i, cn := range g.content {
+		as := g.topo.ASes[cn]
+		spec := contentSpecs[i]
+		// Global reach through two Tier-1s.
+		g.addLink(cn, g.tier1s[i%len(g.tier1s)], CustomerProvider, 0, as.Born)
+		g.addLink(cn, g.tier1s[(i+2)%len(g.tier1s)], CustomerProvider, 0, as.Born)
+
+		// Off-net caches: decide per IXP, then peer with the fabric's
+		// members openly (that is what off-nets are for).
+		for _, xid := range sortedIXPIDs(g.topo.IXPs) {
+			x := g.topo.IXPs[xid]
+			ctry := geo.MustLookup(x.Country)
+			prof := regionProfiles[ctry.Region]
+			ixSpec := ixpCatalog[int(xid)-1]
+			p := prof.contentOffnetProb
+			if ixSpec.large {
+				p = 0.95
+			}
+			if ctry.ISO2 == "ZA" && spec.zaRegion {
+				p = 0.95
+			}
+			if !ctry.Region.IsAfrica() && !ixSpec.large {
+				p = 0.6
+			}
+			if as.Born > ixSpec.born {
+				// Cache deployment lags the AS's existence, not the IXP's.
+				if g.year < as.Born+2 {
+					p = 0
+				}
+			}
+			if g.rng.Float64() >= p {
+				continue
+			}
+			as.OffNetAt = append(as.OffNetAt, xid)
+			for _, m := range x.Members {
+				if m == cn {
+					continue
+				}
+				if g.rng.Float64() < 0.9 {
+					g.addLink(cn, m, PeerPeer, xid, maxInt(as.Born, x.Born))
+				}
+			}
+		}
+	}
+}
+
+// continentalHubFor maps each African subregion to the Tier-2 market its
+// ISPs reach for when buying in-continent transit.
+func (g *generator) continentalHubFor(r geo.Region) []ASN {
+	switch r {
+	case geo.AfricaSouthern:
+		return g.t2ByCtry["ZA"]
+	case geo.AfricaEastern:
+		return append(append([]ASN{}, g.t2ByCtry["KE"]...), g.t2ByCtry["ZA"]...)
+	case geo.AfricaWestern:
+		return g.t2ByCtry["NG"]
+	case geo.AfricaNorthern:
+		return g.t2ByCtry["EG"]
+	case geo.AfricaCentral:
+		return append(append([]ASN{}, g.t2ByCtry["ZA"]...), g.t2ByCtry["NG"]...)
+	}
+	return nil
+}
+
+func (g *generator) linkStubs() {
+	for _, as := range g.all {
+		if as.Tier != TierStub || as.Type == ASIXPRouteServer {
+			continue
+		}
+		if isContentASN(as.ASN) {
+			continue
+		}
+		if as.ASN == kigaliProbeASN {
+			// The pilot probe's host ISP (Section 7.3) multihomes to the
+			// continental carriers plus a European upstream — the broad
+			// upstream peering that let the Kigali vantage see exchanges
+			// the Atlas deployment missed.
+			if ke := g.t2ByCtry["KE"]; len(ke) > 0 {
+				g.addLink(as.ASN, ke[0], CustomerProvider, 0, as.Born)
+			}
+			if za := g.t2ByCtry["ZA"]; len(za) > 0 {
+				g.addLink(as.ASN, za[0], CustomerProvider, 0, as.Born)
+			}
+			if ng := g.t2ByCtry["NG"]; len(ng) > 0 {
+				g.addLink(as.ASN, ng[0], CustomerProvider, 0, as.Born)
+			}
+			if eu := g.euTier2s(); len(eu) > 0 {
+				g.addLink(as.ASN, eu[0], CustomerProvider, 0, as.Born)
+			}
+			continue
+		}
+		prof := regionProfiles[as.Region]
+
+		// Non-ISP organizations usually buy from a domestic ISP.
+		if as.Type == ASEnterprise || as.Type == ASEducation || as.Type == ASGovernment || as.Type == ASCloud {
+			if isp := g.domesticISPFor(as); isp != 0 && g.rng.Float64() < 0.75 {
+				g.addLink(as.ASN, isp, CustomerProvider, 0, as.Born)
+				// Some also multihome to transit below.
+				if g.rng.Float64() < 0.7 {
+					continue
+				}
+			}
+		}
+
+		providers := 0
+		// In-country Tier-2.
+		if local := g.t2ByCtry[as.Country]; len(local) > 0 && g.rng.Float64() < prof.localProviderProb {
+			g.addLink(as.ASN, local[g.rng.Intn(len(local))], CustomerProvider, 0, as.Born)
+			providers++
+		}
+		// Continental hub Tier-2 (Africa only).
+		if as.Region.IsAfrica() && providers == 0 {
+			if hubs := g.continentalHubFor(as.Region); len(hubs) > 0 && g.rng.Float64() < prof.localProviderProb*0.7 {
+				g.addLink(as.ASN, hubs[g.rng.Intn(len(hubs))], CustomerProvider, 0, as.Born)
+				providers++
+			}
+		}
+		// European transit (the dependence the paper documents).
+		if g.rng.Float64() < prof.euTransitProb || providers == 0 {
+			var pool []ASN
+			if as.Region.IsAfrica() {
+				pool = g.euTier2s()
+			} else {
+				pool = g.tier2s[as.Region]
+				if len(pool) == 0 {
+					pool = g.euTier2s()
+				}
+			}
+			g.addLink(as.ASN, pool[g.rng.Intn(len(pool))], CustomerProvider, 0, as.Born)
+			providers++
+		}
+		// Occasional second upstream for resilience.
+		if providers == 1 && g.rng.Float64() < 0.25 {
+			pool := g.tier2s[as.Region]
+			if as.Region.IsAfrica() {
+				pool = g.africanTier2s()
+			}
+			if len(pool) > 0 {
+				g.addLink(as.ASN, pool[g.rng.Intn(len(pool))], CustomerProvider, 0, as.Born)
+			}
+		}
+	}
+}
+
+// domesticISPFor picks the incumbent (first-born ISP) of the AS's country.
+func (g *generator) domesticISPFor(as *AS) ASN {
+	var best *AS
+	for _, cand := range g.all {
+		if cand.Country != as.Country || cand.ASN == as.ASN {
+			continue
+		}
+		if cand.Type != ASFixedISP && cand.Type != ASMobileCarrier {
+			continue
+		}
+		if best == nil || cand.Born < best.Born || (cand.Born == best.Born && cand.ASN < best.ASN) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return 0
+	}
+	return best.ASN
+}
+
+// linkIXPPeering wires settlement-free peering over each exchange fabric.
+// Membership does not imply full-mesh peering — the paper's "peering
+// complexity" — so pairs peer with the regional probability, and very
+// large fabrics cap each member's peer count the way selective route-
+// server policies do in practice.
+func (g *generator) linkIXPPeering() {
+	const maxPeersAtLargeIXP = 25
+	for _, xid := range sortedIXPIDs(g.topo.IXPs) {
+		x := g.topo.IXPs[xid]
+		prof := regionProfiles[geo.MustLookup(x.Country).Region]
+		large := ixpCatalog[int(xid)-1].large
+		degree := make(map[ASN]int)
+		for i, a := range x.Members {
+			for _, b := range x.Members[i+1:] {
+				if large && (degree[a] >= maxPeersAtLargeIXP || degree[b] >= maxPeersAtLargeIXP) {
+					continue
+				}
+				if g.rng.Float64() < prof.ixpPeerProb {
+					g.addLink(a, b, PeerPeer, xid, x.Born)
+					degree[a]++
+					degree[b]++
+				}
+			}
+		}
+	}
+}
+
+func isContentASN(a ASN) bool {
+	for _, s := range contentSpecs {
+		if s.asn == a {
+			return true
+		}
+	}
+	return false
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

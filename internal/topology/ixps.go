@@ -1,0 +1,133 @@
+package topology
+
+// The IXP catalog. African exchanges are calibrated so the 2015 snapshot
+// has 11 exchanges and the 2025 snapshot has 77 — the ~600% growth the
+// paper reports — with per-country counts mirroring the PCH/PeeringDB
+// directories (South Africa and Nigeria lead; most countries have exactly
+// one young exchange; Northern Africa's exchanges are recent and tiny).
+// Non-African exchanges model the mature fabrics intra-African traffic
+// detours through (Frankfurt/Amsterdam/London/Marseille) plus comparison
+// regions for Figure 1.
+
+type ixpSpec struct {
+	country string
+	name    string
+	born    int
+	// large exchanges attract remote members and content off-nets.
+	large bool
+}
+
+var ixpCatalog = []ixpSpec{
+	// --- Southern Africa (11 by 2025; 4 in the 2015 snapshot) ---
+	{"ZA", "JINX", 1996, true},
+	{"ZA", "CINX", 2009, false},
+	{"ZA", "NAPAfrica-JB", 2012, true},
+	{"ZA", "NAPAfrica-CT", 2016, true},
+	{"ZA", "DINX", 2018, false},
+	{"ZW", "ZINX", 2012, false},
+	{"ZW", "HINX", 2021, false},
+	{"BW", "BINX", 2016, false},
+	{"NA", "WHK-IX", 2016, false},
+	{"LS", "LIX", 2020, false},
+	{"SZ", "SZIX", 2021, false},
+
+	// --- Eastern Africa (26 by 2025; 5 in the 2015 snapshot) ---
+	{"KE", "KIXP-NBO", 2002, true},
+	{"KE", "KIXP-MBA", 2016, false},
+	{"KE", "EANIX", 2020, false},
+	{"UG", "UIXP", 2009, false},
+	{"UG", "UIXP-2", 2018, false},
+	{"TZ", "TIX", 2010, false},
+	{"TZ", "AIXP", 2017, false},
+	{"RW", "RINEX", 2014, false},
+	{"RW", "RINEX-2", 2020, false},
+	{"MZ", "MOZIX", 2002, false},
+	{"MZ", "MOZIX-2", 2019, false},
+	{"ET", "ETIX", 2016, false},
+	{"ET", "ETIX-2", 2021, false},
+	{"DJ", "DJIX", 2016, true}, // regional interconnection hub
+	{"SO", "SOIX", 2019, false},
+	{"SS", "SSIX", 2022, false},
+	{"BI", "BDIX", 2016, false},
+	{"MW", "MIX", 2016, false},
+	{"MW", "MIX-2", 2021, false},
+	{"ZM", "LUSIX", 2016, false},
+	{"ZM", "ZIXP", 2020, false},
+	{"MG", "MGIX", 2016, false},
+	{"MU", "MIXP", 2016, false},
+	{"MU", "MIXP-2", 2021, false},
+	{"SC", "SIXP", 2018, false},
+	{"KM", "KMIX", 2021, false},
+
+	// --- Western Africa (21 by 2025; 2 in the 2015 snapshot) ---
+	{"NG", "IXPN-LOS", 2007, true},
+	{"NG", "IXPN-ABJ", 2016, false},
+	{"NG", "IXPN-PHC", 2019, false},
+	{"GH", "GIX", 2008, false},
+	{"GH", "GIX-2", 2020, false},
+	{"CI", "CIVIX", 2016, false},
+	{"CI", "CIVIX-2", 2020, false},
+	{"SN", "SENIX", 2016, false},
+	{"SN", "DKR-IX", 2021, false},
+	{"BJ", "BENIX", 2016, false},
+	{"TG", "TGIX", 2019, false},
+	{"BF", "BFIX", 2016, false},
+	{"ML", "MLIX", 2017, false},
+	{"NE", "NIGIX", 2019, false},
+	{"GM", "SIXP-GM", 2016, false},
+	{"GN", "GNIX", 2018, false},
+	{"LR", "LIBIX", 2017, false},
+	{"SL", "SLIX", 2018, false},
+	{"MR", "MRIX", 2020, false},
+	{"CV", "CVIX", 2019, false},
+	{"GW", "GWIX", 2023, false},
+
+	// --- Central Africa (12 by 2025; 0 in the 2015 snapshot) ---
+	{"AO", "ANGONIX", 2016, true},
+	{"AO", "ANG-IX2", 2019, false},
+	{"CD", "KINIX", 2016, false},
+	{"CD", "LUBIX", 2021, false},
+	{"CM", "CAMIX", 2016, false},
+	{"CM", "CAMIX-DLA", 2020, false},
+	{"CG", "CGIX", 2019, false},
+	{"GA", "GABIX", 2017, false},
+	{"TD", "TDIX", 2022, false},
+	{"CF", "RCAIX", 2023, false},
+	{"GQ", "GQIX", 2021, false},
+	{"ST", "STIX", 2022, false},
+
+	// --- Northern Africa (7 by 2025; 0 in the 2015 snapshot) ---
+	{"EG", "CAIX", 2018, false},
+	{"EG", "EG-IX", 2022, false},
+	{"MA", "CASIX", 2019, false},
+	{"TN", "TUNIX", 2016, false},
+	{"DZ", "ALGIX", 2020, false},
+	{"LY", "LYIX", 2023, false},
+	{"SD", "SDIX", 2021, false},
+
+	// --- Comparison regions (not counted in the African 77) ---
+	{"DE", "DE-IX-FRA", 1995, true},
+	{"NL", "AMS-IX", 1997, true},
+	{"GB", "LON-IX", 1994, true},
+	{"FR", "FR-IX-MRS", 2010, true},
+	{"IT", "MIL-IX", 2000, false},
+	{"ES", "ES-IX", 2003, false},
+	{"US", "NA-IX-ASH", 1998, true},
+	{"US", "NA-IX-SJC", 2000, true},
+	{"CA", "TOR-IX", 1998, false},
+	{"BR", "BR-IX-SP", 2004, true},
+	{"BR", "BR-IX-FOR", 2012, false},
+	{"AR", "AR-IX", 2008, false},
+	{"CL", "CL-IX", 2010, false},
+	{"CO", "CO-IX", 2012, false},
+	{"PE", "PE-IX", 2016, false},
+	{"EC", "EC-IX", 2018, false},
+	{"SG", "SG-IX", 1996, true},
+	{"JP", "JP-IX", 1997, true},
+	{"IN", "IN-IX", 2003, true},
+	{"AU", "AU-IX", 2002, false},
+	{"ID", "ID-IX", 2005, false},
+	{"MY", "MY-IX", 2006, false},
+	{"PH", "PH-IX", 2009, false},
+	{"AE", "UAE-IX", 2012, true},
+}

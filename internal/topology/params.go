@@ -1,0 +1,281 @@
+package topology
+
+import "github.com/afrinet/observatory/internal/geo"
+
+// Params configures topology generation. The zero value is not useful;
+// use DefaultParams.
+type Params struct {
+	Seed int64
+	Year int
+}
+
+// DefaultParams returns the configuration used across the paper's
+// experiments: the 2025 snapshot with the repository's reference seed.
+func DefaultParams() Params { return Params{Seed: 42, Year: 2025} }
+
+// regionProfile captures the per-region structural parameters that the
+// generator uses. The African values encode the paper's Section 2
+// findings (EU transit dependence, thin local peering, mobile-dominated
+// access) with the per-region maturity gradient of Section 4.3
+// (Southern most mature, then Eastern, Western least).
+type regionProfile struct {
+	// asFactor is ASes per million population; minAS/maxAS clamp the
+	// per-country count.
+	asFactor float64
+	minAS    int
+	maxAS    int
+
+	// preShare is the fraction of the 2025 AS population already
+	// present in 2015 (mature regions grew earlier).
+	preShare float64
+
+	// mobileCarriers is the typical number of mobile carriers per
+	// country; in Africa these dominate last-mile access.
+	mobileCarriers int
+
+	// mobileShareEyeball is the Radar-style mobile traffic share given
+	// to mobile-carrier ASes (others get low shares).
+	mobileShareEyeball float64
+
+	// localProviderProb is the probability a stub AS buys transit from
+	// an in-continent Tier-2 when one is reachable; otherwise (and with
+	// euTransitProb for a second upstream) it buys from Europe.
+	localProviderProb float64
+	euTransitProb     float64
+
+	// ixpJoinProb is the probability an eyeball/enterprise AS joins its
+	// country's IXP; ixpPeerProb the probability two members actually
+	// exchange routes (the paper's "peering complexity").
+	ixpJoinProb float64
+	ixpPeerProb float64
+
+	// contentOffnetProb is the probability a global content/cloud AS
+	// places an off-net cache at a given (non-large) IXP in the region.
+	contentOffnetProb float64
+}
+
+var regionProfiles = map[geo.Region]regionProfile{
+	geo.AfricaNorthern: {
+		asFactor: 0.10, minAS: 3, maxAS: 18, preShare: 0.60, mobileCarriers: 2,
+		mobileShareEyeball: 0.82, localProviderProb: 0.45, euTransitProb: 0.95,
+		ixpJoinProb: 0.10, ixpPeerProb: 0.0, contentOffnetProb: 0.10,
+	},
+	geo.AfricaWestern: {
+		asFactor: 0.16, minAS: 3, maxAS: 35, preShare: 0.45, mobileCarriers: 3,
+		mobileShareEyeball: 0.90, localProviderProb: 0.35, euTransitProb: 0.90,
+		ixpJoinProb: 0.32, ixpPeerProb: 0.35, contentOffnetProb: 0.22,
+	},
+	geo.AfricaCentral: {
+		asFactor: 0.10, minAS: 3, maxAS: 12, preShare: 0.40, mobileCarriers: 2,
+		mobileShareEyeball: 0.92, localProviderProb: 0.30, euTransitProb: 0.95,
+		ixpJoinProb: 0.70, ixpPeerProb: 0.85, contentOffnetProb: 0.10,
+	},
+	geo.AfricaEastern: {
+		asFactor: 0.18, minAS: 3, maxAS: 25, preShare: 0.50, mobileCarriers: 3,
+		mobileShareEyeball: 0.88, localProviderProb: 0.72, euTransitProb: 0.55,
+		ixpJoinProb: 0.55, ixpPeerProb: 0.45, contentOffnetProb: 0.20,
+	},
+	geo.AfricaSouthern: {
+		asFactor: 0.75, minAS: 3, maxAS: 45, preShare: 0.55, mobileCarriers: 3,
+		mobileShareEyeball: 0.72, localProviderProb: 0.92, euTransitProb: 0.30,
+		ixpJoinProb: 0.72, ixpPeerProb: 0.32, contentOffnetProb: 0.38,
+	},
+	geo.Europe: {
+		asFactor: 0.28, minAS: 6, maxAS: 26, preShare: 0.80, mobileCarriers: 3,
+		mobileShareEyeball: 0.55, localProviderProb: 0.98, euTransitProb: 0.0,
+		ixpJoinProb: 0.75, ixpPeerProb: 0.75, contentOffnetProb: 0.95,
+	},
+	geo.NorthAmerica: {
+		asFactor: 0.18, minAS: 4, maxAS: 60, preShare: 0.82, mobileCarriers: 3,
+		mobileShareEyeball: 0.55, localProviderProb: 0.98, euTransitProb: 0.0,
+		ixpJoinProb: 0.55, ixpPeerProb: 0.65, contentOffnetProb: 0.95,
+	},
+	geo.SouthAmerica: {
+		asFactor: 0.17, minAS: 5, maxAS: 35, preShare: 0.60, mobileCarriers: 3,
+		mobileShareEyeball: 0.68, localProviderProb: 0.85, euTransitProb: 0.10,
+		ixpJoinProb: 0.65, ixpPeerProb: 0.70, contentOffnetProb: 0.60,
+	},
+	geo.AsiaPacific: {
+		asFactor: 0.06, minAS: 6, maxAS: 30, preShare: 0.62, mobileCarriers: 3,
+		mobileShareEyeball: 0.70, localProviderProb: 0.90, euTransitProb: 0.05,
+		ixpJoinProb: 0.60, ixpPeerProb: 0.65, contentOffnetProb: 0.70,
+	},
+}
+
+// asCountOverrides pins per-country AS counts where population is a bad
+// proxy for ecosystem size (state monopolies, unusually liberalized
+// markets, regional hubs).
+var asCountOverrides = map[string]int{
+	"ET": 4, // monopoly incumbent
+	"DZ": 6, // state-dominated
+	"ER": 3, // monopoly
+	"DJ": 5, // tiny but a regional transit hub
+	"EG": 18,
+	"MA": 10,
+	"ZA": 45,
+	"KE": 22,
+	"NG": 35,
+	"MU": 7, // offshore hosting niche
+	"RW": 8, // liberalized, well-connected market
+	"SC": 3,
+	"US": 60, "CA": 15, "MX": 12, "PA": 4,
+	"BR": 35, "AR": 15, "CL": 10, "CO": 10, "PE": 8, "EC": 6,
+	"SG": 12, "IN": 30, "JP": 25, "AU": 15, "ID": 15, "MY": 10, "PH": 10, "AE": 8,
+	"DE": 25, "FR": 22, "GB": 25, "NL": 15, "ES": 12, "IT": 14, "PT": 8,
+	"SE": 8, "PL": 10, "GR": 6,
+}
+
+// tier2Seats lists where in-continent wholesale transit providers sit and
+// how many each hosts. The African set is deliberately tiny — the paper's
+// core structural claim is the lack of Tier-2 depth in Africa.
+var tier2Seats = map[string]int{
+	// Africa: 5 Tier-2s total.
+	"ZA": 2, "KE": 1, "EG": 1, "NG": 1,
+	// Europe: a deep transit market.
+	"DE": 3, "FR": 2, "GB": 3, "NL": 2, "IT": 1, "ES": 1,
+	// North America.
+	"US": 5, "CA": 1,
+	// South America.
+	"BR": 2, "AR": 1, "CL": 1,
+	// Asia-Pacific.
+	"SG": 2, "JP": 2, "IN": 2, "AU": 1, "AE": 1,
+}
+
+// tier1Specs are the global transit-free carriers; none is African.
+var tier1Specs = []struct {
+	asn     ASN
+	name    string
+	country string
+}{
+	{701, "TransGlobal-NA1", "US"},
+	{3356, "TransGlobal-NA2", "US"},
+	{1299, "EuroBackbone-1", "SE"},
+	{3257, "EuroBackbone-2", "DE"},
+	{5511, "EuroBackbone-3", "FR"},
+	{4637, "PacificBackbone", "SG"},
+}
+
+// contentSpecs are the global content and cloud providers. Cloud regions
+// on African soil exist only in South Africa, matching Section 5.2's
+// observation that public clouds in Africa are centralized there.
+var contentSpecs = []struct {
+	asn      ASN
+	name     string
+	country  string
+	typ      ASType
+	born     int
+	zaRegion bool // operates an in-Africa (South Africa) region/PoP
+}{
+	{15169, "GlobalCDN-A", "US", ASContent, 2000, true},
+	{20940, "GlobalCDN-B", "US", ASContent, 2000, true},
+	{13335, "GlobalCDN-C", "US", ASContent, 2010, true},
+	{32934, "SocialCDN", "US", ASContent, 2008, true},
+	{2906, "StreamCDN", "US", ASContent, 2012, false},
+	{16509, "CloudOne", "US", ASCloud, 2006, true},
+	{8075, "CloudTwo", "US", ASCloud, 2010, true},
+	{396982, "CloudThree", "US", ASCloud, 2014, false},
+}
+
+// regionASNBase gives each region a recognizable ASN numbering range
+// (Africa's mirrors AfriNIC's 36864+ block).
+var regionASNBase = map[geo.Region]ASN{
+	geo.AfricaNorthern: 36800,
+	geo.AfricaWestern:  36800,
+	geo.AfricaCentral:  36800,
+	geo.AfricaEastern:  36800,
+	geo.AfricaSouthern: 36800,
+	geo.Europe:         12000,
+	geo.NorthAmerica:   7000,
+	geo.SouthAmerica:   27000,
+	geo.AsiaPacific:    9500,
+}
+
+// kigaliProbeASN is the Rwandan broadband provider hosting the paper's
+// pilot vantage point (Section 7.3).
+const kigaliProbeASN ASN = 36924
+
+// ixpASNBase numbers IXP route-server/management ASNs (they hold the
+// peering-LAN prefix but never appear in the BGP table).
+const ixpASNBase ASN = 327000
+
+// Address pools per region: each region draws prefixes from recognizable
+// /8 blocks (Africa's are AfriNIC's actual blocks).
+var regionPools = map[geo.Region][]string{
+	geo.AfricaNorthern: {"102.0.0.0/8", "105.0.0.0/8", "154.0.0.0/8", "196.0.0.0/8", "197.0.0.0/8"},
+	geo.AfricaWestern:  {"102.0.0.0/8", "105.0.0.0/8", "154.0.0.0/8", "196.0.0.0/8", "197.0.0.0/8"},
+	geo.AfricaCentral:  {"102.0.0.0/8", "105.0.0.0/8", "154.0.0.0/8", "196.0.0.0/8", "197.0.0.0/8"},
+	geo.AfricaEastern:  {"102.0.0.0/8", "105.0.0.0/8", "154.0.0.0/8", "196.0.0.0/8", "197.0.0.0/8"},
+	geo.AfricaSouthern: {"102.0.0.0/8", "105.0.0.0/8", "154.0.0.0/8", "196.0.0.0/8", "197.0.0.0/8"},
+	geo.Europe:         {"80.0.0.0/8", "85.0.0.0/8", "90.0.0.0/8"},
+	geo.NorthAmerica:   {"23.0.0.0/8", "63.0.0.0/8", "66.0.0.0/8"},
+	geo.SouthAmerica:   {"177.0.0.0/8", "181.0.0.0/8", "186.0.0.0/8"},
+	geo.AsiaPacific:    {"101.0.0.0/8", "103.0.0.0/8", "110.0.0.0/8"},
+}
+
+// ixpLANPool is where IXP peering LANs are carved from (one /24 each);
+// 196.60.0.0/14 sits inside AfriNIC space, as real African IXP LANs do.
+const ixpLANPool = "196.60.0.0/14"
+
+// prefixCountFor returns how many /20 blocks an AS of the given type is
+// allocated. Mobile carriers hold the most address space.
+func prefixCountFor(t ASType) int {
+	switch t {
+	case ASMobileCarrier:
+		return 3
+	case ASFixedISP:
+		return 2
+	case ASTransit:
+		return 2
+	case ASCloud, ASContent:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// darkProbFor returns the probability an AS is fully firewalled (drops
+// all probes and ICMP). Enterprises and governments are often dark;
+// carriers almost never are.
+func darkProbFor(t ASType) float64 {
+	switch t {
+	case ASEnterprise:
+		return 0.30
+	case ASGovernment:
+		return 0.35
+	case ASEducation:
+		return 0.12
+	case ASFixedISP:
+		return 0.10
+	case ASMobileCarrier:
+		return 0.03
+	default:
+		return 0.02
+	}
+}
+
+// responsiveFor returns the fraction of an AS's address space that
+// answers active probes. Mobile space sits behind CGNAT and answers
+// rarely — a key reason Table 1's scanners still "cover" mobile ASNs
+// only via hitlists that remember historically responsive addresses.
+func responsiveFor(t ASType) float64 {
+	switch t {
+	case ASMobileCarrier:
+		return 0.03
+	case ASFixedISP:
+		return 0.15
+	case ASEnterprise:
+		return 0.25
+	case ASEducation:
+		return 0.40
+	case ASGovernment:
+		return 0.30
+	case ASContent:
+		return 0.70
+	case ASCloud:
+		return 0.60
+	case ASTransit:
+		return 0.45
+	default:
+		return 0.10
+	}
+}

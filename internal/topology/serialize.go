@@ -1,0 +1,270 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/netx"
+)
+
+func lookupCountry(iso2 string) (geo.Region, bool) {
+	c, ok := geo.Lookup(iso2)
+	if !ok {
+		return geo.RegionUnknown, false
+	}
+	return c.Region, true
+}
+
+func coord(lat, lng float64) geo.Coord { return geo.Coord{Lat: lat, Lng: lng} }
+
+// JSON interchange. The wire schema is explicit and versioned so
+// externally produced topologies (hand-edited scenarios, other
+// generators) can be loaded, and generated worlds can be inspected with
+// standard tooling. Derived indexes and physical realizations are
+// rebuilt on load, so files stay small and edits stay consistent.
+
+// wireSchemaVersion guards against silent format drift.
+const wireSchemaVersion = 1
+
+type wireTopology struct {
+	Version int         `json:"version"`
+	Seed    int64       `json:"seed"`
+	Year    int         `json:"year"`
+	ASes    []wireAS    `json:"ases"`
+	Links   []wireLink  `json:"links"`
+	IXPs    []wireIXP   `json:"ixps"`
+	Cables  []wireCable `json:"cables"`
+	// Conduits are regenerated from the cable catalog year on load when
+	// absent; explicit conduits override.
+	Conduits []wireConduit `json:"conduits,omitempty"`
+}
+
+type wireAS struct {
+	ASN         uint32   `json:"asn"`
+	Name        string   `json:"name"`
+	Country     string   `json:"country"`
+	Type        string   `json:"type"`
+	Tier        string   `json:"tier"`
+	Born        int      `json:"born"`
+	Prefixes    []string `json:"prefixes"`
+	MobileShare float64  `json:"mobile_share,omitempty"`
+	OffNetAt    []int    `json:"offnet_at,omitempty"`
+	Responsive  float64  `json:"responsive,omitempty"`
+}
+
+type wireLink struct {
+	A    uint32 `json:"a"`
+	B    uint32 `json:"b"`
+	Kind string `json:"kind"`
+	Via  int    `json:"via,omitempty"`
+	Born int    `json:"born,omitempty"`
+}
+
+type wireIXP struct {
+	ID      int      `json:"id"`
+	Name    string   `json:"name"`
+	Country string   `json:"country"`
+	Born    int      `json:"born"`
+	LAN     string   `json:"lan"`
+	Members []uint32 `json:"members"`
+}
+
+type wireCable struct {
+	ID       int           `json:"id"`
+	Name     string        `json:"name"`
+	Born     int           `json:"born"`
+	Corridor string        `json:"corridor"`
+	Capacity float64       `json:"capacity"`
+	Landings []wireLanding `json:"landings"`
+}
+
+type wireLanding struct {
+	Country string  `json:"country"`
+	City    string  `json:"city"`
+	Lat     float64 `json:"lat"`
+	Lng     float64 `json:"lng"`
+}
+
+type wireConduit struct {
+	ID       int     `json:"id"`
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Cable    int     `json:"cable,omitempty"`
+	KM       float64 `json:"km"`
+	Capacity float64 `json:"capacity"`
+	Born     int     `json:"born"`
+}
+
+var tierNames = map[Tier]string{TierStub: "stub", Tier2: "tier2", Tier1: "tier1"}
+
+func tierFromName(s string) (Tier, error) {
+	for t, n := range tierNames {
+		if n == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown tier %q", s)
+}
+
+func typeFromName(s string) (ASType, error) {
+	for t, n := range asTypeNames {
+		if n == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("topology: unknown AS type %q", s)
+}
+
+// WriteJSON serializes the topology.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	wt := wireTopology{Version: wireSchemaVersion, Seed: t.Seed, Year: t.Year}
+	for _, asn := range t.ASNs() {
+		as := t.ASes[asn]
+		wa := wireAS{
+			ASN: uint32(as.ASN), Name: as.Name, Country: as.Country,
+			Type: as.Type.String(), Tier: tierNames[as.Tier], Born: as.Born,
+			MobileShare: as.MobileShare, Responsive: as.Responsive,
+		}
+		for _, p := range as.Prefixes {
+			wa.Prefixes = append(wa.Prefixes, p.String())
+		}
+		for _, x := range as.OffNetAt {
+			wa.OffNetAt = append(wa.OffNetAt, int(x))
+		}
+		wt.ASes = append(wt.ASes, wa)
+	}
+	for i := range t.Links {
+		l := &t.Links[i]
+		wt.Links = append(wt.Links, wireLink{
+			A: uint32(l.A), B: uint32(l.B), Kind: l.Kind.String(),
+			Via: int(l.Via), Born: l.Born,
+		})
+	}
+	for _, id := range t.IXPIDs() {
+		x := t.IXPs[id]
+		wx := wireIXP{ID: int(x.ID), Name: x.Name, Country: x.Country, Born: x.Born, LAN: x.LAN.String()}
+		for _, m := range x.Members {
+			wx.Members = append(wx.Members, uint32(m))
+		}
+		wt.IXPs = append(wt.IXPs, wx)
+	}
+	for _, id := range t.CableIDs() {
+		c := t.Cables[id]
+		wc := wireCable{ID: int(c.ID), Name: c.Name, Born: c.Born, Corridor: c.Corridor, Capacity: c.Capacity}
+		for _, l := range c.Landings {
+			wc.Landings = append(wc.Landings, wireLanding{Country: l.Country, City: l.City, Lat: l.Site.Lat, Lng: l.Site.Lng})
+		}
+		wt.Cables = append(wt.Cables, wc)
+	}
+	for i := range t.Conduits {
+		c := &t.Conduits[i]
+		wt.Conduits = append(wt.Conduits, wireConduit{
+			ID: int(c.ID), From: c.FromCountry, To: c.ToCountry,
+			Cable: int(c.Cable), KM: c.KM, Capacity: c.Capacity, Born: c.Born,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(wt)
+}
+
+// ReadJSON loads a topology from its JSON form, rebuilding indexes and
+// link realizations.
+func ReadJSON(r io.Reader) (*Topology, error) {
+	var wt wireTopology
+	if err := json.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("topology: decode: %w", err)
+	}
+	if wt.Version != wireSchemaVersion {
+		return nil, fmt.Errorf("topology: schema version %d, want %d", wt.Version, wireSchemaVersion)
+	}
+	t := &Topology{
+		Seed:   wt.Seed,
+		Year:   wt.Year,
+		ASes:   make(map[ASN]*AS, len(wt.ASes)),
+		IXPs:   make(map[IXPID]*IXP, len(wt.IXPs)),
+		Cables: make(map[CableID]*Cable, len(wt.Cables)),
+	}
+	for _, wa := range wt.ASes {
+		typ, err := typeFromName(wa.Type)
+		if err != nil {
+			return nil, err
+		}
+		tier, err := tierFromName(wa.Tier)
+		if err != nil {
+			return nil, err
+		}
+		as := &AS{
+			ASN: ASN(wa.ASN), Name: wa.Name, Country: wa.Country,
+			Type: typ, Tier: tier, Born: wa.Born,
+			MobileShare: wa.MobileShare, Responsive: wa.Responsive,
+		}
+		if c, ok := lookupCountry(wa.Country); ok {
+			as.Region = c
+		} else {
+			return nil, fmt.Errorf("topology: AS%d has unknown country %q", wa.ASN, wa.Country)
+		}
+		for _, ps := range wa.Prefixes {
+			p, err := netx.ParsePrefix(ps)
+			if err != nil {
+				return nil, fmt.Errorf("topology: AS%d: %w", wa.ASN, err)
+			}
+			as.Prefixes = append(as.Prefixes, p)
+		}
+		for _, x := range wa.OffNetAt {
+			as.OffNetAt = append(as.OffNetAt, IXPID(x))
+		}
+		if _, dup := t.ASes[as.ASN]; dup {
+			return nil, fmt.Errorf("topology: duplicate AS%d", as.ASN)
+		}
+		t.ASes[as.ASN] = as
+	}
+	for i, wl := range wt.Links {
+		var kind RelKind
+		switch wl.Kind {
+		case "c2p":
+			kind = CustomerProvider
+		case "p2p":
+			kind = PeerPeer
+		default:
+			return nil, fmt.Errorf("topology: link %d has unknown kind %q", i, wl.Kind)
+		}
+		if t.ASes[ASN(wl.A)] == nil || t.ASes[ASN(wl.B)] == nil {
+			return nil, fmt.Errorf("topology: link %d references missing AS", i)
+		}
+		t.Links = append(t.Links, Link{
+			ID: LinkID(i), A: ASN(wl.A), B: ASN(wl.B), Kind: kind,
+			Via: IXPID(wl.Via), Born: wl.Born,
+		})
+	}
+	for _, wx := range wt.IXPs {
+		lan, err := netx.ParsePrefix(wx.LAN)
+		if err != nil {
+			return nil, fmt.Errorf("topology: IXP %s: %w", wx.Name, err)
+		}
+		x := &IXP{ID: IXPID(wx.ID), Name: wx.Name, Country: wx.Country, Born: wx.Born, LAN: lan}
+		for _, m := range wx.Members {
+			x.Members = append(x.Members, ASN(m))
+		}
+		t.IXPs[x.ID] = x
+	}
+	for _, wc := range wt.Cables {
+		c := &Cable{ID: CableID(wc.ID), Name: wc.Name, Born: wc.Born, Corridor: wc.Corridor, Capacity: wc.Capacity}
+		for _, l := range wc.Landings {
+			c.Landings = append(c.Landings, Landing{Country: l.Country, City: l.City,
+				Site: coord(l.Lat, l.Lng)})
+		}
+		t.Cables[c.ID] = c
+	}
+	for _, wc := range wt.Conduits {
+		t.Conduits = append(t.Conduits, Conduit{
+			ID: ConduitID(wc.ID), FromCountry: wc.From, ToCountry: wc.To,
+			Cable: CableID(wc.Cable), KM: wc.KM, Capacity: wc.Capacity, Born: wc.Born,
+		})
+	}
+	t.buildIndexes()
+	realizeLinks(t)
+	return t, nil
+}

@@ -1,0 +1,82 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testTopo.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.ASNs()) != len(testTopo.ASNs()) {
+		t.Fatalf("AS count %d != %d", len(back.ASNs()), len(testTopo.ASNs()))
+	}
+	if len(back.Links) != len(testTopo.Links) {
+		t.Fatalf("link count %d != %d", len(back.Links), len(testTopo.Links))
+	}
+	if len(back.IXPs) != len(testTopo.IXPs) || len(back.Cables) != len(testTopo.Cables) {
+		t.Fatal("IXP/cable counts differ")
+	}
+	// Spot-check a known AS survives with fields intact.
+	a, b := testTopo.ASes[36924], back.ASes[36924]
+	if b == nil || a.Name != b.Name || a.Country != b.Country || a.Type != b.Type ||
+		a.Tier != b.Tier || len(a.Prefixes) != len(b.Prefixes) || a.Region != b.Region {
+		t.Fatalf("AS36924 mangled: %+v vs %+v", a, b)
+	}
+	// Links keep relationships and fabrics.
+	for i := range testTopo.Links {
+		la, lb := &testTopo.Links[i], &back.Links[i]
+		if la.A != lb.A || la.B != lb.B || la.Kind != lb.Kind || la.Via != lb.Via {
+			t.Fatalf("link %d mangled", i)
+		}
+	}
+	// Realization was rebuilt.
+	realized := 0
+	for i := range back.Links {
+		if len(back.Links[i].Path) > 0 {
+			realized++
+		}
+	}
+	if realized == 0 {
+		t.Fatal("no links realized after load")
+	}
+}
+
+func TestReadJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "{",
+		"wrong version": `{"version": 99}`,
+		"unknown type":  `{"version":1,"ases":[{"asn":1,"country":"DE","type":"alien","tier":"stub"}]}`,
+		"unknown tier":  `{"version":1,"ases":[{"asn":1,"country":"DE","type":"mobile","tier":"tier9"}]}`,
+		"bad country":   `{"version":1,"ases":[{"asn":1,"country":"XX","type":"mobile","tier":"stub"}]}`,
+		"bad prefix":    `{"version":1,"ases":[{"asn":1,"country":"DE","type":"mobile","tier":"stub","prefixes":["nope"]}]}`,
+		"duplicate asn": `{"version":1,"ases":[{"asn":1,"country":"DE","type":"mobile","tier":"stub"},{"asn":1,"country":"DE","type":"mobile","tier":"stub"}]}`,
+		"dangling link": `{"version":1,"ases":[],"links":[{"a":1,"b":2,"kind":"c2p"}]}`,
+		"bad link kind": `{"version":1,"ases":[{"asn":1,"country":"DE","type":"mobile","tier":"stub"},{"asn":2,"country":"DE","type":"mobile","tier":"stub"}],"links":[{"a":1,"b":2,"kind":"sideways"}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestJSONDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := testTopo.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := testTopo.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serialization not byte-stable")
+	}
+}

@@ -1,0 +1,276 @@
+// Package whatif is the scenario engine the paper's conclusion calls
+// for: apply an intervention (a cable cut, a resolver-localization
+// mandate) to the synthetic Internet, measure end-user outcomes before
+// and after, and report the deltas that would inform regulators.
+//
+// The headline metric is page-load success: a page loads only when DNS
+// resolution succeeds AND the content fetch succeeds — which is exactly
+// how the hidden DNS dependency of Section 5.2 turns a cable cut into a
+// nationwide outage even for locally hosted content.
+package whatif
+
+import (
+	"sort"
+
+	"github.com/afrinet/observatory/internal/content"
+	"github.com/afrinet/observatory/internal/dnssim"
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// Scenario is one counterfactual.
+type Scenario struct {
+	Name string
+	// CutCables are severed for the scenario's duration.
+	CutCables []topology.CableID
+	// MandateLocalResolvers forces every client onto an in-country
+	// recursive resolver (the legislative intervention).
+	MandateLocalResolvers bool
+	// MandateLocalAuthoritatives additionally hosts domestic domains'
+	// authoritative DNS in-country — full DNS-chain localization.
+	MandateLocalAuthoritatives bool
+	// Countries restricts measurement to these ISO2 codes (nil = all
+	// African countries).
+	Countries []string
+	// SitesPerCountry caps fetches per country (default 10).
+	SitesPerCountry int
+}
+
+// CountryOutcome is one country's before/after measurement.
+type CountryOutcome struct {
+	Country string
+	Region  geo.Region
+	// PageLoadBefore/After is the share of (client, site) page loads
+	// succeeding.
+	PageLoadBefore float64
+	PageLoadAfter  float64
+	// DNSFailShare is the share of after-failures attributable to DNS
+	// alone (content reachable, resolution dead).
+	DNSFailShare float64
+	// MedianRTTBefore/After for successful loads (ms).
+	MedianRTTBefore float64
+	MedianRTTAfter  float64
+	// LocalBefore/After is page-load success restricted to locally
+	// hosted sites — the Section 5.2 lens: with resolvers abroad, even
+	// in-country content dies during a cut; a local-resolver mandate
+	// recovers exactly these loads.
+	LocalBefore float64
+	LocalAfter  float64
+}
+
+// Outcome is the scenario's full result.
+type Outcome struct {
+	Scenario  Scenario
+	Countries []CountryOutcome
+	// Disconnected lists countries whose page-load success dropped to 0.
+	Disconnected []string
+}
+
+// Engine runs scenarios over the simulated stack.
+type Engine struct {
+	net *netsim.Net
+	dns *dnssim.System
+	web *content.System
+}
+
+// NewEngine binds the engine.
+func NewEngine(n *netsim.Net, d *dnssim.System, w *content.System) *Engine {
+	return &Engine{net: n, dns: d, web: w}
+}
+
+// pageLoad attempts one full page load: DNS then fetch.
+func (e *Engine) pageLoad(client topology.ASN, site content.Site, forceLocalResolver, forceLocalAuth bool) (ok bool, dnsOK bool, rtt float64) {
+	res := e.dns.ResolveWithPolicy(client, site.Domain, site.Country, forceLocalResolver, forceLocalAuth)
+	if !res.OK {
+		// Even with DNS dead, check whether content itself would have
+		// been reachable (to attribute the failure).
+		return false, false, 0
+	}
+	f := e.web.Fetch(client, site)
+	if !f.OK {
+		return false, true, 0
+	}
+	return true, true, res.LatencyMs + f.RTTms
+}
+
+// Run executes the scenario and restores the network afterwards.
+func (e *Engine) Run(s Scenario) Outcome {
+	if s.SitesPerCountry <= 0 {
+		s.SitesPerCountry = 10
+	}
+	countries := s.Countries
+	if countries == nil {
+		for _, c := range geo.AfricanCountries() {
+			countries = append(countries, c.ISO2)
+		}
+	}
+
+	topo := e.net.Topology()
+	clients := make(map[string][]topology.ASN)
+	for _, iso := range countries {
+		var cs []topology.ASN
+		for _, a := range topo.ASesIn(iso) {
+			as := topo.ASes[a]
+			if as.Type == topology.ASMobileCarrier || as.Type == topology.ASFixedISP {
+				cs = append(cs, a)
+				if len(cs) == 3 {
+					break
+				}
+			}
+		}
+		clients[iso] = cs
+	}
+
+	type sample struct {
+		okShare    float64
+		localShare float64
+		rtts       []float64
+		dnsFails   int
+		fails      int
+	}
+	measure := func(iso string) sample {
+		var sm sample
+		total, okCnt := 0, 0
+		localTotal, localOK := 0, 0
+		for _, cl := range clients[iso] {
+			sites := e.web.Catalog().SitesFor(iso)
+			n := s.SitesPerCountry
+			if n > len(sites) {
+				n = len(sites)
+			}
+			for i := 0; i < n; i++ {
+				site := sites[i]
+				ok, dnsOK, rtt := e.pageLoad(cl, site, s.MandateLocalResolvers, s.MandateLocalAuthoritatives)
+				total++
+				if site.Kind == content.HostLocal {
+					localTotal++
+					if ok {
+						localOK++
+					}
+				}
+				if ok {
+					okCnt++
+					sm.rtts = append(sm.rtts, rtt)
+				} else {
+					sm.fails++
+					if !dnsOK {
+						sm.dnsFails++
+					}
+				}
+			}
+		}
+		if total > 0 {
+			sm.okShare = float64(okCnt) / float64(total)
+		}
+		if localTotal > 0 {
+			sm.localShare = float64(localOK) / float64(localTotal)
+		} else {
+			sm.localShare = -1 // no local sites in sample
+		}
+		return sm
+	}
+
+	before := make(map[string]sample)
+	for _, iso := range countries {
+		before[iso] = measure(iso)
+	}
+
+	for _, c := range s.CutCables {
+		e.net.CutCable(c)
+	}
+	after := make(map[string]sample)
+	for _, iso := range countries {
+		after[iso] = measure(iso)
+	}
+	for _, c := range s.CutCables {
+		e.net.RestoreCable(c)
+	}
+
+	out := Outcome{Scenario: s}
+	for _, iso := range countries {
+		b, a := before[iso], after[iso]
+		co := CountryOutcome{
+			Country:         iso,
+			Region:          geo.MustLookup(iso).Region,
+			PageLoadBefore:  b.okShare,
+			PageLoadAfter:   a.okShare,
+			MedianRTTBefore: median(b.rtts),
+			MedianRTTAfter:  median(a.rtts),
+			LocalBefore:     b.localShare,
+			LocalAfter:      a.localShare,
+		}
+		if a.fails > 0 {
+			co.DNSFailShare = float64(a.dnsFails) / float64(a.fails)
+		}
+		out.Countries = append(out.Countries, co)
+		if b.okShare > 0 && a.okShare == 0 {
+			out.Disconnected = append(out.Disconnected, iso)
+		}
+	}
+	sort.Slice(out.Countries, func(i, j int) bool { return out.Countries[i].Country < out.Countries[j].Country })
+	sort.Strings(out.Disconnected)
+	return out
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// RegionSummary aggregates an outcome by region.
+type RegionSummary struct {
+	Region         geo.Region
+	PageLoadBefore float64
+	PageLoadAfter  float64
+	DNSFailShare   float64
+	Countries      int
+}
+
+// ByRegion summarizes an outcome per African region.
+func ByRegion(o Outcome) []RegionSummary {
+	agg := map[geo.Region]*RegionSummary{}
+	for _, c := range o.Countries {
+		rs := agg[c.Region]
+		if rs == nil {
+			rs = &RegionSummary{Region: c.Region}
+			agg[c.Region] = rs
+		}
+		rs.PageLoadBefore += c.PageLoadBefore
+		rs.PageLoadAfter += c.PageLoadAfter
+		rs.DNSFailShare += c.DNSFailShare
+		rs.Countries++
+	}
+	var out []RegionSummary
+	for _, r := range geo.AfricanRegions() {
+		if rs, ok := agg[r]; ok {
+			n := float64(rs.Countries)
+			out = append(out, RegionSummary{
+				Region:         r,
+				PageLoadBefore: rs.PageLoadBefore / n,
+				PageLoadAfter:  rs.PageLoadAfter / n,
+				DNSFailShare:   rs.DNSFailShare / n,
+				Countries:      rs.Countries,
+			})
+		}
+	}
+	return out
+}
+
+// FindCables resolves cable names to ids (helper for scenario builders).
+func FindCables(t *topology.Topology, names ...string) []topology.CableID {
+	var out []topology.CableID
+	for _, name := range names {
+		for _, id := range t.CableIDs() {
+			if t.Cables[id].Name == name {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package whatif
+
+import (
+	"testing"
+
+	"github.com/afrinet/observatory/internal/bgp"
+	"github.com/afrinet/observatory/internal/content"
+	"github.com/afrinet/observatory/internal/dnssim"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+var (
+	testTopo = topology.Generate(topology.DefaultParams())
+	testNet  = netsim.New(testTopo, bgp.New(testTopo), 42)
+	testEng  = NewEngine(testNet, dnssim.New(testNet, 42), content.New(testNet, 42))
+)
+
+func TestFindCables(t *testing.T) {
+	ids := FindCables(testTopo, "WACS", "SAT-3")
+	if len(ids) != 2 {
+		t.Fatalf("found %d cables", len(ids))
+	}
+	if got := FindCables(testTopo, "NotACable"); len(got) != 0 {
+		t.Fatal("found a ghost cable")
+	}
+}
+
+func TestScenarioRestoresNetwork(t *testing.T) {
+	cut := FindCables(testTopo, "WACS", "MainOne", "SAT-3", "ACE")
+	testEng.Run(Scenario{Name: "t", CutCables: cut, Countries: []string{"NG", "GH"}, SitesPerCountry: 4})
+	if len(testNet.CutCables()) != 0 {
+		t.Fatal("scenario left cables cut")
+	}
+}
+
+func TestBaselineHealthy(t *testing.T) {
+	out := testEng.Run(Scenario{Name: "noop", Countries: []string{"KE", "ZA"}, SitesPerCountry: 6})
+	for _, c := range out.Countries {
+		if c.PageLoadBefore < 0.9 {
+			t.Fatalf("%s baseline page loads %.2f; should be healthy", c.Country, c.PageLoadBefore)
+		}
+		if c.PageLoadAfter != c.PageLoadBefore {
+			t.Fatalf("%s changed without any cut", c.Country)
+		}
+	}
+}
+
+func TestCorridorCutDegradesWest(t *testing.T) {
+	cut := FindCables(testTopo, "WACS", "MainOne", "SAT-3", "ACE")
+	out := testEng.Run(Scenario{
+		Name: "march-2024", CutCables: cut,
+		Countries: []string{"NG", "GH", "SL", "LR", "GM"}, SitesPerCountry: 8,
+	})
+	worst := 1.0
+	for _, c := range out.Countries {
+		if c.PageLoadAfter < worst {
+			worst = c.PageLoadAfter
+		}
+	}
+	if worst > 0.5 {
+		t.Fatalf("worst-hit country still at %.2f after a 4-cable corridor cut", worst)
+	}
+}
+
+func TestMandateHelpsLocalContent(t *testing.T) {
+	// Section 5.2's claim as an executable assertion: with the whole
+	// corridor gone, the full local-DNS-chain mandate must protect
+	// locally hosted content. (Under partial cuts the anycast resolvers
+	// already survive, so the mandate has nothing to rescue there.)
+	cut := testTopo.Corridors()["west-africa-coastal"]
+	countries := []string{"NG", "GH", "CI", "SN", "BJ", "TG"}
+	base := testEng.Run(Scenario{Name: "b", CutCables: cut, Countries: countries, SitesPerCountry: 20})
+	mand := testEng.Run(Scenario{Name: "m", CutCables: cut, Countries: countries,
+		SitesPerCountry: 20, MandateLocalResolvers: true, MandateLocalAuthoritatives: true})
+
+	var baseLocal, mandLocal float64
+	n := 0
+	for i := range base.Countries {
+		if base.Countries[i].LocalAfter < 0 || mand.Countries[i].LocalAfter < 0 {
+			continue
+		}
+		baseLocal += base.Countries[i].LocalAfter
+		mandLocal += mand.Countries[i].LocalAfter
+		n++
+	}
+	if n == 0 {
+		t.Skip("no local content sampled")
+	}
+	if mandLocal < baseLocal {
+		t.Fatalf("mandate hurt local content: %.2f -> %.2f", baseLocal/float64(n), mandLocal/float64(n))
+	}
+}
+
+func TestByRegion(t *testing.T) {
+	out := testEng.Run(Scenario{Name: "r", Countries: []string{"NG", "GH", "KE"}, SitesPerCountry: 3})
+	rs := ByRegion(out)
+	if len(rs) != 2 { // Western + Eastern
+		t.Fatalf("regions = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.Countries == 0 || r.PageLoadBefore <= 0 {
+			t.Fatalf("bad region summary %+v", r)
+		}
+	}
+}
+
+func TestOutcomeSorted(t *testing.T) {
+	out := testEng.Run(Scenario{Name: "s", Countries: []string{"ZA", "KE", "NG"}, SitesPerCountry: 2})
+	for i := 1; i < len(out.Countries); i++ {
+		if out.Countries[i].Country < out.Countries[i-1].Country {
+			t.Fatal("countries not sorted")
+		}
+	}
+}
