@@ -1,0 +1,15 @@
+# Tier-1 verification: formatting, vet, build, and the full test suite
+# under the race detector. CI and pre-merge both run `make check`.
+.PHONY: check test build fmt
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+fmt:
+	gofmt -w .

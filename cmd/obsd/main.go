@@ -5,6 +5,14 @@
 // Usage:
 //
 //	obsd [-listen 127.0.0.1:8600] [-trusted owner1,owner2]
+//	     [-tick 5s] [-lease-ttl 3] [-suspect-after 2] [-dead-after 5]
+//
+// The controller's at-least-once task pipeline runs on a logical tick
+// clock: every -tick interval obsd advances it once, which expires
+// stale leases (requeueing their tasks), downgrades silent probes to
+// suspect/dead, and reassigns dead probes' queues to live peers. Fleet
+// health is logged whenever it changes and is always available at
+// GET /api/v1/health and /api/v1/stats.
 //
 // Probes (cmd/obsprobe) sharing the controller's world seed connect to
 // the same simulated Internet, so a controller plus a fleet of probe
@@ -16,6 +24,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/afrinet/observatory/internal/core"
 )
@@ -23,6 +32,10 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8600", "address to serve the control-plane API on")
 	trusted := flag.String("trusted", "upanzi,research-team", "comma-separated trusted experiment owners")
+	tick := flag.Duration("tick", 5*time.Second, "wall-clock interval per controller tick (lease/liveness sweep)")
+	leaseTTL := flag.Int64("lease-ttl", 3, "ticks a probe may hold a leased task before it is requeued")
+	suspectAfter := flag.Int64("suspect-after", 2, "silent ticks before a probe is suspect")
+	deadAfter := flag.Int64("dead-after", 5, "silent ticks before a probe is dead and its queue reassigned")
 	flag.Parse()
 
 	var cohort []string
@@ -32,8 +45,25 @@ func main() {
 		}
 	}
 	ctrl := core.NewController(cohort...)
+	ctrl.LeaseTTL = *leaseTTL
+	ctrl.SuspectAfter = *suspectAfter
+	ctrl.DeadAfter = *deadAfter
 
-	log.Printf("obsd: serving control plane on http://%s (trusted cohort: %v)", *listen, cohort)
+	go func() {
+		last := ctrl.Health()
+		for range time.Tick(*tick) {
+			ctrl.Tick(1)
+			h := ctrl.Health()
+			if h.Status != last.Status || h.ProbesDead != last.ProbesDead || h.ProbesSuspect != last.ProbesSuspect {
+				log.Printf("obsd: fleet %s — alive=%d suspect=%d dead=%d queued=%d leased=%d",
+					h.Status, h.ProbesAlive, h.ProbesSuspect, h.ProbesDead, h.QueuedTasks, h.OutstandingLeases)
+			}
+			last = h
+		}
+	}()
+
+	log.Printf("obsd: serving control plane on http://%s (trusted cohort: %v, tick=%s lease-ttl=%d)",
+		*listen, cohort, *tick, *leaseTTL)
 	if err := http.ListenAndServe(*listen, ctrl.Handler()); err != nil {
 		log.Fatalf("obsd: %v", err)
 	}

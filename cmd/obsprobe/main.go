@@ -77,10 +77,22 @@ func main() {
 	for {
 		n, err := core.RunAgentOnce(cl, agent)
 		if err != nil {
+			// Transient faults are retried inside the client; anything
+			// surfacing here abandons the round. The controller requeues
+			// whatever we leased once the lease expires.
 			log.Printf("obsprobe %s: %v", *id, err)
 		}
 		if n > 0 {
 			log.Printf("obsprobe %s: completed %d tasks", *id, n)
+		}
+		if err != nil {
+			// Lease/upload calls double as liveness contact; a round
+			// that failed outright recorded none, so heartbeat
+			// explicitly lest the controller declare us dead and
+			// reassign our queue.
+			if herr := cl.Heartbeat(*id); herr != nil {
+				log.Printf("obsprobe %s: heartbeat: %v", *id, herr)
+			}
 		}
 		if *once {
 			return

@@ -5,43 +5,148 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"sync"
+	"time"
 
 	"github.com/afrinet/observatory/internal/probes"
 )
 
+// DefaultHTTPTimeout bounds every controller round trip so a hung
+// connection on a flaky cellular link cannot wedge the probe loop.
+const DefaultHTTPTimeout = 10 * time.Second
+
 // Client is the probe-side HTTP client for the controller API —
 // what cmd/obsprobe uses to participate in the observatory.
+//
+// Idempotent calls (everything except Submit, which creates a new
+// experiment per delivery) are retried on transient failures —
+// transport errors, 429s, and 5xx responses — with bounded exponential
+// backoff and jitter drawn from a seeded RNG, so retry schedules are
+// reproducible. The controller deduplicates result uploads by task ID,
+// which is what makes retrying SubmitResults safe.
 type Client struct {
 	Base string // e.g. "http://127.0.0.1:8600"
 	HTTP *http.Client
+
+	// MaxAttempts caps tries per idempotent call (default 4).
+	MaxAttempts int
+	// BackoffBase is the delay before the first retry (default 50ms);
+	// it doubles per attempt up to BackoffCap (default 2s), then a
+	// seeded jitter in [1/2, 1) of the step is applied.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Sleep is the wait hook (nil means time.Sleep); tests replace it
+	// to retry without wall-clock delays.
+	Sleep func(time.Duration)
+
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
-// NewClient builds a client for the given controller base URL.
-func NewClient(base string) *Client {
-	return &Client{Base: base, HTTP: &http.Client{}}
+// NewClient builds a client for the given controller base URL with the
+// default timeout and retry policy (jitter seed 1).
+func NewClient(base string) *Client { return NewClientSeeded(base, 1) }
+
+// NewClientSeeded is NewClient with an explicit jitter seed, for
+// deterministic multi-client tests.
+func NewClientSeeded(base string, seed int64) *Client {
+	return &Client{
+		Base:        base,
+		HTTP:        &http.Client{Timeout: DefaultHTTPTimeout},
+		MaxAttempts: 4,
+		BackoffBase: 50 * time.Millisecond,
+		BackoffCap:  2 * time.Second,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
 }
 
-func (c *Client) post(path string, body, out interface{}) error {
+// backoff returns the jittered delay before retry number attempt (0-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.BackoffBase
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if c.BackoffCap > 0 && d > c.BackoffCap {
+			d = c.BackoffCap
+			break
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(1))
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// transientStatus reports whether a response status is worth retrying.
+func transientStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// do issues one request per attempt, retrying transient failures when
+// retryable is set. body is re-sent verbatim on each attempt.
+func (c *Client) do(method, path string, body []byte, out interface{}, retryable bool) error {
+	attempts := c.MaxAttempts
+	if attempts <= 0 || !retryable {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.sleep(c.backoff(attempt - 1))
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.Base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if transientStatus(resp.StatusCode) {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("core: %s: %s", resp.Status, bytes.TrimSpace(b))
+			continue
+		}
+		err = decodeResponse(resp, out)
+		resp.Body.Close()
+		return err
+	}
+	return fmt.Errorf("core: %s %s failed after %d attempts: %w", method, path, attempts, lastErr)
+}
+
+func (c *Client) post(path string, body, out interface{}, retryable bool) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
+	return c.do(http.MethodPost, path, buf, out, retryable)
 }
 
 func (c *Client) get(path string, out interface{}) error {
-	resp, err := c.HTTP.Get(c.Base + path)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
+	return c.do(http.MethodGet, path, nil, out, true)
 }
 
 func decodeResponse(resp *http.Response, out interface{}) error {
@@ -56,36 +161,48 @@ func decodeResponse(resp *http.Response, out interface{}) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Register announces a probe to the controller.
+// Register announces a probe to the controller (idempotent: retried).
 func (c *Client) Register(p ProbeInfo) error {
-	return c.post("/api/v1/probes/register", p, nil)
+	return c.post("/api/v1/probes/register", p, nil, true)
 }
 
-// LeaseTasks fetches up to max queued tasks for the probe.
+// LeaseTasks fetches up to max queued tasks for the probe. A lost
+// response simply leaves the tasks leased; the controller requeues
+// them when the lease expires, so retrying is safe.
 func (c *Client) LeaseTasks(probeID string, max int) ([]probes.Task, error) {
 	var out []probes.Task
 	err := c.get(fmt.Sprintf("/api/v1/probes/%s/tasks?max=%d", probeID, max), &out)
 	return out, err
 }
 
-// SubmitResults uploads a batch of results.
+// SubmitResults uploads a batch of results. Safe to retry: the
+// controller deduplicates by (experiment, task).
 func (c *Client) SubmitResults(probeID string, rs []probes.Result) error {
-	return c.post(fmt.Sprintf("/api/v1/probes/%s/results", probeID), rs, nil)
+	return c.post(fmt.Sprintf("/api/v1/probes/%s/results", probeID), rs, nil, true)
 }
 
-// Submit posts an experiment.
+// Heartbeat tells the controller the probe is alive when there is no
+// lease or result traffic to piggyback on.
+func (c *Client) Heartbeat(probeID string) error {
+	return c.post(fmt.Sprintf("/api/v1/probes/%s/heartbeat", probeID), struct{}{}, nil, true)
+}
+
+// Submit posts an experiment. NOT retried: each delivery creates a new
+// experiment, so a duplicated submission would double the workload.
+// Callers on unreliable links should check for the experiment before
+// resubmitting.
 func (c *Client) Submit(owner, description string, as []probes.Assignment) (*Experiment, error) {
 	var out Experiment
-	err := c.post("/api/v1/experiments", submitRequest{Owner: owner, Description: description, Assignments: as}, &out)
+	err := c.post("/api/v1/experiments", submitRequest{Owner: owner, Description: description, Assignments: as}, &out, false)
 	if err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// Approve approves a pending experiment.
+// Approve approves a pending experiment (idempotent: retried).
 func (c *Client) Approve(expID string) error {
-	return c.post(fmt.Sprintf("/api/v1/experiments/%s/approve", expID), struct{}{}, nil)
+	return c.post(fmt.Sprintf("/api/v1/experiments/%s/approve", expID), struct{}{}, nil, true)
 }
 
 // Results fetches an experiment's collected results.
@@ -102,10 +219,28 @@ func (c *Client) Probes() ([]ProbeInfo, error) {
 	return out, err
 }
 
+// Health fetches the controller's fleet-health summary.
+func (c *Client) Health() (HealthReport, error) {
+	var out HealthReport
+	err := c.get("/api/v1/health", &out)
+	return out, err
+}
+
+// Stats fetches the controller's pipeline counters and probe statuses.
+func (c *Client) Stats() (StatsReport, error) {
+	var out StatsReport
+	err := c.get("/api/v1/stats", &out)
+	return out, err
+}
+
 // RunAgentOnce drains the probe's queue through the agent: it leases
 // tasks, executes them, and uploads results, returning the number of
 // tasks processed. Power or budget failures are reported as failed
-// results rather than dropped.
+// results rather than dropped. Uploads ride the client's retry policy;
+// because the controller deduplicates by task ID, a retried upload
+// whose first delivery actually landed cannot double-count. If an
+// upload still fails after retries the leased tasks are simply
+// abandoned — the controller requeues them at lease expiry.
 func RunAgentOnce(cl *Client, agent *probes.Agent) (int, error) {
 	total := 0
 	for {

@@ -8,6 +8,30 @@
 //
 // The controller speaks an HTTP/JSON protocol (see http.go) so probes
 // can run as separate processes; it is equally usable in-process.
+//
+// # At-least-once task pipeline
+//
+// Probes run behind intermittent grid power and flaky metered links
+// (Section 7.1), so the task pipeline assumes every RPC can be lost,
+// delayed, or delivered twice:
+//
+//   - LeaseTasks hands out tasks under a lease that expires after
+//     LeaseTTL controller ticks. Time is a logical tick counter
+//     advanced by Tick (cmd/obsd drives it from a wall-clock timer;
+//     tests drive it directly), keeping every run deterministic.
+//   - Tick reaps expired leases: a task whose lease lapsed without a
+//     recorded result is requeued for redelivery.
+//   - SubmitResults is idempotent: results are deduplicated by
+//     (experiment, task) so redelivered or duplicated uploads can
+//     never double-count toward Done.
+//   - Every probe RPC doubles as a heartbeat; Heartbeat is the
+//     explicit no-work variant. A probe that stays silent transitions
+//     alive → suspect → dead on the tick clock, and a dead probe's
+//     queue is reassigned to an alive peer in the same ASN (failing
+//     that, the same country) when one exists.
+//
+// Pipeline events are counted in a metrics.CounterSet exposed via
+// Stats and the /api/v1/stats endpoint.
 package core
 
 import (
@@ -15,6 +39,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/afrinet/observatory/internal/metrics"
 	"github.com/afrinet/observatory/internal/probes"
 	"github.com/afrinet/observatory/internal/topology"
 )
@@ -27,6 +52,25 @@ type ProbeInfo struct {
 	HasWired bool         `json:"has_wired"`
 	// Kind distinguishes hardware probes from proxy/VPN vantages.
 	Kind string `json:"kind,omitempty"`
+}
+
+// ProbeHealth is the controller's liveness verdict for a probe.
+type ProbeHealth string
+
+const (
+	ProbeAlive   ProbeHealth = "alive"
+	ProbeSuspect ProbeHealth = "suspect"
+	ProbeDead    ProbeHealth = "dead"
+)
+
+// ProbeStatus is a probe's registration plus its liveness state, as
+// reported by /api/v1/stats.
+type ProbeStatus struct {
+	ProbeInfo
+	Health   ProbeHealth `json:"health"`
+	LastSeen int64       `json:"last_seen_tick"`
+	Queued   int         `json:"queued"`
+	Leased   int         `json:"leased"`
 }
 
 // ExperimentStatus is the vetting/progress state.
@@ -49,26 +93,88 @@ type Experiment struct {
 	Assignments []probes.Assignment `json:"assignments"`
 }
 
+// probeState is the controller's book on one registered probe.
+type probeState struct {
+	info     ProbeInfo
+	lastSeen int64
+	health   ProbeHealth
+}
+
+// leaseRec is one outstanding task lease.
+type leaseRec struct {
+	task     probes.Task
+	probeID  string
+	deadline int64 // tick at which the lease expires
+}
+
+// HealthReport is the /api/v1/health summary.
+type HealthReport struct {
+	Status            string `json:"status"` // "ok" or "degraded"
+	Tick              int64  `json:"tick"`
+	ProbesAlive       int    `json:"probes_alive"`
+	ProbesSuspect     int    `json:"probes_suspect"`
+	ProbesDead        int    `json:"probes_dead"`
+	QueuedTasks       int    `json:"queued_tasks"`
+	OutstandingLeases int    `json:"outstanding_leases"`
+}
+
+// StatsReport is the /api/v1/stats payload: pipeline counters plus
+// per-probe liveness.
+type StatsReport struct {
+	Tick              int64            `json:"tick"`
+	Counters          map[string]int64 `json:"counters"`
+	Experiments       int              `json:"experiments"`
+	QueuedTasks       int              `json:"queued_tasks"`
+	OutstandingLeases int              `json:"outstanding_leases"`
+	Probes            []ProbeStatus    `json:"probes"`
+}
+
 // Controller is the observatory control plane.
+//
+// The lease/liveness knobs (LeaseTTL, SuspectAfter, DeadAfter) are in
+// controller ticks and must be set before traffic is served; the
+// NewController defaults suit cmd/obsd's one-tick-per-sweep cadence.
 type Controller struct {
 	mu          sync.Mutex
-	probes      map[string]*ProbeInfo
+	probes      map[string]*probeState
 	experiments map[string]*Experiment
 	queues      map[string][]probes.Task // per-probe pending tasks
 	results     map[string][]probes.Result
-	trusted     map[string]bool
-	nextExpID   int
+	// taskIDs indexes each experiment's valid task IDs; recorded marks
+	// the ones that already have a result (the dedup set).
+	taskIDs   map[string]map[string]bool
+	recorded  map[string]map[string]bool
+	leases    map[string]*leaseRec // keyed by experiment+"/"+task id
+	trusted   map[string]bool
+	stats     *metrics.CounterSet
+	now       int64
+	nextExpID int
+
+	// LeaseTTL is how many ticks a probe has to return a leased task's
+	// result before the task is requeued.
+	LeaseTTL int64
+	// SuspectAfter / DeadAfter are how many silent ticks move a probe
+	// to suspect / dead.
+	SuspectAfter int64
+	DeadAfter    int64
 }
 
 // NewController creates an empty control plane with the given trusted
 // experimenter cohort.
 func NewController(trusted ...string) *Controller {
 	c := &Controller{
-		probes:      make(map[string]*ProbeInfo),
-		experiments: make(map[string]*Experiment),
-		queues:      make(map[string][]probes.Task),
-		results:     make(map[string][]probes.Result),
-		trusted:     make(map[string]bool),
+		probes:       make(map[string]*probeState),
+		experiments:  make(map[string]*Experiment),
+		queues:       make(map[string][]probes.Task),
+		results:      make(map[string][]probes.Result),
+		taskIDs:      make(map[string]map[string]bool),
+		recorded:     make(map[string]map[string]bool),
+		leases:       make(map[string]*leaseRec),
+		trusted:      make(map[string]bool),
+		stats:        metrics.NewCounterSet(),
+		LeaseTTL:     3,
+		SuspectAfter: 2,
+		DeadAfter:    5,
 	}
 	for _, t := range trusted {
 		c.trusted[t] = true
@@ -76,16 +182,32 @@ func NewController(trusted ...string) *Controller {
 	return c
 }
 
-// RegisterProbe adds or updates a vantage point.
+// RegisterProbe adds or updates a vantage point. Registration counts as
+// probe contact.
 func (c *Controller) RegisterProbe(p ProbeInfo) error {
 	if p.ID == "" {
 		return fmt.Errorf("core: probe id required")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	cp := p
-	c.probes[p.ID] = &cp
+	st, ok := c.probes[p.ID]
+	if !ok {
+		st = &probeState{}
+		c.probes[p.ID] = st
+	}
+	st.info = p
+	c.touchLocked(st)
 	return nil
+}
+
+// touchLocked records probe contact at the current tick, reviving dead
+// probes.
+func (c *Controller) touchLocked(st *probeState) {
+	st.lastSeen = c.now
+	if st.health == ProbeDead {
+		c.stats.Inc("probes_revived")
+	}
+	st.health = ProbeAlive
 }
 
 // Probes lists registered probes sorted by id.
@@ -93,11 +215,168 @@ func (c *Controller) Probes() []ProbeInfo {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]ProbeInfo, 0, len(c.probes))
-	for _, p := range c.probes {
-		out = append(out, *p)
+	for _, st := range c.probes {
+		out = append(out, st.info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// Heartbeat records contact from a probe that has no lease or result
+// traffic to piggyback on. Unknown probes are rejected so the fleet
+// view stays authoritative.
+func (c *Controller) Heartbeat(probeID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.probes[probeID]
+	if !ok {
+		return fmt.Errorf("core: unknown probe %s", probeID)
+	}
+	c.touchLocked(st)
+	c.stats.Inc("heartbeats")
+	return nil
+}
+
+// ProbeHealthOf reports the controller's liveness verdict for a probe.
+func (c *Controller) ProbeHealthOf(probeID string) (ProbeHealth, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.probes[probeID]
+	if !ok {
+		return "", false
+	}
+	return st.health, true
+}
+
+// Tick advances the controller's logical clock by n ticks, sweeping
+// liveness and reaping expired leases after each. cmd/obsd calls it
+// from a timer; tests call it directly, so runs stay deterministic.
+func (c *Controller) Tick(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		c.now++
+		c.sweepLivenessLocked()
+		c.reapLocked()
+	}
+}
+
+// Now returns the controller's current tick.
+func (c *Controller) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// sweepLivenessLocked updates probe health from ticks-since-contact and
+// reassigns the queues of probes that just died.
+func (c *Controller) sweepLivenessLocked() {
+	ids := make([]string, 0, len(c.probes))
+	for id := range c.probes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		st := c.probes[id]
+		idle := c.now - st.lastSeen
+		switch {
+		case idle >= c.DeadAfter:
+			if st.health != ProbeDead {
+				st.health = ProbeDead
+				c.stats.Inc("probes_dead")
+			}
+			// Reassign on every sweep, not just on the dead
+			// transition: tasks can be enqueued to a probe that is
+			// already dead (experiment approved after the probe
+			// stopped reporting), and a queue left in place for
+			// lack of an eligible peer should move as soon as one
+			// appears.
+			c.reassignQueueLocked(id)
+		case idle >= c.SuspectAfter:
+			if st.health == ProbeAlive {
+				st.health = ProbeSuspect
+				c.stats.Inc("probes_suspect")
+			}
+		}
+	}
+}
+
+// reassignQueueLocked moves a dead probe's pending queue onto an alive
+// peer: same ASN preferred, then same country. With no eligible peer
+// the queue stays put in case the probe revives.
+func (c *Controller) reassignQueueLocked(deadID string) {
+	q := c.queues[deadID]
+	if len(q) == 0 {
+		return
+	}
+	dead := c.probes[deadID]
+	peer := c.pickPeerLocked(deadID, func(p ProbeInfo) bool { return p.ASN == dead.info.ASN })
+	if peer == "" {
+		peer = c.pickPeerLocked(deadID, func(p ProbeInfo) bool { return p.Country == dead.info.Country })
+	}
+	if peer == "" {
+		return
+	}
+	c.queues[peer] = append(c.queues[peer], q...)
+	c.queues[deadID] = nil
+	c.stats.Add("tasks_reassigned", int64(len(q)))
+}
+
+// pickPeerLocked returns the best reassignment target (other than
+// exclude) matching the predicate: alive probes beat suspect ones
+// (dead ones are ineligible), ties broken by id for determinism.
+func (c *Controller) pickPeerLocked(exclude string, match func(ProbeInfo) bool) string {
+	var alive, suspect []string
+	for id, st := range c.probes {
+		if id == exclude || st.health == ProbeDead || !match(st.info) {
+			continue
+		}
+		if st.health == ProbeAlive {
+			alive = append(alive, id)
+		} else {
+			suspect = append(suspect, id)
+		}
+	}
+	if len(alive) > 0 {
+		sort.Strings(alive)
+		return alive[0]
+	}
+	if len(suspect) > 0 {
+		sort.Strings(suspect)
+		return suspect[0]
+	}
+	return ""
+}
+
+// reapLocked requeues tasks whose lease expired without a result.
+func (c *Controller) reapLocked() {
+	keys := make([]string, 0, len(c.leases))
+	for k, l := range c.leases {
+		if l.deadline <= c.now {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		l := c.leases[k]
+		delete(c.leases, k)
+		c.stats.Inc("leases_expired")
+		if c.recorded[l.task.Experiment][l.task.ID] {
+			continue // completed while the lease record lingered
+		}
+		target := l.probeID
+		if st, ok := c.probes[target]; ok && st.health == ProbeDead {
+			// The holder is gone; requeueing onto it would stall until
+			// revival, so route through the reassignment policy.
+			if peer := c.pickPeerLocked(target, func(p ProbeInfo) bool { return p.ASN == st.info.ASN }); peer != "" {
+				target = peer
+			} else if peer := c.pickPeerLocked(target, func(p ProbeInfo) bool { return p.Country == st.info.Country }); peer != "" {
+				target = peer
+			}
+		}
+		c.queues[target] = append(c.queues[target], l.task)
+		c.stats.Inc("tasks_requeued")
+	}
 }
 
 // SubmitExperiment queues an experiment for vetting. Trusted owners are
@@ -116,13 +395,17 @@ func (c *Controller) SubmitExperiment(owner, description string, assignments []p
 		Status:      StatusPending,
 		Assignments: assignments,
 	}
+	ids := make(map[string]bool, len(exp.Assignments))
 	for i := range exp.Assignments {
 		exp.Assignments[i].Task.Experiment = exp.ID
 		if exp.Assignments[i].Task.ID == "" {
 			exp.Assignments[i].Task.ID = fmt.Sprintf("%s-t%04d", exp.ID, i)
 		}
+		ids[exp.Assignments[i].Task.ID] = true
 	}
 	c.experiments[exp.ID] = exp
+	c.taskIDs[exp.ID] = ids
+	c.recorded[exp.ID] = make(map[string]bool)
 	if c.trusted[owner] {
 		c.approveLocked(exp)
 	}
@@ -186,18 +469,40 @@ func cloneExp(e *Experiment) *Experiment {
 	return &cp
 }
 
-// LeaseTasks pops up to max tasks from a probe's queue.
+// LeaseTasks pops up to max tasks from a probe's queue under a lease of
+// LeaseTTL ticks. Tasks that already completed elsewhere (a requeued
+// copy racing its original delivery) are dropped instead of re-leased.
+// The call counts as probe contact.
 func (c *Controller) LeaseTasks(probeID string, max int) []probes.Task {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if st, ok := c.probes[probeID]; ok {
+		c.touchLocked(st)
+	}
 	q := c.queues[probeID]
 	if max <= 0 || max > len(q) {
 		max = len(q)
 	}
-	lease := append([]probes.Task(nil), q[:max]...)
-	c.queues[probeID] = q[max:]
+	lease := make([]probes.Task, 0, max)
+	taken := 0
+	for _, t := range q {
+		if taken == max {
+			break
+		}
+		taken++
+		if c.recorded[t.Experiment][t.ID] {
+			c.stats.Inc("tasks_dropped_completed")
+			continue
+		}
+		lease = append(lease, t)
+		c.leases[leaseKey(t)] = &leaseRec{task: t, probeID: probeID, deadline: c.now + c.LeaseTTL}
+	}
+	c.queues[probeID] = q[taken:]
+	c.stats.Add("tasks_leased", int64(len(lease)))
 	return lease
 }
+
+func leaseKey(t probes.Task) string { return t.Experiment + "/" + t.ID }
 
 // PendingFor reports how many tasks a probe still has queued.
 func (c *Controller) PendingFor(probeID string) int {
@@ -206,14 +511,53 @@ func (c *Controller) PendingFor(probeID string) int {
 	return len(c.queues[probeID])
 }
 
-// SubmitResults records a batch of task results.
-func (c *Controller) SubmitResults(probeID string, rs []probes.Result) {
+// OutstandingLeases reports how many leased tasks await results.
+func (c *Controller) OutstandingLeases() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return len(c.leases)
+}
+
+// SubmitResults records a batch of task results idempotently. The whole
+// batch is validated first — an unregistered probe, unknown experiment,
+// or unknown task ID rejects it without recording anything — then each
+// result is recorded at most once per (experiment, task): redelivered
+// duplicates are counted and dropped, so retrying an upload is always
+// safe. It returns how many results were newly recorded.
+func (c *Controller) SubmitResults(probeID string, rs []probes.Result) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.probes[probeID]
+	if !ok {
+		c.stats.Inc("results_rejected")
+		return 0, fmt.Errorf("core: unknown probe %s", probeID)
+	}
+	c.touchLocked(st)
 	for _, r := range rs {
+		ids, ok := c.taskIDs[r.Experiment]
+		if !ok {
+			c.stats.Inc("results_rejected")
+			return 0, fmt.Errorf("core: unknown experiment %q in result for task %q", r.Experiment, r.TaskID)
+		}
+		if !ids[r.TaskID] {
+			c.stats.Inc("results_rejected")
+			return 0, fmt.Errorf("core: unknown task %q in experiment %s", r.TaskID, r.Experiment)
+		}
+	}
+	accepted := 0
+	for _, r := range rs {
+		if c.recorded[r.Experiment][r.TaskID] {
+			c.stats.Inc("results_deduped")
+			continue
+		}
+		c.recorded[r.Experiment][r.TaskID] = true
 		r.ProbeID = probeID
 		c.results[r.Experiment] = append(c.results[r.Experiment], r)
+		delete(c.leases, r.Experiment+"/"+r.TaskID)
+		c.stats.Inc("results_recorded")
+		accepted++
 	}
+	return accepted, nil
 }
 
 // Results returns the collected results of one experiment.
@@ -223,7 +567,8 @@ func (c *Controller) Results(expID string) []probes.Result {
 	return append([]probes.Result(nil), c.results[expID]...)
 }
 
-// Done reports whether all of an experiment's tasks have results.
+// Done reports whether every one of an experiment's tasks has exactly
+// one recorded result.
 func (c *Controller) Done(expID string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -231,5 +576,60 @@ func (c *Controller) Done(expID string) bool {
 	if !ok {
 		return false
 	}
-	return exp.Status == StatusApproved && len(c.results[expID]) >= len(exp.Assignments)
+	return exp.Status == StatusApproved && len(c.recorded[expID]) >= len(exp.Assignments)
+}
+
+// Stats snapshots the pipeline counters and per-probe liveness.
+func (c *Controller) Stats() StatsReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := StatsReport{
+		Tick:              c.now,
+		Counters:          c.stats.Snapshot(),
+		Experiments:       len(c.experiments),
+		OutstandingLeases: len(c.leases),
+	}
+	for _, q := range c.queues {
+		rep.QueuedTasks += len(q)
+	}
+	leasedBy := make(map[string]int, len(c.probes))
+	for _, l := range c.leases {
+		leasedBy[l.probeID]++
+	}
+	for id, st := range c.probes {
+		rep.Probes = append(rep.Probes, ProbeStatus{
+			ProbeInfo: st.info,
+			Health:    st.health,
+			LastSeen:  st.lastSeen,
+			Queued:    len(c.queues[id]),
+			Leased:    leasedBy[id],
+		})
+	}
+	sort.Slice(rep.Probes, func(i, j int) bool { return rep.Probes[i].ID < rep.Probes[j].ID })
+	return rep
+}
+
+// Health summarizes fleet liveness: "ok" while no probe is dead,
+// "degraded" otherwise.
+func (c *Controller) Health() HealthReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := HealthReport{Status: "ok", Tick: c.now, OutstandingLeases: len(c.leases)}
+	for _, st := range c.probes {
+		switch st.health {
+		case ProbeDead:
+			rep.ProbesDead++
+		case ProbeSuspect:
+			rep.ProbesSuspect++
+		default:
+			rep.ProbesAlive++
+		}
+	}
+	for _, q := range c.queues {
+		rep.QueuedTasks += len(q)
+	}
+	if rep.ProbesDead > 0 {
+		rep.Status = "degraded"
+	}
+	return rep
 }

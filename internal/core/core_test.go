@@ -99,6 +99,9 @@ func TestSubmitValidation(t *testing.T) {
 
 func TestLeaseAndResults(t *testing.T) {
 	c := NewController("o")
+	if err := c.RegisterProbe(ProbeInfo{ID: "p1", ASN: 36924, Country: "RW"}); err != nil {
+		t.Fatal(err)
+	}
 	var asg []probes.Assignment
 	for i := 0; i < 5; i++ {
 		asg = append(asg, probes.Assignment{ProbeID: "p1", Task: probes.Task{Kind: probes.TaskPing, Target: "1.2.3.4"}})
@@ -123,7 +126,9 @@ func TestLeaseAndResults(t *testing.T) {
 	for _, task := range append(lease, rest...) {
 		rs = append(rs, probes.Result{TaskID: task.ID, Experiment: exp.ID, OK: true})
 	}
-	c.SubmitResults("p1", rs)
+	if n, err := c.SubmitResults("p1", rs); err != nil || n != 5 {
+		t.Fatalf("submit: n=%d err=%v", n, err)
+	}
 	if !c.Done(exp.ID) {
 		t.Fatal("not done after all results")
 	}

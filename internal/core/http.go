@@ -12,14 +12,32 @@ import (
 
 // Handler exposes the controller over HTTP/JSON:
 //
-//	POST /api/v1/probes/register          body ProbeInfo
-//	GET  /api/v1/probes                   -> []ProbeInfo
-//	GET  /api/v1/probes/{id}/tasks?max=N  -> []probes.Task (lease)
-//	POST /api/v1/probes/{id}/results      body []probes.Result
-//	POST /api/v1/experiments              body submitRequest -> Experiment
-//	GET  /api/v1/experiments/{id}         -> Experiment
+//	POST /api/v1/probes/register           body ProbeInfo
+//	GET  /api/v1/probes                    -> []ProbeInfo
+//	GET  /api/v1/probes/{id}/tasks?max=N   -> []probes.Task (lease)
+//	POST /api/v1/probes/{id}/results       body []probes.Result
+//	POST /api/v1/probes/{id}/heartbeat
+//	POST /api/v1/experiments               body submitRequest -> Experiment
+//	GET  /api/v1/experiments/{id}          -> Experiment
 //	POST /api/v1/experiments/{id}/approve
-//	GET  /api/v1/experiments/{id}/results -> []probes.Result
+//	GET  /api/v1/experiments/{id}/results  -> []probes.Result
+//	GET  /api/v1/health                    -> HealthReport
+//	GET  /api/v1/stats                     -> StatsReport
+//
+// The probe-facing routes implement the at-least-once protocol
+// described in the package comment: tasks fetched via /tasks are held
+// under a lease of LeaseTTL controller ticks and are requeued if no
+// result arrives in time; /results is idempotent (duplicates are
+// deduplicated by experiment and task ID, so clients retry uploads
+// freely) and rejects batches naming unknown experiments, unknown
+// tasks, or an unregistered probe with 400. Every probe call counts as
+// a heartbeat; /heartbeat exists for probes with nothing to lease or
+// upload. /health and /stats report fleet liveness and the pipeline
+// counters (tasks_leased, leases_expired, tasks_requeued,
+// results_recorded, results_deduped, ...) for cmd/obsd.
+//
+// ?max=N on /tasks caps the lease size: N must be a positive integer
+// (400 otherwise); omitting it (or N=0) means the server default of 32.
 func (c *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/probes/register", c.handleRegister)
@@ -27,6 +45,8 @@ func (c *Controller) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/probes/", c.handleProbeSub)
 	mux.HandleFunc("/api/v1/experiments", c.handleSubmit)
 	mux.HandleFunc("/api/v1/experiments/", c.handleExperimentSub)
+	mux.HandleFunc("/api/v1/health", c.handleHealth)
+	mux.HandleFunc("/api/v1/stats", c.handleStats)
 	return mux
 }
 
@@ -65,11 +85,27 @@ func (c *Controller) handleProbes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c.Probes())
 }
 
-// handleProbeSub routes /api/v1/probes/{id}/(tasks|results).
+func (c *Controller) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Health())
+}
+
+func (c *Controller) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Stats())
+}
+
+// handleProbeSub routes /api/v1/probes/{id}/(tasks|results|heartbeat).
 func (c *Controller) handleProbeSub(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/probes/")
 	parts := strings.Split(rest, "/")
-	if len(parts) != 2 {
+	if len(parts) != 2 || parts[0] == "" {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("not found"))
 		return
 	}
@@ -82,7 +118,12 @@ func (c *Controller) handleProbeSub(w http.ResponseWriter, r *http.Request) {
 		}
 		max := 32
 		if s := r.URL.Query().Get("max"); s != "" {
-			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("max must be a non-negative integer, got %q", s))
+				return
+			}
+			if n > 0 {
 				max = n
 			}
 		}
@@ -97,8 +138,22 @@ func (c *Controller) handleProbeSub(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		c.SubmitResults(id, rs)
-		writeJSON(w, http.StatusOK, map[string]int{"accepted": len(rs)})
+		accepted, err := c.SubmitResults(id, rs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted, "received": len(rs)})
+	case "heartbeat":
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+			return
+		}
+		if err := c.Heartbeat(id); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	default:
 		writeErr(w, http.StatusNotFound, fmt.Errorf("not found"))
 	}
@@ -134,8 +189,16 @@ func (c *Controller) handleExperimentSub(w http.ResponseWriter, r *http.Request)
 	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/experiments/")
 	parts := strings.Split(rest, "/")
 	id := parts[0]
+	if id == "" {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("experiment id required"))
+		return
+	}
 	switch {
 	case len(parts) == 1:
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+			return
+		}
 		exp, ok := c.Experiment(id)
 		if !ok {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown experiment %s", id))
@@ -153,6 +216,10 @@ func (c *Controller) handleExperimentSub(w http.ResponseWriter, r *http.Request)
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": string(StatusApproved)})
 	case len(parts) == 2 && parts[1] == "results":
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+			return
+		}
 		writeJSON(w, http.StatusOK, c.Results(id))
 	default:
 		writeErr(w, http.StatusNotFound, fmt.Errorf("not found"))

@@ -1,0 +1,179 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func newServer(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		w.Write(append([]byte("echo:"), body...)) //nolint:errcheck
+	}))
+}
+
+func TestTransparentWhenZeroProbabilities(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	defer srv.Close()
+	cl := &http.Client{Transport: New(1)}
+	resp, err := cl.Post(srv.URL, "text/plain", strings.NewReader("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "echo:hi" || hits.Load() != 1 {
+		t.Fatalf("body=%q hits=%d", b, hits.Load())
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	defer srv.Close()
+	ft := New(1)
+	ft.DupProb = 1
+	cl := &http.Client{Transport: ft}
+	resp, err := cl.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "echo:x" {
+		t.Fatalf("body = %q", b)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server hits = %d, want 2", hits.Load())
+	}
+	if ft.Stats()["dup"] != 1 {
+		t.Fatalf("stats = %v", ft.Stats())
+	}
+}
+
+func TestDropResponseStillProcesses(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	defer srv.Close()
+	ft := New(1)
+	ft.DropResponseProb = 1
+	cl := &http.Client{Transport: ft}
+	_, err := cl.Get(srv.URL)
+	if err == nil {
+		t.Fatal("expected dropped-response error")
+	}
+	if !strings.Contains(err.Error(), "response dropped") {
+		t.Fatalf("err = %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server hits = %d, want 1 (request must be delivered)", hits.Load())
+	}
+}
+
+func TestDropRequestNeverReachesServer(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	defer srv.Close()
+	ft := New(1)
+	ft.DropRequestProb = 1
+	cl := &http.Client{Transport: ft}
+	if _, err := cl.Get(srv.URL); err == nil {
+		t.Fatal("expected dropped-request error")
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server hits = %d, want 0", hits.Load())
+	}
+}
+
+func TestSynthetic503(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	defer srv.Close()
+	ft := New(1)
+	ft.ErrProb = 1
+	cl := &http.Client{Transport: ft}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server hits = %d, want 0 (503 is synthetic)", hits.Load())
+	}
+}
+
+func TestPartitionOverridesEverything(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	defer srv.Close()
+	ft := New(1)
+	cl := &http.Client{Transport: ft}
+	ft.SetPartitioned(true)
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Get(srv.URL); err == nil {
+			t.Fatal("partitioned request succeeded")
+		}
+	}
+	ft.SetPartitioned(false)
+	if _, err := cl.Get(srv.URL); err != nil {
+		t.Fatalf("post-partition request failed: %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server hits = %d", hits.Load())
+	}
+	if ft.Stats()["partitioned"] != 3 {
+		t.Fatalf("stats = %v", ft.Stats())
+	}
+}
+
+// TestDeterministicSchedule verifies the same seed yields the same
+// fault sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []string {
+		var hits atomic.Int64
+		srv := newServer(t, &hits)
+		defer srv.Close()
+		ft := New(42)
+		ft.DropRequestProb = 0.3
+		ft.ErrProb = 0.2
+		cl := &http.Client{Transport: ft}
+		var seq []string
+		for i := 0; i < 20; i++ {
+			resp, err := cl.Get(srv.URL)
+			switch {
+			case err != nil:
+				seq = append(seq, "drop")
+			case resp.StatusCode == http.StatusServiceUnavailable:
+				resp.Body.Close()
+				seq = append(seq, "503")
+			default:
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				seq = append(seq, "ok")
+			}
+		}
+		return seq
+	}
+	a, b := run(), run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("schedules differ:\n%v\n%v", a, b)
+	}
+	// And the schedule actually mixes outcomes.
+	kinds := map[string]bool{}
+	for _, s := range a {
+		kinds[s] = true
+	}
+	if len(kinds) < 2 {
+		t.Fatalf("degenerate schedule %v", a)
+	}
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	s := NewCounterSet()
+	if got := s.Get("missing"); got != 0 {
+		t.Fatalf("missing counter = %d", got)
+	}
+	s.Inc("a")
+	s.Add("a", 2)
+	s.Add("b", 5)
+	if got := s.Get("a"); got != 3 {
+		t.Fatalf("a = %d", got)
+	}
+	snap := s.Snapshot()
+	if snap["a"] != 3 || snap["b"] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy, not a view.
+	snap["a"] = 99
+	if got := s.Get("a"); got != 3 {
+		t.Fatalf("snapshot aliased the registry: a = %d", got)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestCounterSetConcurrent(t *testing.T) {
+	s := NewCounterSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Inc("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get("hits"); got != 8000 {
+		t.Fatalf("hits = %d", got)
+	}
+}
