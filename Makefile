@@ -1,6 +1,6 @@
 # Tier-1 verification: formatting, vet, build, and the full test suite
 # under the race detector. CI and pre-merge both run `make check`.
-.PHONY: check test build fmt
+.PHONY: check test build fmt fuzz
 
 check:
 	./scripts/check.sh
@@ -13,3 +13,8 @@ test:
 
 fmt:
 	gofmt -w .
+
+# 30s smoke run of the journal-replay fuzzer: random record streams,
+# truncations, and bit flips must never panic the recovery path.
+fuzz:
+	go test ./internal/journal -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime 30s

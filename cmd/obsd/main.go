@@ -6,6 +6,7 @@
 //
 //	obsd [-listen 127.0.0.1:8600] [-trusted owner1,owner2]
 //	     [-tick 5s] [-lease-ttl 3] [-suspect-after 2] [-dead-after 5]
+//	     [-data-dir /var/lib/obsd] [-snapshot-every 1024]
 //
 // The controller's at-least-once task pipeline runs on a logical tick
 // clock: every -tick interval obsd advances it once, which expires
@@ -14,16 +15,29 @@
 // health is logged whenever it changes and is always available at
 // GET /api/v1/health and /api/v1/stats.
 //
+// With -data-dir the controller is crash-safe: every mutation is
+// appended to a checksummed write-ahead journal before it is
+// acknowledged, a compacted snapshot is taken every -snapshot-every
+// records, and a restarted obsd resumes exactly where it left off.
+// While recovery replays, the API answers 503 with Retry-After so
+// probes retry through the outage. SIGINT/SIGTERM trigger a graceful
+// shutdown: in-flight HTTP requests drain, a final snapshot is taken,
+// and the journal is closed cleanly.
+//
 // Probes (cmd/obsprobe) sharing the controller's world seed connect to
 // the same simulated Internet, so a controller plus a fleet of probe
 // processes forms a working distributed deployment on one machine.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/afrinet/observatory/internal/core"
@@ -36,6 +50,8 @@ func main() {
 	leaseTTL := flag.Int64("lease-ttl", 3, "ticks a probe may hold a leased task before it is requeued")
 	suspectAfter := flag.Int64("suspect-after", 2, "silent ticks before a probe is suspect")
 	deadAfter := flag.Int64("dead-after", 5, "silent ticks before a probe is dead and its queue reassigned")
+	dataDir := flag.String("data-dir", "", "journal+snapshot directory for crash-safe state (empty = in-memory only)")
+	snapEvery := flag.Int("snapshot-every", 1024, "journal records between automatic compacted snapshots (with -data-dir)")
 	flag.Parse()
 
 	var cohort []string
@@ -44,14 +60,58 @@ func main() {
 			cohort = append(cohort, t)
 		}
 	}
-	ctrl := core.NewController(cohort...)
-	ctrl.LeaseTTL = *leaseTTL
-	ctrl.SuspectAfter = *suspectAfter
-	ctrl.DeadAfter = *deadAfter
+
+	// Bind the listener before recovery so probes reconnecting after a
+	// restart get 503 (retried by their client) instead of connection
+	// refused.
+	gate := core.NewRecoveryGate()
+	srv := &http.Server{Handler: gate}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("obsd: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	var ctrl *core.Controller
+	if *dataDir != "" {
+		log.Printf("obsd: recovering state from %s ...", *dataDir)
+		start := time.Now()
+		ctrl, err = core.Recover(*dataDir, core.DurabilityConfig{
+			Trusted:       cohort,
+			LeaseTTL:      *leaseTTL,
+			SuspectAfter:  *suspectAfter,
+			DeadAfter:     *deadAfter,
+			SnapshotEvery: *snapEvery,
+		})
+		if err != nil {
+			log.Fatalf("obsd: recover: %v", err)
+		}
+		d := ctrl.DurabilityCounters()
+		log.Printf("obsd: recovered in %s (replayed=%d truncated_tail=%d tick=%d)",
+			time.Since(start).Round(time.Millisecond),
+			d["recovery_replayed"], d["recovery_truncated_tail"], ctrl.Now())
+	} else {
+		ctrl = core.NewController(cohort...)
+		ctrl.LeaseTTL = *leaseTTL
+		ctrl.SuspectAfter = *suspectAfter
+		ctrl.DeadAfter = *deadAfter
+	}
+	gate.Ready(ctrl.Handler())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	go func() {
 		last := ctrl.Health()
-		for range time.Tick(*tick) {
+		t := time.NewTicker(*tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
 			ctrl.Tick(1)
 			h := ctrl.Health()
 			if h.Status != last.Status || h.ProbesDead != last.ProbesDead || h.ProbesSuspect != last.ProbesSuspect {
@@ -62,9 +122,28 @@ func main() {
 		}
 	}()
 
-	log.Printf("obsd: serving control plane on http://%s (trusted cohort: %v, tick=%s lease-ttl=%d)",
-		*listen, cohort, *tick, *leaseTTL)
-	if err := http.ListenAndServe(*listen, ctrl.Handler()); err != nil {
+	log.Printf("obsd: serving control plane on http://%s (trusted cohort: %v, tick=%s lease-ttl=%d data-dir=%q)",
+		ln.Addr(), cohort, *tick, *leaseTTL, *dataDir)
+
+	select {
+	case err := <-serveErr:
 		log.Fatalf("obsd: %v", err)
+	case <-ctx.Done():
 	}
+
+	// Graceful shutdown: stop accepting work, drain in-flight requests,
+	// then snapshot and close the journal so the next start replays
+	// nothing.
+	log.Printf("obsd: shutting down (draining in-flight requests)...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("obsd: http shutdown: %v", err)
+	}
+	if err := ctrl.Close(); err != nil {
+		log.Printf("obsd: closing journal: %v", err)
+	} else if *dataDir != "" {
+		log.Printf("obsd: final snapshot written to %s", *dataDir)
+	}
+	log.Printf("obsd: bye")
 }

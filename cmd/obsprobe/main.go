@@ -11,11 +11,20 @@
 // Without -wired the probe is cellular-only and meters every task
 // against a prepaid bundle budget, failing tasks once the budget is
 // exhausted — the Section 7.1 cost-consciousness in practice.
+//
+// On SIGINT/SIGTERM the probe shuts down gracefully: it finishes the
+// task batch it is executing, attempts one final upload of any results
+// that previous rounds failed to deliver, and exits. Anything still
+// undelivered is recovered by the controller's lease expiry, so a
+// killed probe never strands work.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/afrinet/observatory/internal/core"
@@ -74,17 +83,42 @@ func main() {
 	}
 	log.Printf("obsprobe %s: registered at %s (AS%d, wired=%v)", *id, *controller, *asn, *wired)
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// pending holds results whose upload failed even after retries; they
+	// are flushed on later rounds and in one final attempt at shutdown.
+	// Late delivery is safe: the controller dedups by (experiment, task).
+	var pending []probes.Result
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		if err := cl.SubmitResults(*id, pending); err != nil {
+			log.Printf("obsprobe %s: flushing %d held results: %v", *id, len(pending), err)
+			return
+		}
+		log.Printf("obsprobe %s: delivered %d held results", *id, len(pending))
+		pending = nil
+	}
+
 	for {
-		n, err := core.RunAgentOnce(cl, agent)
+		// A signal mid-batch lets the batch finish: DrainOnce executes
+		// and uploads synchronously, and we only check ctx between
+		// rounds.
+		n, leftover, err := core.DrainOnce(cl, agent)
+		pending = append(pending, leftover...)
 		if err != nil {
 			// Transient faults are retried inside the client; anything
 			// surfacing here abandons the round. The controller requeues
-			// whatever we leased once the lease expires.
+			// whatever we leased once the lease expires — except results
+			// we already executed, which are held in pending.
 			log.Printf("obsprobe %s: %v", *id, err)
 		}
 		if n > 0 {
 			log.Printf("obsprobe %s: completed %d tasks", *id, n)
 		}
+		flush()
 		if err != nil {
 			// Lease/upload calls double as liveness contact; a round
 			// that failed outright recorded none, so heartbeat
@@ -95,9 +129,21 @@ func main() {
 			}
 		}
 		if *once {
-			return
+			break
 		}
 		agent.Hour++ // advance simulated time-of-day each poll round
-		time.Sleep(*poll)
+		select {
+		case <-ctx.Done():
+			log.Printf("obsprobe %s: signal received, shutting down", *id)
+			flush() // one final delivery attempt for held results
+			if len(pending) > 0 {
+				log.Printf("obsprobe %s: exiting with %d undelivered results (lease expiry will requeue them)",
+					*id, len(pending))
+			}
+			log.Printf("obsprobe %s: bye", *id)
+			return
+		case <-time.After(*poll):
+		}
 	}
+	flush()
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,12 +22,12 @@ const DefaultHTTPTimeout = 10 * time.Second
 // Client is the probe-side HTTP client for the controller API —
 // what cmd/obsprobe uses to participate in the observatory.
 //
-// Idempotent calls (everything except Submit, which creates a new
-// experiment per delivery) are retried on transient failures —
-// transport errors, 429s, and 5xx responses — with bounded exponential
-// backoff and jitter drawn from a seeded RNG, so retry schedules are
-// reproducible. The controller deduplicates result uploads by task ID,
-// which is what makes retrying SubmitResults safe.
+// Every call is retried on transient failures — transport errors, 429s,
+// and 5xx responses (including the controller's 503-while-recovering) —
+// with bounded exponential backoff and jitter drawn from a seeded RNG,
+// so retry schedules are reproducible. Retrying is safe across the
+// board: the controller deduplicates result uploads by (experiment,
+// task) and experiment submissions by client request id.
 type Client struct {
 	Base string // e.g. "http://127.0.0.1:8600"
 	HTTP *http.Client
@@ -40,9 +42,13 @@ type Client struct {
 	// Sleep is the wait hook (nil means time.Sleep); tests replace it
 	// to retry without wall-clock delays.
 	Sleep func(time.Duration)
+	// RequestID, when set, overrides how Submit mints its idempotency
+	// keys (tests pin it for reproducible dedup).
+	RequestID func() string
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu     sync.Mutex
+	rng    *rand.Rand
+	reqSeq int
 }
 
 // NewClient builds a client for the given controller base URL with the
@@ -187,17 +193,44 @@ func (c *Client) Heartbeat(probeID string) error {
 	return c.post(fmt.Sprintf("/api/v1/probes/%s/heartbeat", probeID), struct{}{}, nil, true)
 }
 
-// Submit posts an experiment. NOT retried: each delivery creates a new
-// experiment, so a duplicated submission would double the workload.
-// Callers on unreliable links should check for the experiment before
-// resubmitting.
+// Submit posts an experiment, retrying transient failures like every
+// other call: each submission carries a unique request id and the
+// controller dedups submissions by it, so a redelivered Submit returns
+// the already-created experiment instead of doubling the workload.
 func (c *Client) Submit(owner, description string, as []probes.Assignment) (*Experiment, error) {
 	var out Experiment
-	err := c.post("/api/v1/experiments", submitRequest{Owner: owner, Description: description, Assignments: as}, &out, false)
+	req := submitRequest{RequestID: c.newRequestID(), Owner: owner, Description: description, Assignments: as}
+	err := c.post("/api/v1/experiments", req, &out, true)
 	if err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// newRequestID mints a submission idempotency key: unique per call, and
+// stable across the retries of that call. IDs are drawn from crypto/rand
+// (they are opaque dedup keys — uniqueness matters, reproducibility does
+// not); tests pin Client.RequestID for deterministic dedup scenarios.
+func (c *Client) newRequestID() string {
+	if c.RequestID != nil {
+		return c.RequestID()
+	}
+	var buf [12]byte
+	if _, err := crand.Read(buf[:]); err != nil {
+		// Fall back to the jitter RNG rather than failing a submission
+		// over an entropy error.
+		c.mu.Lock()
+		if c.rng == nil {
+			c.rng = rand.New(rand.NewSource(1))
+		}
+		c.rng.Read(buf[:]) //nolint:errcheck // never fails
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	c.reqSeq++
+	seq := c.reqSeq
+	c.mu.Unlock()
+	return fmt.Sprintf("req-%s-%04d", hex.EncodeToString(buf[:]), seq)
 }
 
 // Approve approves a pending experiment (idempotent: retried).
@@ -242,14 +275,25 @@ func (c *Client) Stats() (StatsReport, error) {
 // upload still fails after retries the leased tasks are simply
 // abandoned — the controller requeues them at lease expiry.
 func RunAgentOnce(cl *Client, agent *probes.Agent) (int, error) {
+	n, _, err := DrainOnce(cl, agent)
+	return n, err
+}
+
+// DrainOnce is RunAgentOnce for callers that cannot afford to abandon
+// work: when an upload fails even after retries, the executed-but-
+// unsubmitted results are returned so the caller can hold them and try
+// again later (cmd/obsprobe flushes them on its next round and makes
+// one final attempt during graceful shutdown). Resubmitting them late
+// is always safe — the controller dedups by (experiment, task).
+func DrainOnce(cl *Client, agent *probes.Agent) (int, []probes.Result, error) {
 	total := 0
 	for {
 		tasks, err := cl.LeaseTasks(agent.ID(), 64)
 		if err != nil {
-			return total, err
+			return total, nil, err
 		}
 		if len(tasks) == 0 {
-			return total, nil
+			return total, nil, nil
 		}
 		results := make([]probes.Result, 0, len(tasks))
 		for _, t := range tasks {
@@ -260,7 +304,7 @@ func RunAgentOnce(cl *Client, agent *probes.Agent) (int, error) {
 			results = append(results, res)
 		}
 		if err := cl.SubmitResults(agent.ID(), results); err != nil {
-			return total, err
+			return total, results, err
 		}
 		total += len(tasks)
 	}

@@ -32,6 +32,16 @@
 //
 // Pipeline events are counted in a metrics.CounterSet exposed via
 // Stats and the /api/v1/stats endpoint.
+//
+// # Durability
+//
+// With a data directory the controller is crash-safe: every mutating
+// operation is appended to a checksummed write-ahead journal
+// (internal/journal) and fsynced before it is applied or acknowledged,
+// periodic snapshots compact the journal, and Recover rebuilds exact
+// state by replaying journaled op inputs through the same apply
+// functions the live path uses. See durability.go and the Durability
+// section of DESIGN.md.
 package core
 
 import (
@@ -39,6 +49,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/afrinet/observatory/internal/journal"
 	"github.com/afrinet/observatory/internal/metrics"
 	"github.com/afrinet/observatory/internal/probes"
 	"github.com/afrinet/observatory/internal/topology"
@@ -119,10 +130,15 @@ type HealthReport struct {
 }
 
 // StatsReport is the /api/v1/stats payload: pipeline counters plus
-// per-probe liveness.
+// per-probe liveness. Durability carries the journal-layer counters
+// (journal_records_appended, snapshots_written, recovery_replayed,
+// recovery_truncated_tail, ...); they are scoped to the current process
+// run rather than journaled, so recovery equivalence is defined over
+// everything except this field.
 type StatsReport struct {
 	Tick              int64            `json:"tick"`
 	Counters          map[string]int64 `json:"counters"`
+	Durability        map[string]int64 `json:"durability,omitempty"`
 	Experiments       int              `json:"experiments"`
 	QueuedTasks       int              `json:"queued_tasks"`
 	OutstandingLeases int              `json:"outstanding_leases"`
@@ -149,6 +165,19 @@ type Controller struct {
 	stats     *metrics.CounterSet
 	now       int64
 	nextExpID int
+	// submitIDs dedups experiment submissions by client request id, so
+	// a retried Submit whose first delivery landed returns the existing
+	// experiment instead of creating a duplicate.
+	submitIDs map[string]string
+
+	// Durability (see durability.go): log is the attached write-ahead
+	// journal (nil for in-memory controllers and during replay), dur
+	// counts journal-layer events, and snapEvery/sinceSnap drive
+	// automatic compacted snapshots.
+	log       *journal.Log
+	dur       *metrics.CounterSet
+	snapEvery int
+	sinceSnap int
 
 	// LeaseTTL is how many ticks a probe has to return a leased task's
 	// result before the task is requeued.
@@ -172,6 +201,8 @@ func NewController(trusted ...string) *Controller {
 		leases:       make(map[string]*leaseRec),
 		trusted:      make(map[string]bool),
 		stats:        metrics.NewCounterSet(),
+		submitIDs:    make(map[string]string),
+		dur:          metrics.NewCounterSet(),
 		LeaseTTL:     3,
 		SuspectAfter: 2,
 		DeadAfter:    5,
@@ -190,6 +221,10 @@ func (c *Controller) RegisterProbe(p ProbeInfo) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.mutateLocked(opRegister, p, func() { c.applyRegisterLocked(p) })
+}
+
+func (c *Controller) applyRegisterLocked(p ProbeInfo) {
 	st, ok := c.probes[p.ID]
 	if !ok {
 		st = &probeState{}
@@ -197,7 +232,6 @@ func (c *Controller) RegisterProbe(p ProbeInfo) error {
 	}
 	st.info = p
 	c.touchLocked(st)
-	return nil
 }
 
 // touchLocked records probe contact at the current tick, reviving dead
@@ -228,13 +262,17 @@ func (c *Controller) Probes() []ProbeInfo {
 func (c *Controller) Heartbeat(probeID string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st, ok := c.probes[probeID]
-	if !ok {
+	if _, ok := c.probes[probeID]; !ok {
 		return fmt.Errorf("core: unknown probe %s", probeID)
 	}
-	c.touchLocked(st)
-	c.stats.Inc("heartbeats")
-	return nil
+	return c.mutateLocked(opHeartbeat, probeOp{ProbeID: probeID}, func() { c.applyHeartbeatLocked(probeID) })
+}
+
+func (c *Controller) applyHeartbeatLocked(probeID string) {
+	if st, ok := c.probes[probeID]; ok {
+		c.touchLocked(st)
+		c.stats.Inc("heartbeats")
+	}
 }
 
 // ProbeHealthOf reports the controller's liveness verdict for a probe.
@@ -252,8 +290,18 @@ func (c *Controller) ProbeHealthOf(probeID string) (ProbeHealth, bool) {
 // liveness and reaping expired leases after each. cmd/obsd calls it
 // from a timer; tests call it directly, so runs stay deterministic.
 func (c *Controller) Tick(n int) {
+	if n <= 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// An unjournaled tick must not advance the clock; the error is
+	// dropped (Tick has no error path) but counted in the durability
+	// counters by the append.
+	_ = c.mutateLocked(opTick, tickOp{N: n}, func() { c.applyTickLocked(n) })
+}
+
+func (c *Controller) applyTickLocked(n int) {
 	for i := 0; i < n; i++ {
 		c.now++
 		c.sweepLivenessLocked()
@@ -382,18 +430,42 @@ func (c *Controller) reapLocked() {
 // SubmitExperiment queues an experiment for vetting. Trusted owners are
 // approved (and scheduled) immediately.
 func (c *Controller) SubmitExperiment(owner, description string, assignments []probes.Assignment) (*Experiment, error) {
+	return c.SubmitExperimentIdem("", owner, description, assignments)
+}
+
+// SubmitExperimentIdem is SubmitExperiment with submission-level
+// idempotency: when requestID is non-empty and has been seen before,
+// the previously created experiment is returned instead of a new one.
+// This is what makes the HTTP client's Submit retryable — a duplicated
+// delivery cannot double the workload.
+func (c *Controller) SubmitExperimentIdem(requestID, owner, description string, assignments []probes.Assignment) (*Experiment, error) {
 	if len(assignments) == 0 {
 		return nil, fmt.Errorf("core: experiment has no assignments")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if requestID != "" {
+		if expID, ok := c.submitIDs[requestID]; ok {
+			c.dur.Inc("submits_deduped")
+			return cloneExp(c.experiments[expID]), nil
+		}
+	}
+	op := submitOp{RequestID: requestID, Owner: owner, Description: description, Assignments: assignments}
+	var exp *Experiment
+	if err := c.mutateLocked(opSubmit, op, func() { exp = c.applySubmitLocked(op) }); err != nil {
+		return nil, err
+	}
+	return cloneExp(exp), nil
+}
+
+func (c *Controller) applySubmitLocked(op submitOp) *Experiment {
 	c.nextExpID++
 	exp := &Experiment{
 		ID:          fmt.Sprintf("exp-%04d", c.nextExpID),
-		Owner:       owner,
-		Description: description,
+		Owner:       op.Owner,
+		Description: op.Description,
 		Status:      StatusPending,
-		Assignments: assignments,
+		Assignments: op.Assignments,
 	}
 	ids := make(map[string]bool, len(exp.Assignments))
 	for i := range exp.Assignments {
@@ -406,10 +478,13 @@ func (c *Controller) SubmitExperiment(owner, description string, assignments []p
 	c.experiments[exp.ID] = exp
 	c.taskIDs[exp.ID] = ids
 	c.recorded[exp.ID] = make(map[string]bool)
-	if c.trusted[owner] {
+	if op.RequestID != "" {
+		c.submitIDs[op.RequestID] = exp.ID
+	}
+	if c.trusted[op.Owner] {
 		c.approveLocked(exp)
 	}
-	return cloneExp(exp), nil
+	return exp
 }
 
 // Approve moves a pending experiment to approved and schedules its tasks.
@@ -426,8 +501,13 @@ func (c *Controller) Approve(expID string) error {
 	if exp.Status == StatusRejected {
 		return fmt.Errorf("core: experiment %s was rejected", expID)
 	}
-	c.approveLocked(exp)
-	return nil
+	return c.mutateLocked(opApprove, expOp{ExpID: expID}, func() { c.applyApproveLocked(expID) })
+}
+
+func (c *Controller) applyApproveLocked(expID string) {
+	if exp, ok := c.experiments[expID]; ok && exp.Status == StatusPending {
+		c.approveLocked(exp)
+	}
 }
 
 // Reject marks a pending experiment rejected.
@@ -441,8 +521,16 @@ func (c *Controller) Reject(expID string) error {
 	if exp.Status == StatusApproved {
 		return fmt.Errorf("core: experiment %s already approved", expID)
 	}
-	exp.Status = StatusRejected
-	return nil
+	if exp.Status == StatusRejected {
+		return nil // idempotent, nothing to journal
+	}
+	return c.mutateLocked(opReject, expOp{ExpID: expID}, func() { c.applyRejectLocked(expID) })
+}
+
+func (c *Controller) applyRejectLocked(expID string) {
+	if exp, ok := c.experiments[expID]; ok && exp.Status != StatusApproved {
+		exp.Status = StatusRejected
+	}
 }
 
 func (c *Controller) approveLocked(exp *Experiment) {
@@ -472,10 +560,23 @@ func cloneExp(e *Experiment) *Experiment {
 // LeaseTasks pops up to max tasks from a probe's queue under a lease of
 // LeaseTTL ticks. Tasks that already completed elsewhere (a requeued
 // copy racing its original delivery) are dropped instead of re-leased.
-// The call counts as probe contact.
+// The call counts as probe contact. A lease the journal refuses to
+// record is not granted (nil): an unjournaled lease would be invisible
+// after a crash and its tasks stuck until a replayed expiry that never
+// comes.
 func (c *Controller) LeaseTasks(probeID string, max int) []probes.Task {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lease []probes.Task
+	if err := c.mutateLocked(opLease, leaseOp{ProbeID: probeID, Max: max}, func() {
+		lease = c.applyLeaseLocked(probeID, max)
+	}); err != nil {
+		return nil
+	}
+	return lease
+}
+
+func (c *Controller) applyLeaseLocked(probeID string, max int) []probes.Task {
 	if st, ok := c.probes[probeID]; ok {
 		c.touchLocked(st)
 	}
@@ -527,12 +628,10 @@ func (c *Controller) OutstandingLeases() int {
 func (c *Controller) SubmitResults(probeID string, rs []probes.Result) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st, ok := c.probes[probeID]
-	if !ok {
+	if _, ok := c.probes[probeID]; !ok {
 		c.stats.Inc("results_rejected")
 		return 0, fmt.Errorf("core: unknown probe %s", probeID)
 	}
-	c.touchLocked(st)
 	for _, r := range rs {
 		ids, ok := c.taskIDs[r.Experiment]
 		if !ok {
@@ -545,8 +644,21 @@ func (c *Controller) SubmitResults(probeID string, rs []probes.Result) (int, err
 		}
 	}
 	accepted := 0
+	if err := c.mutateLocked(opResults, resultsOp{ProbeID: probeID, Results: rs}, func() {
+		accepted = c.applyResultsLocked(probeID, rs)
+	}); err != nil {
+		return 0, err
+	}
+	return accepted, nil
+}
+
+func (c *Controller) applyResultsLocked(probeID string, rs []probes.Result) int {
+	if st, ok := c.probes[probeID]; ok {
+		c.touchLocked(st)
+	}
+	accepted := 0
 	for _, r := range rs {
-		if c.recorded[r.Experiment][r.TaskID] {
+		if c.recorded[r.Experiment] == nil || c.recorded[r.Experiment][r.TaskID] {
 			c.stats.Inc("results_deduped")
 			continue
 		}
@@ -557,7 +669,7 @@ func (c *Controller) SubmitResults(probeID string, rs []probes.Result) (int, err
 		c.stats.Inc("results_recorded")
 		accepted++
 	}
-	return accepted, nil
+	return accepted
 }
 
 // Results returns the collected results of one experiment.
@@ -588,6 +700,9 @@ func (c *Controller) Stats() StatsReport {
 		Counters:          c.stats.Snapshot(),
 		Experiments:       len(c.experiments),
 		OutstandingLeases: len(c.leases),
+	}
+	if d := c.dur.Snapshot(); len(d) > 0 {
+		rep.Durability = d
 	}
 	for _, q := range c.queues {
 		rep.QueuedTasks += len(q)

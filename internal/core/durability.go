@@ -1,0 +1,448 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/afrinet/observatory/internal/journal"
+	"github.com/afrinet/observatory/internal/probes"
+)
+
+// The controller journals operations, not state deltas: every mutating
+// entry point appends one of these records (with its validated inputs)
+// before acknowledging, and recovery replays them through the same
+// locked apply functions the live path uses. Controller logic is
+// deterministic given operation order — logical ticks, sorted sweeps,
+// seeded everything — so snapshot + replay reconstructs the exact
+// pre-crash state.
+const (
+	opRegister  = "probe_register"
+	opHeartbeat = "heartbeat"
+	opSubmit    = "experiment_submit"
+	opApprove   = "experiment_approve"
+	opReject    = "experiment_reject"
+	opLease     = "lease_grant"
+	opResults   = "results_accept"
+	opTick      = "tick"
+)
+
+type probeOp struct {
+	ProbeID string `json:"probe_id"`
+}
+
+type submitOp struct {
+	RequestID   string              `json:"request_id,omitempty"`
+	Owner       string              `json:"owner"`
+	Description string              `json:"description"`
+	Assignments []probes.Assignment `json:"assignments"`
+}
+
+type expOp struct {
+	ExpID string `json:"exp_id"`
+}
+
+type leaseOp struct {
+	ProbeID string `json:"probe_id"`
+	Max     int    `json:"max"`
+}
+
+type resultsOp struct {
+	ProbeID string          `json:"probe_id"`
+	Results []probes.Result `json:"results"`
+}
+
+type tickOp struct {
+	N int `json:"n"`
+}
+
+// persistState is the snapshot payload: the controller's full book,
+// JSON-encodable. Set-valued maps are stored as sorted slices.
+type persistState struct {
+	Now         int64                      `json:"now"`
+	NextExpID   int                        `json:"next_exp_id"`
+	Probes      map[string]persistProbe    `json:"probes,omitempty"`
+	Experiments map[string]*Experiment     `json:"experiments,omitempty"`
+	Queues      map[string][]probes.Task   `json:"queues,omitempty"`
+	Results     map[string][]probes.Result `json:"results,omitempty"`
+	TaskIDs     map[string][]string        `json:"task_ids,omitempty"`
+	Recorded    map[string][]string        `json:"recorded,omitempty"`
+	Leases      map[string]persistLease    `json:"leases,omitempty"`
+	SubmitIDs   map[string]string          `json:"submit_ids,omitempty"`
+	Counters    map[string]int64           `json:"counters,omitempty"`
+	Trusted     []string                   `json:"trusted,omitempty"`
+}
+
+type persistProbe struct {
+	Info     ProbeInfo   `json:"info"`
+	LastSeen int64       `json:"last_seen"`
+	Health   ProbeHealth `json:"health"`
+}
+
+type persistLease struct {
+	Task     probes.Task `json:"task"`
+	ProbeID  string      `json:"probe_id"`
+	Deadline int64       `json:"deadline"`
+}
+
+// DurabilityConfig parameterizes Recover. Zero-valued tick knobs keep
+// the NewController defaults.
+type DurabilityConfig struct {
+	// Trusted is the auto-approve cohort (unioned with any cohort the
+	// snapshot recorded).
+	Trusted []string
+	// LeaseTTL / SuspectAfter / DeadAfter override the controller's
+	// tick knobs when > 0.
+	LeaseTTL     int64
+	SuspectAfter int64
+	DeadAfter    int64
+	// SnapshotEvery takes an automatic compacted snapshot after that
+	// many journal records. 0 disables automatic snapshots (explicit
+	// Snapshot/Close still work).
+	SnapshotEvery int
+}
+
+// Recover rebuilds a controller from a journal directory — latest
+// snapshot plus replay of every journaled operation after it — and
+// attaches the journal so the controller keeps appending. An empty or
+// missing directory yields a fresh controller, so Recover is also the
+// way to start a durable deployment. Torn or corrupt tail records are
+// detected by checksum, counted (recovery_truncated_tail), and
+// discarded rather than crashing recovery; because appends sync before
+// acknowledging, a discarded tail record was never acked to a client.
+func Recover(dir string, cfg DurabilityConfig) (*Controller, error) {
+	l, err := journal.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := NewController(cfg.Trusted...)
+	if cfg.LeaseTTL > 0 {
+		c.LeaseTTL = cfg.LeaseTTL
+	}
+	if cfg.SuspectAfter > 0 {
+		c.SuspectAfter = cfg.SuspectAfter
+	}
+	if cfg.DeadAfter > 0 {
+		c.DeadAfter = cfg.DeadAfter
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var snapSeq uint64
+	if l.Snap != nil {
+		var st persistState
+		if err := json.Unmarshal(l.Snap.State, &st); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+		}
+		c.restoreLocked(st)
+		snapSeq = l.Snap.Seq
+	}
+	for _, rec := range l.Records {
+		if rec.Seq <= snapSeq {
+			continue // covered by the snapshot (crash between rename and compaction)
+		}
+		if err := c.applyRecordLocked(rec); err != nil {
+			l.Close()
+			return nil, err
+		}
+		c.dur.Inc("recovery_replayed")
+	}
+	if l.TornTail {
+		c.dur.Inc("recovery_truncated_tail")
+	}
+	c.log = l
+	c.snapEvery = cfg.SnapshotEvery
+	return c, nil
+}
+
+// applyRecordLocked replays one journaled operation through the same
+// apply path the live mutation used.
+func (c *Controller) applyRecordLocked(rec journal.Record) error {
+	fail := func(err error) error {
+		return fmt.Errorf("core: replaying %s record seq %d: %w", rec.Kind, rec.Seq, err)
+	}
+	switch rec.Kind {
+	case opRegister:
+		var p ProbeInfo
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return fail(err)
+		}
+		c.applyRegisterLocked(p)
+	case opHeartbeat:
+		var op probeOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return fail(err)
+		}
+		c.applyHeartbeatLocked(op.ProbeID)
+	case opSubmit:
+		var op submitOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return fail(err)
+		}
+		c.applySubmitLocked(op)
+	case opApprove:
+		var op expOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return fail(err)
+		}
+		c.applyApproveLocked(op.ExpID)
+	case opReject:
+		var op expOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return fail(err)
+		}
+		c.applyRejectLocked(op.ExpID)
+	case opLease:
+		var op leaseOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return fail(err)
+		}
+		c.applyLeaseLocked(op.ProbeID, op.Max)
+	case opResults:
+		var op resultsOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return fail(err)
+		}
+		c.applyResultsLocked(op.ProbeID, op.Results)
+	case opTick:
+		var op tickOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return fail(err)
+		}
+		c.applyTickLocked(op.N)
+	default:
+		return fmt.Errorf("core: unknown journal record kind %q (seq %d)", rec.Kind, rec.Seq)
+	}
+	return nil
+}
+
+// mutateLocked is the write path every mutating entry point goes
+// through: journal the validated operation, apply it, then consider an
+// automatic snapshot. The order matters twice over — the journal append
+// must precede apply (a mutation the journal did not accept must not be
+// acknowledged, so a failed append aborts the operation), and the
+// snapshot must follow apply (a snapshot taken between journal and
+// apply would claim to cover a record whose effects it lacks). With no
+// journal attached (in-memory controller, or replay in progress) only
+// the apply runs.
+func (c *Controller) mutateLocked(kind string, v any, apply func()) error {
+	if err := c.appendLocked(kind, v); err != nil {
+		return err
+	}
+	apply()
+	if c.log != nil && c.snapEvery > 0 && c.sinceSnap >= c.snapEvery {
+		c.snapshotLocked()
+	}
+	return nil
+}
+
+// appendLocked journals one validated operation before it is applied.
+func (c *Controller) appendLocked(kind string, v any) error {
+	if c.log == nil {
+		return nil
+	}
+	if _, err := c.log.Append(kind, v); err != nil {
+		c.dur.Inc("journal_append_errors")
+		return fmt.Errorf("core: journal append: %w", err)
+	}
+	c.dur.Inc("journal_records_appended")
+	c.sinceSnap++
+	return nil
+}
+
+// snapshotLocked writes a compacted snapshot, swallowing (but counting)
+// failures: the journal remains authoritative when a snapshot cannot be
+// taken.
+func (c *Controller) snapshotLocked() {
+	if c.log == nil {
+		return
+	}
+	if err := c.log.WriteSnapshot(c.persistLocked()); err != nil {
+		c.dur.Inc("snapshot_errors")
+		return
+	}
+	c.dur.Inc("snapshots_written")
+	c.sinceSnap = 0
+}
+
+// Snapshot durably captures full controller state and compacts the
+// journal. No-op without an attached journal.
+func (c *Controller) Snapshot() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log == nil {
+		return nil
+	}
+	if err := c.log.WriteSnapshot(c.persistLocked()); err != nil {
+		c.dur.Inc("snapshot_errors")
+		return err
+	}
+	c.dur.Inc("snapshots_written")
+	c.sinceSnap = 0
+	return nil
+}
+
+// Close takes a final snapshot and closes the journal; part of obsd's
+// graceful shutdown. Safe on in-memory controllers.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log == nil {
+		return nil
+	}
+	snapErr := c.log.WriteSnapshot(c.persistLocked())
+	if snapErr == nil {
+		c.dur.Inc("snapshots_written")
+	} else {
+		c.dur.Inc("snapshot_errors")
+	}
+	closeErr := c.log.Close()
+	c.log = nil
+	if snapErr != nil {
+		return snapErr
+	}
+	return closeErr
+}
+
+// persistLocked captures the controller's full state for a snapshot.
+func (c *Controller) persistLocked() persistState {
+	st := persistState{
+		Now:         c.now,
+		NextExpID:   c.nextExpID,
+		Probes:      make(map[string]persistProbe, len(c.probes)),
+		Experiments: make(map[string]*Experiment, len(c.experiments)),
+		Queues:      make(map[string][]probes.Task),
+		Results:     make(map[string][]probes.Result),
+		TaskIDs:     make(map[string][]string, len(c.taskIDs)),
+		Recorded:    make(map[string][]string, len(c.recorded)),
+		Leases:      make(map[string]persistLease, len(c.leases)),
+		SubmitIDs:   make(map[string]string, len(c.submitIDs)),
+		Counters:    c.stats.Snapshot(),
+	}
+	for id, ps := range c.probes {
+		st.Probes[id] = persistProbe{Info: ps.info, LastSeen: ps.lastSeen, Health: ps.health}
+	}
+	for id, exp := range c.experiments {
+		st.Experiments[id] = cloneExp(exp)
+	}
+	for id, q := range c.queues {
+		if len(q) > 0 {
+			st.Queues[id] = append([]probes.Task(nil), q...)
+		}
+	}
+	for id, rs := range c.results {
+		if len(rs) > 0 {
+			st.Results[id] = append([]probes.Result(nil), rs...)
+		}
+	}
+	for id, set := range c.taskIDs {
+		st.TaskIDs[id] = sortedKeys(set)
+	}
+	for id, set := range c.recorded {
+		st.Recorded[id] = sortedKeys(set)
+	}
+	for k, l := range c.leases {
+		st.Leases[k] = persistLease{Task: l.task, ProbeID: l.probeID, Deadline: l.deadline}
+	}
+	for k, v := range c.submitIDs {
+		st.SubmitIDs[k] = v
+	}
+	st.Trusted = sortedKeys(c.trusted)
+	return st
+}
+
+// restoreLocked loads a snapshot into a freshly constructed controller.
+func (c *Controller) restoreLocked(st persistState) {
+	c.now = st.Now
+	c.nextExpID = st.NextExpID
+	for id, pp := range st.Probes {
+		c.probes[id] = &probeState{info: pp.Info, lastSeen: pp.LastSeen, health: pp.Health}
+	}
+	for id, exp := range st.Experiments {
+		c.experiments[id] = exp
+	}
+	for id, q := range st.Queues {
+		c.queues[id] = q
+	}
+	for id, rs := range st.Results {
+		c.results[id] = rs
+	}
+	for id, ids := range st.TaskIDs {
+		c.taskIDs[id] = toSet(ids)
+	}
+	for id, ids := range st.Recorded {
+		c.recorded[id] = toSet(ids)
+	}
+	for k, pl := range st.Leases {
+		c.leases[k] = &leaseRec{task: pl.Task, probeID: pl.ProbeID, deadline: pl.Deadline}
+	}
+	for k, v := range st.SubmitIDs {
+		c.submitIDs[k] = v
+	}
+	for _, t := range st.Trusted {
+		c.trusted[t] = true
+	}
+	for k, v := range st.Counters {
+		c.stats.Add(k, v)
+	}
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func toSet(ids []string) map[string]bool {
+	set := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return set
+}
+
+// LeaseInfo is one outstanding lease as exposed for equivalence checks
+// and operational inspection.
+type LeaseInfo struct {
+	Task     probes.Task `json:"task"`
+	ProbeID  string      `json:"probe_id"`
+	Deadline int64       `json:"deadline"`
+}
+
+// Leases snapshots the outstanding lease table, keyed by
+// experiment+"/"+task.
+func (c *Controller) Leases() map[string]LeaseInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]LeaseInfo, len(c.leases))
+	for k, l := range c.leases {
+		out[k] = LeaseInfo{Task: l.task, ProbeID: l.probeID, Deadline: l.deadline}
+	}
+	return out
+}
+
+// Queues snapshots every non-empty per-probe pending queue.
+func (c *Controller) Queues() map[string][]probes.Task {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string][]probes.Task)
+	for id, q := range c.queues {
+		if len(q) > 0 {
+			out[id] = append([]probes.Task(nil), q...)
+		}
+	}
+	return out
+}
+
+// DurabilityCounters snapshots the journal-layer counters
+// (journal_records_appended, snapshots_written, recovery_replayed,
+// recovery_truncated_tail, ...). Unlike the pipeline counters these are
+// scoped to the current process run — they are not journaled, so replay
+// does not reconstruct them.
+func (c *Controller) DurabilityCounters() map[string]int64 {
+	return c.dur.Snapshot()
+}

@@ -6,9 +6,51 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/afrinet/observatory/internal/probes"
 )
+
+// RecoveryGate fronts the controller's handler while recovery runs:
+// until Ready is called every request is answered 503 Service
+// Unavailable with a Retry-After header, which the probe client treats
+// as transient and retries through. cmd/obsd binds its listener
+// immediately and flips the gate once Recover returns, so probes
+// reconnecting after a controller restart see a brief 503 window rather
+// than connection refusals.
+type RecoveryGate struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+// NewRecoveryGate returns a gate in the not-ready (503) state.
+func NewRecoveryGate() *RecoveryGate { return &RecoveryGate{} }
+
+// Ready installs the recovered controller's handler and opens the gate.
+func (g *RecoveryGate) Ready(h http.Handler) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.h = h
+}
+
+// NotReady closes the gate again (a restart in progress).
+func (g *RecoveryGate) NotReady() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.h = nil
+}
+
+func (g *RecoveryGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mu.RLock()
+	h := g.h
+	g.mu.RUnlock()
+	if h == nil {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("controller recovering, retry shortly"))
+		return
+	}
+	h.ServeHTTP(w, r)
+}
 
 // Handler exposes the controller over HTTP/JSON:
 //
@@ -159,8 +201,12 @@ func (c *Controller) handleProbeSub(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// submitRequest is the experiment submission body.
+// submitRequest is the experiment submission body. RequestID, when set,
+// makes the submission idempotent: the controller remembers which
+// experiment each request id created and returns it again on redelivery,
+// so clients retry submissions as freely as uploads.
 type submitRequest struct {
+	RequestID   string              `json:"request_id,omitempty"`
 	Owner       string              `json:"owner"`
 	Description string              `json:"description"`
 	Assignments []probes.Assignment `json:"assignments"`
@@ -176,7 +222,7 @@ func (c *Controller) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	exp, err := c.SubmitExperiment(req.Owner, req.Description, req.Assignments)
+	exp, err := c.SubmitExperimentIdem(req.RequestID, req.Owner, req.Description, req.Assignments)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

@@ -1,0 +1,267 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendN(t *testing.T, l *Log, n int, offset int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		seq, err := l.Append("op", map[string]int{"i": offset + i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq == 0 {
+			t.Fatal("Append returned seq 0")
+		}
+	}
+}
+
+func TestAppendAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Snap != nil || len(l.Records) != 0 || l.TornTail {
+		t.Fatalf("fresh dir not empty: %+v", l)
+	}
+	appendN(t, l, 5, 0)
+	if l.Seq() != 5 {
+		t.Fatalf("seq = %d", l.Seq())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(l2.Records) != 5 || l2.TornTail {
+		t.Fatalf("reopen: %d records, torn=%v", len(l2.Records), l2.TornTail)
+	}
+	for i, rec := range l2.Records {
+		if rec.Seq != uint64(i+1) || rec.Kind != "op" {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+		var m map[string]int
+		if err := json.Unmarshal(rec.Data, &m); err != nil || m["i"] != i {
+			t.Fatalf("record %d data = %s", i, rec.Data)
+		}
+	}
+	// Appends continue the sequence.
+	appendN(t, l2, 1, 5)
+	if l2.Seq() != 6 {
+		t.Fatalf("seq after reopen append = %d", l2.Seq())
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 0)
+	l.Close()
+
+	path := filepath.Join(dir, "journal.log")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the last frame: a torn write of a record that was never
+	// acknowledged.
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l2.Records) != 2 || !l2.TornTail {
+		t.Fatalf("records=%d torn=%v", len(l2.Records), l2.TornTail)
+	}
+	// The torn tail was truncated in place, and appends resume cleanly.
+	appendN(t, l2, 1, 9)
+	if l2.Seq() != 3 {
+		t.Fatalf("seq = %d, want 3 (torn record's number reused)", l2.Seq())
+	}
+	l2.Close()
+
+	l3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if len(l3.Records) != 3 || l3.TornTail {
+		t.Fatalf("after repair: records=%d torn=%v", len(l3.Records), l3.TornTail)
+	}
+}
+
+func TestBitFlipStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 4, 0)
+	l.Close()
+
+	path := filepath.Join(dir, "journal.log")
+	raw, _ := os.ReadFile(path)
+	// Flip one bit mid-file (inside some frame's payload).
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, good, torn := ReadAll(bytes.NewReader(raw))
+	if !torn {
+		t.Fatal("bit flip not detected")
+	}
+	if len(recs) >= 4 {
+		t.Fatalf("replay did not stop at the flipped frame: %d records", len(recs))
+	}
+	if good > int64(len(raw)) {
+		t.Fatalf("goodBytes %d beyond input", good)
+	}
+	// Open repairs by truncating at the flip point.
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(l2.Records) != len(recs) || !l2.TornTail {
+		t.Fatalf("open after flip: records=%d torn=%v", len(l2.Records), l2.TornTail)
+	}
+}
+
+func TestSnapshotCompactsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 7, 0)
+	state := map[string]string{"hello": "world"}
+	if err := l.WriteSnapshot(state); err != nil {
+		t.Fatal(err)
+	}
+	// Compaction emptied the journal.
+	if fi, err := os.Stat(filepath.Join(dir, "journal.log")); err != nil || fi.Size() != 0 {
+		t.Fatalf("journal not compacted: %v %d", err, fi.Size())
+	}
+	appendN(t, l, 2, 7)
+	l.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Snap == nil || l2.Snap.Seq != 7 {
+		t.Fatalf("snapshot = %+v", l2.Snap)
+	}
+	var got map[string]string
+	if err := json.Unmarshal(l2.Snap.State, &got); err != nil || got["hello"] != "world" {
+		t.Fatalf("snapshot state = %s", l2.Snap.State)
+	}
+	if len(l2.Records) != 2 || l2.Records[0].Seq != 8 || l2.Records[1].Seq != 9 {
+		t.Fatalf("post-snapshot records = %+v", l2.Records)
+	}
+	if l2.Seq() != 9 {
+		t.Fatalf("seq = %d", l2.Seq())
+	}
+}
+
+func TestStaleJournalRecordsSkippableAfterSnapshotCrash(t *testing.T) {
+	// Simulate a crash between snapshot rename and journal truncate: the
+	// journal still holds records the snapshot covers. Replayers filter
+	// on Seq <= Snap.Seq; verify the open view exposes what they need.
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 3, 0)
+	raw, _ := os.ReadFile(filepath.Join(dir, "journal.log"))
+	if err := l.WriteSnapshot(map[string]int{"n": 3}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Resurrect the pre-compaction journal bytes.
+	if err := os.WriteFile(filepath.Join(dir, "journal.log"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.Snap == nil || l2.Snap.Seq != 3 {
+		t.Fatalf("snap = %+v", l2.Snap)
+	}
+	stale := 0
+	for _, rec := range l2.Records {
+		if rec.Seq <= l2.Snap.Seq {
+			stale++
+		}
+	}
+	if stale != 3 {
+		t.Fatalf("stale records = %d, want 3", stale)
+	}
+	// New appends must not collide with covered sequence numbers.
+	seq, err := l2.Append("op", nil)
+	if err != nil || seq != 4 {
+		t.Fatalf("append after crash window: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestCorruptSnapshotIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteSnapshot(map[string]int{"n": 1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	path := filepath.Join(dir, "snapshot.json")
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestReadAllGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x01},
+		{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}, // oversized length prefix
+		bytes.Repeat([]byte{0x00}, 64),
+		[]byte("not a journal at all, just prose"),
+	}
+	for i, in := range cases {
+		recs, good, _ := ReadAll(bytes.NewReader(in))
+		if len(recs) != 0 {
+			t.Fatalf("case %d: decoded %d records from garbage", i, len(recs))
+		}
+		if good != 0 && in != nil {
+			t.Fatalf("case %d: goodBytes = %d", i, good)
+		}
+	}
+}

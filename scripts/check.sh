@@ -1,7 +1,7 @@
 #!/bin/sh
 # check.sh — the repo's tier-1 verification gate:
-#   gofmt -l (no unformatted files), go vet, build, and the full test
-#   suite under the race detector.
+#   gofmt -l (no unformatted files), go vet, build, a determinism lint,
+#   and the full test suite under the race detector (uncached).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,7 +20,16 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== determinism lint =="
+# The controller and journal must be replay-deterministic: wall-clock
+# reads belong in main(), never in these packages. Logical time comes
+# in via Tick / journaled ops.
+if git grep -n 'time\.Now()' -- internal/core internal/journal; then
+    echo "determinism lint: time.Now() is forbidden in internal/core and internal/journal" >&2
+    exit 1
+fi
+
 echo "== go test -race =="
-go test -race ./...
+go test -race -count=1 ./...
 
 echo "OK"
