@@ -1,6 +1,6 @@
 # Tier-1 verification: formatting, vet, build, and the full test suite
 # under the race detector. CI and pre-merge both run `make check`.
-.PHONY: check test build fmt fuzz
+.PHONY: check test build fmt fuzz bench
 
 check:
 	./scripts/check.sh
@@ -13,6 +13,12 @@ test:
 
 fmt:
 	gofmt -w .
+
+# Run the root benchmark suite and fold min ns/op per benchmark into
+# BENCH_PR3.json ("after" section; `scripts/bench.sh before` records the
+# baseline). BENCH_COUNT / BENCH_TIME tune repetitions and benchtime.
+bench:
+	./scripts/bench.sh
 
 # 30s smoke run of the journal-replay fuzzer: random record streams,
 # truncations, and bit flips must never panic the recovery path.

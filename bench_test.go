@@ -202,12 +202,49 @@ func BenchmarkRouteComputation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dest := asns[i%len(asns)]
-		env.Router.SetLinkDown(0, false) // invalidate cache cheaply
+		env.Router.Invalidate() // drop cached trees; SetLinkDown(x, false) is now a no-op
 		tree := env.Router.Tree(dest)
 		if tree.Size() == 0 {
 			b.Fatal("empty routing tree")
 		}
 	}
+}
+
+// BenchmarkTreeParallel hammers the routing-tree cache from concurrent
+// goroutines: a mix of warm hits and singleflight-coalesced misses, the
+// access pattern the experiment drivers produce under internal/par.
+func BenchmarkTreeParallel(b *testing.B) {
+	env := benchSetup(b)
+	asns := env.Topo.ASNs()
+	env.Router.Invalidate()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			tree := env.Router.Tree(asns[i%len(asns)])
+			if tree.Size() == 0 {
+				b.Fatal("empty routing tree")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkTracerouteParallel measures concurrent traceroutes on a warm
+// routing cache — the netsim read path under worker-pool drivers.
+func BenchmarkTracerouteParallel(b *testing.B) {
+	env := benchSetup(b)
+	dst := env.Net.RouterAddr(15169, 0)
+	env.Net.Traceroute(36924, dst) // warm the tree for dst
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr := env.Net.Traceroute(36924, dst)
+			if len(tr.Hops) == 0 {
+				b.Fatal("no hops")
+			}
+		}
+	})
 }
 
 // BenchmarkTraceroute measures one end-to-end traceroute on a warm

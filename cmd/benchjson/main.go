@@ -1,0 +1,151 @@
+// benchjson folds `go test -bench` output into a before/after JSON
+// record (BENCH_PR3.json). It reads benchmark output on stdin, parses
+// every result line, and stores the best (minimum) ns/op per benchmark
+// under the given label. When the output file ends up holding both a
+// "before" and an "after" section, the tool computes per-benchmark
+// speedups (before ns/op divided by after ns/op) so the recorded file is
+// self-describing.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -count 3 . | \
+//	    go run ./cmd/benchjson -label after -out BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the aggregated record for one benchmark under one label.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Runs        int     `json:"runs"`
+}
+
+// File is the on-disk layout of BENCH_PR3.json.
+type File struct {
+	Note    string             `json:"note,omitempty"`
+	Before  map[string]Result  `json:"before,omitempty"`
+	After   map[string]Result  `json:"after,omitempty"`
+	Speedup map[string]float64 `json:"speedup,omitempty"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkFig4OutageImpact-8   2   1649304469 ns/op   12 B/op   3 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func parse(lines *bufio.Scanner) map[string]Result {
+	out := map[string]Result{}
+	for lines.Scan() {
+		m := benchLine.FindStringSubmatch(lines.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		r := out[name]
+		if r.Runs == 0 || ns < r.NsPerOp {
+			r.NsPerOp = ns
+			if m[4] != "" {
+				r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+				r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+		}
+		r.Runs++
+		out[name] = r
+	}
+	return out
+}
+
+func main() {
+	label := flag.String("label", "after", `which section to fill: "before" or "after"`)
+	out := flag.String("out", "BENCH_PR3.json", "output JSON file (merged in place)")
+	note := flag.String("note", "", "free-form note recorded in the file")
+	flag.Parse()
+
+	if *label != "before" && *label != "after" {
+		fmt.Fprintf(os.Stderr, "benchjson: -label must be before or after, got %q\n", *label)
+		os.Exit(2)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results := parse(sc)
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	var f File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: existing %s is not valid JSON: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	if *note != "" {
+		f.Note = *note
+	}
+	if *label == "before" {
+		f.Before = results
+	} else {
+		f.After = results
+	}
+
+	f.Speedup = nil
+	if len(f.Before) > 0 && len(f.After) > 0 {
+		f.Speedup = map[string]float64{}
+		for name, b := range f.Before {
+			a, ok := f.After[name]
+			if !ok || a.NsPerOp <= 0 {
+				continue
+			}
+			// Two decimals is plenty of precision for a wall-clock ratio.
+			f.Speedup[name] = float64(int(b.NsPerOp/a.NsPerOp*100+0.5)) / 100
+		}
+	}
+
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		line := fmt.Sprintf("%-40s %14.0f ns/op  (%d runs, min)", n, results[n].NsPerOp, results[n].Runs)
+		if f.Speedup != nil {
+			if s, ok := f.Speedup[n]; ok {
+				line += fmt.Sprintf("  speedup %.2fx", s)
+			}
+		}
+		fmt.Println(line)
+	}
+}

@@ -8,12 +8,23 @@
 // The router computes one spanning "routing tree" per destination AS with
 // a three-phase BFS and caches it; paths for any source are read off the
 // tree. Link failures (e.g. from a cable cut) invalidate the cache.
+//
+// Locking protocol: a read-mostly design. Router state (the adjacency
+// view and the tree-slot map) sits behind a sync.RWMutex that is only
+// ever held for map lookups and pointer swaps — never while a BFS runs.
+// Each destination gets a treeSlot whose sync.Once is the per-destination
+// singleflight: N goroutines asking for the same dest compute it once,
+// different dests compute in parallel. A slot captures the adjacency view
+// current at its creation, so invalidation (which swaps in a fresh slot
+// map) can never hand a caller a tree computed from a stale view.
 package bgp
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"github.com/afrinet/observatory/internal/par"
 	"github.com/afrinet/observatory/internal/topology"
 )
 
@@ -56,29 +67,56 @@ type adjacency struct {
 	peers     []neighbor
 }
 
+// treeSlot is the singleflight cell for one destination's tree. adj is
+// the adjacency view captured when the slot was created; once guards the
+// single BFS; tree is written exactly once under the Once.
+type treeSlot struct {
+	once sync.Once
+	adj  map[topology.ASN]*adjacency
+	tree *Tree
+}
+
 // Router computes and caches per-destination routing trees.
 type Router struct {
 	topo *topology.Topology
 
-	mu    sync.Mutex
+	// base is the all-links-up adjacency, built and sorted once in New
+	// and immutable afterwards. linkEnds maps each link to its two
+	// endpoint ASes so failures can patch only the affected entries.
+	base     map[topology.ASN]*adjacency
+	linkEnds map[topology.LinkID][2]topology.ASN
+
+	// gen increments on every cache invalidation. Callers that memoize
+	// derived results (e.g. path-quality caches) key them by Gen().
+	gen atomic.Uint64
+
+	mu    sync.RWMutex // guards adj, trees, down (short critical sections only)
 	adj   map[topology.ASN]*adjacency
-	trees map[topology.ASN]*Tree
+	trees map[topology.ASN]*treeSlot
 	down  map[topology.LinkID]bool
 }
 
 // New builds a router for the topology with all links up.
 func New(t *topology.Topology) *Router {
 	r := &Router{
-		topo:  t,
-		trees: make(map[topology.ASN]*Tree),
-		down:  make(map[topology.LinkID]bool),
+		topo:     t,
+		linkEnds: make(map[topology.LinkID][2]topology.ASN, len(t.Links)),
+		trees:    make(map[topology.ASN]*treeSlot),
+		down:     make(map[topology.LinkID]bool),
 	}
-	r.rebuildAdjacency()
+	for i := range t.Links {
+		l := &t.Links[i]
+		r.linkEnds[l.ID] = [2]topology.ASN{l.A, l.B}
+	}
+	r.base = buildBaseAdjacency(t)
+	r.adj = r.base
 	return r
 }
 
-func (r *Router) rebuildAdjacency() {
-	adj := make(map[topology.ASN]*adjacency, len(r.topo.ASes))
+// buildBaseAdjacency builds the all-links-up adjacency with every
+// neighbor list sorted by ASN. It runs once per Router.
+func buildBaseAdjacency(t *topology.Topology) map[topology.ASN]*adjacency {
+	adj := make(map[topology.ASN]*adjacency, len(t.ASes))
 	get := func(a topology.ASN) *adjacency {
 		x := adj[a]
 		if x == nil {
@@ -87,11 +125,8 @@ func (r *Router) rebuildAdjacency() {
 		}
 		return x
 	}
-	for i := range r.topo.Links {
-		l := &r.topo.Links[i]
-		if r.down[l.ID] {
-			continue
-		}
+	for i := range t.Links {
+		l := &t.Links[i]
 		switch l.Kind {
 		case topology.CustomerProvider:
 			get(l.A).providers = append(get(l.A).providers, neighbor{l.B, l.ID})
@@ -106,55 +141,164 @@ func (r *Router) rebuildAdjacency() {
 		sortNeighbors(x.providers)
 		sortNeighbors(x.peers)
 	}
-	r.adj = adj
+	return adj
 }
 
 func sortNeighbors(ns []neighbor) {
 	sort.Slice(ns, func(i, j int) bool { return ns[i].asn < ns[j].asn })
 }
 
+// applyDownLocked derives the current adjacency view from base and the
+// down set. With nothing down it aliases base outright; otherwise only
+// the ASes touching a failed link get filtered copies of their neighbor
+// lists (filtering preserves sort order, so nothing is re-sorted).
+// Must be called with r.mu held for writing.
+func (r *Router) applyDownLocked() {
+	if len(r.down) == 0 {
+		r.adj = r.base
+		return
+	}
+	affected := make(map[topology.ASN]bool, 2*len(r.down))
+	for id := range r.down {
+		ends := r.linkEnds[id]
+		affected[ends[0]] = true
+		affected[ends[1]] = true
+	}
+	adj := make(map[topology.ASN]*adjacency, len(r.base))
+	for a, x := range r.base {
+		if affected[a] {
+			adj[a] = &adjacency{
+				customers: r.filterUp(x.customers),
+				providers: r.filterUp(x.providers),
+				peers:     r.filterUp(x.peers),
+			}
+		} else {
+			adj[a] = x
+		}
+	}
+	r.adj = adj
+}
+
+// filterUp copies ns without the neighbors reached over a down link.
+func (r *Router) filterUp(ns []neighbor) []neighbor {
+	out := make([]neighbor, 0, len(ns))
+	for _, n := range ns {
+		if !r.down[n.link] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// invalidateLocked drops every cached tree and bumps the generation.
+// In-flight computations on old slots finish against their captured
+// adjacency and are simply never re-read — callers that fetched a slot
+// before the swap observe a tree consistent with the pre-change state,
+// which is the same linearization as completing their call first.
+// Must be called with r.mu held for writing.
+func (r *Router) invalidateLocked() {
+	r.trees = make(map[topology.ASN]*treeSlot)
+	r.gen.Add(1)
+}
+
+// Invalidate drops all cached trees without changing link state. It
+// exists for benchmarks and tests that need to re-measure a cold cache.
+func (r *Router) Invalidate() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.invalidateLocked()
+}
+
+// Gen returns the invalidation generation. It increments on every
+// SetLinkDown/SetLinksDown/SetDownLinks/ResetFailures/Invalidate that
+// actually changed state, so derived caches can be keyed by it.
+func (r *Router) Gen() uint64 { return r.gen.Load() }
+
 // SetLinkDown marks a link failed (true) or restored (false) and drops
-// all cached trees.
+// all cached trees. Calls that leave the link in its current state are
+// no-ops and keep the cache.
 func (r *Router) SetLinkDown(id topology.LinkID, isDown bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.down[id] == isDown {
+		return
+	}
 	if isDown {
 		r.down[id] = true
 	} else {
 		delete(r.down, id)
 	}
-	r.trees = make(map[topology.ASN]*Tree)
-	r.rebuildAdjacency()
+	r.applyDownLocked()
+	r.invalidateLocked()
 }
 
 // SetLinksDown applies a batch of failures in one cache invalidation.
+// If no link changes state the call is a no-op and the cache survives.
 func (r *Router) SetLinksDown(ids []topology.LinkID, isDown bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	changed := false
 	for _, id := range ids {
+		if r.down[id] == isDown {
+			continue
+		}
+		changed = true
 		if isDown {
 			r.down[id] = true
 		} else {
 			delete(r.down, id)
 		}
 	}
-	r.trees = make(map[topology.ASN]*Tree)
-	r.rebuildAdjacency()
+	if !changed {
+		return
+	}
+	r.applyDownLocked()
+	r.invalidateLocked()
 }
 
-// ResetFailures restores every link.
+// SetDownLinks replaces the whole failure set in one call — the
+// transactional form used when a simulation re-realizes its failure
+// state. Equal old and new sets are a no-op that keeps every cached
+// tree, so repeated re-realizations with an unchanged set cost nothing.
+func (r *Router) SetDownLinks(ids []topology.LinkID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(ids) == len(r.down) {
+		same := true
+		for _, id := range ids {
+			if !r.down[id] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	r.down = make(map[topology.LinkID]bool, len(ids))
+	for _, id := range ids {
+		r.down[id] = true
+	}
+	r.applyDownLocked()
+	r.invalidateLocked()
+}
+
+// ResetFailures restores every link. A no-op when nothing is down.
 func (r *Router) ResetFailures() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if len(r.down) == 0 {
+		return
+	}
 	r.down = make(map[topology.LinkID]bool)
-	r.trees = make(map[topology.ASN]*Tree)
-	r.rebuildAdjacency()
+	r.adj = r.base
+	r.invalidateLocked()
 }
 
 // DownLinks returns the currently failed links, sorted.
 func (r *Router) DownLinks() []topology.LinkID {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]topology.LinkID, 0, len(r.down))
 	for id := range r.down {
 		out = append(out, id)
@@ -198,23 +342,45 @@ func (t *Tree) NextHop(src topology.ASN) (topology.ASN, topology.LinkID, RouteTy
 func (t *Tree) Size() int { return len(t.next) }
 
 // Tree returns the routing tree for dest, computing and caching it on
-// first use. Trees are safe for concurrent reads.
+// first use. Concurrent callers for the same dest share one computation;
+// different dests compute in parallel. Trees are immutable once built
+// and safe for concurrent reads.
 func (r *Router) Tree(dest topology.ASN) *Tree {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if t, ok := r.trees[dest]; ok {
-		return t
+	r.mu.RLock()
+	slot := r.trees[dest]
+	r.mu.RUnlock()
+	if slot == nil {
+		r.mu.Lock()
+		slot = r.trees[dest]
+		if slot == nil {
+			slot = &treeSlot{adj: r.adj}
+			r.trees[dest] = slot
+		}
+		r.mu.Unlock()
 	}
-	t := r.computeTree(dest)
-	r.trees[dest] = t
-	return t
+	// The BFS runs outside the router lock: only callers waiting on this
+	// very destination block here.
+	slot.once.Do(func() {
+		slot.tree = computeTree(r.topo, slot.adj, dest)
+	})
+	return slot.tree
 }
 
-// computeTree runs the three-phase valley-free BFS. It must be called
-// with r.mu held.
-func (r *Router) computeTree(dest topology.ASN) *Tree {
+// Precompute warms the tree cache for dests using a bounded worker pool
+// (workers <= 0 means GOMAXPROCS). Duplicate destinations are computed
+// once thanks to the per-destination singleflight.
+func (r *Router) Precompute(dests []topology.ASN, workers int) {
+	par.ForEach(workers, len(dests), func(i int) {
+		r.Tree(dests[i])
+	})
+}
+
+// computeTree runs the three-phase valley-free BFS over an immutable
+// adjacency snapshot. It is a pure function of (topo, adj, dest) and
+// holds no locks, so distinct destinations compute concurrently.
+func computeTree(topo *topology.Topology, adjMap map[topology.ASN]*adjacency, dest topology.ASN) *Tree {
 	t := &Tree{Dest: dest, next: make(map[topology.ASN]entry)}
-	if _, ok := r.topo.ASes[dest]; !ok {
+	if _, ok := topo.ASes[dest]; !ok {
 		return t
 	}
 
@@ -258,7 +424,7 @@ func (r *Router) computeTree(dest topology.ASN) *Tree {
 		var next []topology.ASN
 		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
 		for _, u := range frontier {
-			a := r.adj[u]
+			a := adjMap[u]
 			if a == nil {
 				continue
 			}
@@ -284,7 +450,7 @@ func (r *Router) computeTree(dest topology.ASN) *Tree {
 	}
 	sort.Slice(p1nodes, func(i, j int) bool { return p1nodes[i] < p1nodes[j] })
 	for _, u := range p1nodes {
-		a := r.adj[u]
+		a := adjMap[u]
 		if a == nil {
 			continue
 		}
@@ -325,7 +491,7 @@ func (r *Router) computeTree(dest topology.ASN) *Tree {
 				continue
 			}
 		}
-		a := r.adj[u.asn]
+		a := adjMap[u.asn]
 		if a == nil {
 			continue
 		}
@@ -341,7 +507,7 @@ func (r *Router) computeTree(dest topology.ASN) *Tree {
 	// loop until fixed point (bounded by graph diameter, tiny here).
 	for changed := true; changed; {
 		changed = false
-		for _, asn := range r.topo.ASNs() {
+		for _, asn := range topo.ASNs() {
 			e, ok := t.next[asn]
 			if !ok && asn != dest {
 				continue
@@ -350,7 +516,7 @@ func (r *Router) computeTree(dest topology.ASN) *Tree {
 			if asn != dest {
 				h = e.hops
 			}
-			a := r.adj[asn]
+			a := adjMap[asn]
 			if a == nil {
 				continue
 			}

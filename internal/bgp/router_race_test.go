@@ -1,0 +1,148 @@
+package bgp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// raceTopo builds a mid-sized topology for the stress tests.
+func raceTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	return topology.Generate(topology.Params{Seed: 7, Year: 2025})
+}
+
+// usesLink reports whether any entry of the tree forwards over link id.
+func usesLink(tr *Tree, id topology.LinkID) bool {
+	for _, e := range tr.next {
+		if e.link == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTreeConcurrentStress hammers Tree/Path/Reachable from many reader
+// goroutines while a flipper goroutine takes links down and up. After
+// each flip the flipper immediately asks for fresh trees and asserts the
+// invalidation took effect: a tree fetched after SetLinkDown(id, true)
+// returns must never forward over id. Run under -race this also proves
+// the locking protocol has no data races.
+func TestTreeConcurrentStress(t *testing.T) {
+	topo := raceTopo(t)
+	r := New(topo)
+	asns := topo.ASNs()
+	if len(asns) < 10 || len(topo.Links) < 10 {
+		t.Fatalf("topology too small: %d ASes, %d links", len(asns), len(topo.Links))
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Readers: mixed Tree/Path/Reachable traffic over a rotating window
+	// of destinations so slots are shared and re-created constantly.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				dst := asns[(g*31+i)%len(asns)]
+				src := asns[(g*17+i*7)%len(asns)]
+				switch i % 3 {
+				case 0:
+					if tr := r.Tree(dst); tr.Dest != dst {
+						t.Errorf("tree for %d has Dest %d", dst, tr.Dest)
+						return
+					}
+				case 1:
+					if p, ok := r.Path(src, dst); ok && p.Hops[0].ASN != src {
+						t.Errorf("path from %d starts at %d", src, p.Hops[0].ASN)
+						return
+					}
+				default:
+					r.Reachable(src, dst)
+				}
+			}
+		}(g)
+	}
+
+	// Flipper: serially flips links and checks freshness after each flip.
+	const flips = 200
+	for i := 0; i < flips; i++ {
+		id := topo.Links[(i*13)%len(topo.Links)].ID
+		dst := asns[(i*41)%len(asns)]
+
+		r.SetLinkDown(id, true)
+		if tr := r.Tree(dst); usesLink(tr, id) {
+			t.Fatalf("flip %d: tree for %d forwards over down link %d", i, dst, id)
+		}
+		gen := r.Gen()
+
+		r.SetLinkDown(id, false)
+		if r.Gen() == gen {
+			t.Fatalf("flip %d: restore did not bump generation", i)
+		}
+		// No-op flips must keep the cache (and the generation).
+		gen = r.Gen()
+		r.SetLinkDown(id, false)
+		r.ResetFailures()
+		if r.Gen() != gen {
+			t.Fatalf("flip %d: no-op calls bumped generation", i)
+		}
+	}
+
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestPrecomputeWarmsCache checks the bulk warmer computes every
+// requested tree (duplicates included) and that warmed lookups return
+// the identical cached object.
+func TestPrecomputeWarmsCache(t *testing.T) {
+	topo := raceTopo(t)
+	r := New(topo)
+	asns := topo.ASNs()
+	dests := make([]topology.ASN, 0, 64)
+	for i := 0; i < 64; i++ {
+		dests = append(dests, asns[i%len(asns)]) // includes duplicates
+	}
+	r.Precompute(dests, 8)
+	for _, d := range dests {
+		first := r.Tree(d)
+		if second := r.Tree(d); second != first {
+			t.Fatalf("dest %d: Tree not served from cache after Precompute", d)
+		}
+	}
+}
+
+// TestSetDownLinksTransactional checks the whole-set API: equal sets are
+// no-ops, changed sets invalidate, and the resulting down set is exact.
+func TestSetDownLinksTransactional(t *testing.T) {
+	topo := raceTopo(t)
+	r := New(topo)
+	a, b := topo.Links[0].ID, topo.Links[1].ID
+
+	r.SetDownLinks([]topology.LinkID{a, b})
+	got := r.DownLinks()
+	if len(got) != 2 {
+		t.Fatalf("DownLinks = %v, want {%d,%d}", got, a, b)
+	}
+	gen := r.Gen()
+	r.SetDownLinks([]topology.LinkID{b, a}) // same set, different order
+	if r.Gen() != gen {
+		t.Fatal("equal down set bumped generation")
+	}
+	r.SetDownLinks([]topology.LinkID{a})
+	if r.Gen() == gen {
+		t.Fatal("shrinking down set did not invalidate")
+	}
+	if got := r.DownLinks(); len(got) != 1 || got[0] != a {
+		t.Fatalf("DownLinks = %v, want {%d}", got, a)
+	}
+	r.SetDownLinks(nil)
+	if got := r.DownLinks(); len(got) != 0 {
+		t.Fatalf("DownLinks = %v, want empty", got)
+	}
+}

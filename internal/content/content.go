@@ -98,18 +98,16 @@ type System struct {
 	seed    uint64
 	catalog *Catalog
 
-	cdns       []topology.ASN
-	clouds     []topology.ASN
-	regionReps map[string]topology.ASN // country -> representative transit AS for PoP RTT
+	cdns   []topology.ASN
+	clouds []topology.ASN
 }
 
 // New builds the content layer and its site catalogs.
 func New(n *netsim.Net, seed int64) *System {
 	s := &System{
-		net:        n,
-		topo:       n.Topology(),
-		seed:       uint64(seed),
-		regionReps: make(map[string]topology.ASN),
+		net:  n,
+		topo: n.Topology(),
+		seed: uint64(seed),
 	}
 	for _, asn := range s.topo.ASNs() {
 		as := s.topo.ASes[asn]

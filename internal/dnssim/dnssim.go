@@ -13,6 +13,7 @@ package dnssim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/afrinet/observatory/internal/geo"
 	"github.com/afrinet/observatory/internal/netsim"
@@ -80,9 +81,12 @@ type System struct {
 	// (AS they are announced from). Only South Africa hosts African
 	// instances, per Section 5.2.
 	cloudSites map[topology.ASN][]topology.ASN
-	// hubResolvers per region: the African hub countries that sell
-	// outsourced resolver service.
+	// mu guards the lazily-filled memo maps below. Both memoize pure
+	// functions of the seed, so concurrent fills race only on who stores
+	// the (identical) value first.
+	mu          sync.RWMutex
 	assignments map[topology.ASN]Resolver
+	authMemo    map[string]AuthLocation
 }
 
 func splitmix(x uint64) uint64 {
@@ -112,6 +116,7 @@ func New(n *netsim.Net, seed int64) *System {
 		seed:        uint64(seed),
 		cloudSites:  make(map[topology.ASN][]topology.ASN),
 		assignments: make(map[topology.ASN]Resolver),
+		authMemo:    make(map[string]AuthLocation),
 	}
 	// Cloud resolvers run on the cloud/content ASes that operate
 	// public resolver services.
@@ -189,17 +194,30 @@ func regionalHubCountry(r geo.Region) string {
 }
 
 // ResolverFor returns the recursive resolver assignment of a client
-// network (deterministic per client AS).
+// network (deterministic per client AS; safe for concurrent callers).
 func (s *System) ResolverFor(client topology.ASN) Resolver {
-	if r, ok := s.assignments[client]; ok {
+	s.mu.RLock()
+	r, ok := s.assignments[client]
+	s.mu.RUnlock()
+	if ok {
 		return r
 	}
+	r = s.computeResolver(client)
+	s.mu.Lock()
+	s.assignments[client] = r
+	s.mu.Unlock()
+	return r
+}
+
+// computeResolver derives a client's assignment — a pure function of the
+// seed and the client ASN.
+func (s *System) computeResolver(client topology.ASN) Resolver {
 	as := s.topo.ASes[client]
 	if as == nil {
 		return Resolver{}
 	}
 	mix := mixes[as.Region]
-	r := Resolver{}
+	var r Resolver
 	draw := s.f(uint64(client), 0x51)
 	switch {
 	case draw < mix.local:
@@ -219,7 +237,6 @@ func (s *System) ResolverFor(client topology.ASN) Resolver {
 		r.Kind = ResolverCloud
 		r.ASN = s.cloudASNs[pick(splitmix(s.seed^uint64(client)^0x54), len(s.cloudASNs))]
 	}
-	s.assignments[client] = r
 	return r
 }
 
@@ -275,8 +292,25 @@ type AuthLocation struct {
 	Cloud   bool
 }
 
-// AuthorityFor places a domain's authoritative servers.
+// AuthorityFor places a domain's authoritative servers. The placement is
+// a pure function of the seed and the arguments, memoized because page
+// loads re-resolve the same domains constantly.
 func (s *System) AuthorityFor(domain, originCountry string) AuthLocation {
+	key := domain + "\x00" + originCountry
+	s.mu.RLock()
+	loc, okM := s.authMemo[key]
+	s.mu.RUnlock()
+	if okM {
+		return loc
+	}
+	loc = s.computeAuthority(domain, originCountry)
+	s.mu.Lock()
+	s.authMemo[key] = loc
+	s.mu.Unlock()
+	return loc
+}
+
+func (s *System) computeAuthority(domain, originCountry string) AuthLocation {
 	c, ok := geo.Lookup(originCountry)
 	if !ok {
 		return AuthLocation{}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"github.com/afrinet/observatory/internal/core"
 	"github.com/afrinet/observatory/internal/ixp"
@@ -129,12 +130,7 @@ func sortedTargets(m map[topology.IXPID]netx.Addr) []netx.Addr {
 	for id := range m {
 		ids = append(ids, int(id))
 	}
-	// insertion sort — tiny slice
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Ints(ids)
 	out := make([]netx.Addr, 0, len(ids))
 	for _, id := range ids {
 		out = append(out, m[topology.IXPID(id)])

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"github.com/afrinet/observatory/internal/par"
+)
+
+// renderable is what every driver result knows how to do.
+type renderable interface{ Render(w io.Writer) }
+
+// parallelDrivers lists every driver that fans out through internal/par.
+// Each must produce byte-identical output whether the pool runs one
+// worker or many — the contract DESIGN.md states for the substrate.
+var parallelDrivers = []struct {
+	name string
+	run  func(*Env) renderable
+}{
+	{"Fig2aDetours", func(e *Env) renderable { return Fig2aDetours(e) }},
+	{"Fig4Outages", func(e *Env) renderable { return Fig4Outages(e) }},
+	{"Table1Scan", func(e *Env) renderable { return Table1Scan(e) }},
+	{"NautilusAmbiguity", func(e *Env) renderable { return NautilusAmbiguity(e) }},
+	{"WhatIfCableCut", func(e *Env) renderable { return WhatIfCableCut(e) }},
+	{"AblationCorrelatedCuts", func(e *Env) renderable { return AblationCorrelatedCuts(e) }},
+}
+
+// TestParallelDriversMatchSerial runs each parallelized driver twice per
+// seed — once with the worker pool pinned to a single worker (the serial
+// reference) and once with a wide pool — and requires deep-equal results
+// and byte-identical rendered reports.
+func TestParallelDriversMatchSerial(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		// Fresh environments per mode so warm caches on one side cannot
+		// mask (or cause) a divergence on the other.
+		serialEnv := NewEnv(seed, 2025)
+		parallelEnv := NewEnv(seed, 2025)
+
+		for _, d := range parallelDrivers {
+			prev := par.SetDefaultWorkers(1)
+			serial := d.run(serialEnv)
+			par.SetDefaultWorkers(8)
+			parallel := d.run(parallelEnv)
+			par.SetDefaultWorkers(prev)
+
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("seed %d %s: parallel result differs from serial\nserial:   %#v\nparallel: %#v",
+					seed, d.name, serial, parallel)
+				continue
+			}
+			var sb, pb bytes.Buffer
+			serial.Render(&sb)
+			parallel.Render(&pb)
+			if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+				t.Errorf("seed %d %s: rendered output differs\nserial:\n%s\nparallel:\n%s",
+					seed, d.name, sb.String(), pb.String())
+			}
+		}
+	}
+}

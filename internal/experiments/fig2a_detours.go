@@ -7,6 +7,7 @@ import (
 	"github.com/afrinet/observatory/internal/core"
 	"github.com/afrinet/observatory/internal/geo"
 	"github.com/afrinet/observatory/internal/metrics"
+	"github.com/afrinet/observatory/internal/par"
 	"github.com/afrinet/observatory/internal/report"
 	"github.com/afrinet/observatory/internal/topology"
 )
@@ -39,31 +40,42 @@ func Fig2aDetours(env *Env) DetourResult {
 	tier1 := tier1Set(env.Topo)
 
 	type acc struct{ pairs, detours, attributed int }
-	byRegion := map[geo.Region]*acc{}
-	overall := &acc{}
 
-	for _, src := range probes {
-		srcRegion := env.Topo.RegionOf(src)
+	// One independent worker per source probe; its counters merge by
+	// addition, so any merge order yields the serial totals.
+	perSrc := par.Map(0, len(probes), func(i int) acc {
+		src := probes[i]
+		var a acc
 		for _, dst := range probes {
 			if src == dst {
 				continue
 			}
 			tr := env.Net.Traceroute(src, env.Net.RouterAddr(dst, 0))
 			detour, attributed := classifyDetour(observe(env, tr), tier1)
-			a := byRegion[srcRegion]
-			if a == nil {
-				a = &acc{}
-				byRegion[srcRegion] = a
-			}
-			for _, x := range []*acc{a, overall} {
-				x.pairs++
-				if detour {
-					x.detours++
-					if attributed {
-						x.attributed++
-					}
+			a.pairs++
+			if detour {
+				a.detours++
+				if attributed {
+					a.attributed++
 				}
 			}
+		}
+		return a
+	})
+
+	byRegion := map[geo.Region]*acc{}
+	overall := &acc{}
+	for i, sa := range perSrc {
+		srcRegion := env.Topo.RegionOf(probes[i])
+		a := byRegion[srcRegion]
+		if a == nil {
+			a = &acc{}
+			byRegion[srcRegion] = a
+		}
+		for _, x := range []*acc{a, overall} {
+			x.pairs += sa.pairs
+			x.detours += sa.detours
+			x.attributed += sa.attributed
 		}
 	}
 

@@ -7,6 +7,9 @@ import (
 	"github.com/afrinet/observatory/internal/cable"
 	"github.com/afrinet/observatory/internal/core"
 	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/netx"
+	"github.com/afrinet/observatory/internal/par"
+	"github.com/afrinet/observatory/internal/topology"
 )
 
 // NautilusResult reproduces Section 6.2's cable-identification
@@ -23,7 +26,14 @@ func NautilusAmbiguity(env *Env) NautilusResult {
 	probes := core.AtlasPlacement(env.Topo, 24)
 	targets := core.CableSpanTargets(env.Topo, env.Net)
 
-	var pms []cable.PathMapping
+	// Enumerate the thinned mesh first, then map each (probe, target)
+	// pair concurrently; index-addressed results keep the mapping order
+	// identical to the serial double loop.
+	type pair struct {
+		src topology.ASN
+		tgt netx.Addr
+	}
+	var pairs []pair
 	for i, src := range probes {
 		for j, tgt := range targets {
 			// Thin the mesh deterministically to keep the run fast while
@@ -31,10 +41,13 @@ func NautilusAmbiguity(env *Env) NautilusResult {
 			if (i+j)%3 != 0 {
 				continue
 			}
-			tr := env.Net.Traceroute(src, tgt)
-			pms = append(pms, inf.MapTraceroute(tr, env.Net))
+			pairs = append(pairs, pair{src: src, tgt: tgt})
 		}
 	}
+	pms := par.Map(0, len(pairs), func(i int) cable.PathMapping {
+		tr := env.Net.Traceroute(pairs[i].src, pairs[i].tgt)
+		return inf.MapTraceroute(tr, env.Net)
+	})
 	return NautilusResult{Summary: cable.Summarize(pms)}
 }
 

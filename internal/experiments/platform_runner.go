@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http/httptest"
+	"sort"
 
 	"github.com/afrinet/observatory/internal/core"
 	"github.com/afrinet/observatory/internal/geo"
@@ -73,7 +74,7 @@ func PlatformRun(env *Env, probeCap int) (PlatformRunResult, error) {
 	for id := range agents {
 		ids = append(ids, id)
 	}
-	sortStrings(ids)
+	sort.Strings(ids)
 	for i, src := range ids {
 		for j, dst := range ids {
 			if i == j || (i+j)%3 != 0 {
@@ -195,14 +196,6 @@ func PlatformRun(env *Env, probeCap int) (PlatformRunResult, error) {
 // detector (which only needs addresses).
 func hopOnlyTrace(addr netx.Addr, ttl int) netsim.Traceroute {
 	return netsim.Traceroute{Hops: []netsim.TraceHop{{TTL: ttl, Addr: addr}}}
-}
-
-func sortStrings(xs []string) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 // Render writes the summary.

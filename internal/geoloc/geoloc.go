@@ -9,6 +9,7 @@ package geoloc
 
 import (
 	"math"
+	"sync"
 
 	"github.com/afrinet/observatory/internal/geo"
 	"github.com/afrinet/observatory/internal/netx"
@@ -30,6 +31,17 @@ type DB struct {
 	seed uint64
 	trie *netx.Trie[topology.ASN]
 	ixps *netx.Trie[topology.IXPID]
+
+	// memo caches Lookup answers. A database snapshot never changes, so
+	// entries live for the DB's lifetime; concurrent fills are benign
+	// (both goroutines compute the same deterministic Result).
+	memo sync.Map // netx.Addr -> memoVal
+}
+
+// memoVal is one cached Lookup answer.
+type memoVal struct {
+	res Result
+	ok  bool
 }
 
 // New builds the database. The seed fixes each address's error draw, so
@@ -86,8 +98,20 @@ func (db *DB) f(vals ...uint64) float64 {
 
 // Lookup geolocates an address. IXP LAN addresses geolocate to the
 // exchange's country (databases know the big fabrics) but with the
-// region's coordinate error.
+// region's coordinate error. Answers are memoized — snapshots are
+// immutable, and traceroute mapping asks about the same router
+// interfaces over and over.
 func (db *DB) Lookup(a netx.Addr) (Result, bool) {
+	if v, ok := db.memo.Load(a); ok {
+		m := v.(memoVal)
+		return m.res, m.ok
+	}
+	res, ok := db.lookupUncached(a)
+	db.memo.Store(a, memoVal{res: res, ok: ok})
+	return res, ok
+}
+
+func (db *DB) lookupUncached(a netx.Addr) (Result, bool) {
 	var trueCountry string
 	var asn topology.ASN
 	if x, ok := db.ixps.Lookup(a); ok {

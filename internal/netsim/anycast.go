@@ -32,7 +32,8 @@ func (n *Net) AnnounceAnycast(p netx.Prefix, origins []topology.ASN) {
 	n.anycast = append(n.anycast, anycastService{prefix: p, origins: os})
 }
 
-// anycastFor returns the service covering addr, if any. Must hold n.mu.
+// anycastFor returns the service covering addr, if any. Must hold n.mu
+// (read or write).
 func (n *Net) anycastFor(a netx.Addr) *anycastService {
 	for i := range n.anycast {
 		if n.anycast[i].prefix.Contains(a) {
@@ -44,7 +45,8 @@ func (n *Net) anycastFor(a netx.Addr) *anycastService {
 
 // anycastOrigin picks the instance BGP would deliver src's packets to:
 // the origin with the best (shortest, tie-broken lowest-ASN) policy
-// route from src. Must hold n.mu; uses the router's own locking.
+// route from src. Must hold n.mu (read or write); uses the router's own
+// locking.
 func (n *Net) anycastOrigin(src topology.ASN, svc *anycastService) (topology.ASN, bool) {
 	best := topology.ASN(0)
 	bestLen := 1 << 30
@@ -63,8 +65,8 @@ func (n *Net) anycastOrigin(src topology.ASN, svc *anycastService) (topology.ASN
 // AnycastInstanceFor exposes the instance selection (ground truth for
 // census evaluation).
 func (n *Net) AnycastInstanceFor(src topology.ASN, a netx.Addr) (topology.ASN, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	svc := n.anycastFor(a)
 	if svc == nil {
 		return 0, false
@@ -74,7 +76,7 @@ func (n *Net) AnycastInstanceFor(src topology.ASN, a netx.Addr) (topology.ASN, b
 
 // IsAnycast reports whether addr falls in an announced anycast prefix.
 func (n *Net) IsAnycast(a netx.Addr) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.anycastFor(a) != nil
 }

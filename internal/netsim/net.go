@@ -9,6 +9,7 @@ package netsim
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/afrinet/observatory/internal/bgp"
 	"github.com/afrinet/observatory/internal/geo"
@@ -16,13 +17,62 @@ import (
 	"github.com/afrinet/observatory/internal/topology"
 )
 
+// latVal is a memoized linkLatency result, valid for one failure epoch.
+type latVal struct {
+	ms, loss float64
+	up       bool
+}
+
+// latMemoT holds the per-epoch link-latency memo. reRealize swaps in a
+// fresh one, so entries are only ever read in the epoch they were
+// computed for.
+type latMemoT struct{ m sync.Map } // topology.LinkID -> latVal
+
+// pqVal is a memoized PathQuality result.
+type pqVal struct {
+	rtt, loss float64
+	ok        bool
+}
+
+// pqMemoT holds PathQuality results valid for one (router generation,
+// failure epoch) pair; any state change makes the whole memo stale.
+type pqMemoT struct {
+	gen, epoch uint64
+	m          sync.Map // src<<32|dst -> pqVal
+}
+
+// trKey identifies one traceroute query.
+type trKey struct {
+	src topology.ASN
+	dst netx.Addr
+}
+
+// trMemoT holds Traceroute results valid for one (router generation,
+// failure epoch) pair. Memoized traceroutes share their Hops slice;
+// every consumer treats Traceroute as read-only (the wire layer copies
+// into its own HopRecord format).
+type trMemoT struct {
+	gen, epoch uint64
+	m          sync.Map // trKey -> Traceroute
+}
+
 // Net is a simulated data plane over a topology and its routing.
 type Net struct {
 	topo   *topology.Topology
 	router *bgp.Router
 	seed   uint64
 
-	mu sync.Mutex
+	// epoch increments on every re-realization (failure-state change);
+	// derived caches are keyed by it.
+	epoch   atomic.Uint64
+	latMemo atomic.Pointer[latMemoT]
+	pqMemo  atomic.Pointer[pqMemoT]
+	trMemo  atomic.Pointer[trMemoT]
+
+	// mu is read-mostly: measurement reads (traceroute, path quality,
+	// link state) take the read lock and run concurrently; failure
+	// changes (cable cuts/restores) take the write lock.
+	mu sync.RWMutex
 	// conduitDown marks failed physical segments (by cable cuts).
 	conduitDown map[topology.ConduitID]bool
 	// cutCables tracks which cables are currently cut.
@@ -53,6 +103,7 @@ func New(t *topology.Topology, r *bgp.Router, seed int64) *Net {
 		addrIndex:   &netx.Trie[topology.ASN]{},
 		ixpByLAN:    &netx.Trie[topology.IXPID]{},
 	}
+	n.latMemo.Store(&latMemoT{})
 	for _, asn := range t.ASNs() {
 		for _, p := range t.ASes[asn].Prefixes {
 			n.addrIndex.Insert(p, asn)
@@ -67,6 +118,11 @@ func New(t *topology.Topology, r *bgp.Router, seed int64) *Net {
 
 // Topology returns the underlying topology.
 func (n *Net) Topology() *topology.Topology { return n.topo }
+
+// Epoch returns the failure epoch: it increments on every state change
+// that re-realized the network (cable cut/restore). Together with the
+// router's Gen it keys any cache derived from data-plane state.
+func (n *Net) Epoch() uint64 { return n.epoch.Load() }
 
 // Router returns the underlying routing engine.
 func (n *Net) Router() *bgp.Router { return n.router }
@@ -101,35 +157,37 @@ func (n *Net) RouterAddr(asn topology.ASN, i int) netx.Addr {
 // CutCable fails every segment of the cable and recomputes link
 // realizations and routing.
 func (n *Net) CutCable(id topology.CableID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.cutCables[id] {
-		return
-	}
-	n.cutCables[id] = true
-	for i := range n.topo.Conduits {
-		c := &n.topo.Conduits[i]
-		if c.Cable == id {
-			n.conduitDown[c.ID] = true
-		}
-	}
-	n.reRealize()
+	n.SetCablesCut([]topology.CableID{id}, true)
 }
 
 // RestoreCable repairs the cable's segments.
 func (n *Net) RestoreCable(id topology.CableID) {
+	n.SetCablesCut([]topology.CableID{id}, false)
+}
+
+// SetCablesCut cuts (or restores) a whole batch of cables with a single
+// re-realization — one routing invalidation instead of one per cable.
+// Cables already in the requested state are skipped; if nothing changes
+// the call is a no-op and every cache survives.
+func (n *Net) SetCablesCut(ids []topology.CableID, cut bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if !n.cutCables[id] {
-		return
-	}
-	delete(n.cutCables, id)
-	for i := range n.topo.Conduits {
-		c := &n.topo.Conduits[i]
-		if c.Cable == id {
-			delete(n.conduitDown, c.ID)
+	changed := false
+	for _, id := range ids {
+		if n.cutCables[id] == cut {
+			continue
+		}
+		changed = true
+		if cut {
+			n.cutCables[id] = true
+		} else {
+			delete(n.cutCables, id)
 		}
 	}
+	if !changed {
+		return
+	}
+	n.syncConduitsLocked()
 	n.reRealize()
 }
 
@@ -137,15 +195,31 @@ func (n *Net) RestoreCable(id topology.CableID) {
 func (n *Net) RestoreAll() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if len(n.cutCables) == 0 && len(n.conduitDown) == 0 {
+		return
+	}
 	n.cutCables = make(map[topology.CableID]bool)
 	n.conduitDown = make(map[topology.ConduitID]bool)
 	n.reRealize()
 }
 
+// syncConduitsLocked rederives the failed-conduit set from the cut
+// cables. Must be called with n.mu held for writing.
+func (n *Net) syncConduitsLocked() {
+	down := make(map[topology.ConduitID]bool)
+	for i := range n.topo.Conduits {
+		c := &n.topo.Conduits[i]
+		if n.cutCables[c.Cable] {
+			down[c.ID] = true
+		}
+	}
+	n.conduitDown = down
+}
+
 // CutCables returns the currently-cut cables, sorted.
 func (n *Net) CutCables() []topology.CableID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]topology.CableID, 0, len(n.cutCables))
 	for id := range n.cutCables {
 		out = append(out, id)
@@ -156,7 +230,7 @@ func (n *Net) CutCables() []topology.CableID {
 
 // reRealize recomputes effective physical paths for all links after a
 // failure change, and feeds physically-dead links to the BGP layer.
-// Must be called with n.mu held.
+// Must be called with n.mu held for writing.
 func (n *Net) reRealize() {
 	n.repath = make(map[topology.LinkID][]topology.Segment)
 	up := func(id topology.ConduitID) bool { return !n.conduitDown[id] }
@@ -182,16 +256,17 @@ func (n *Net) reRealize() {
 		}
 		n.repath[l.ID] = segs
 	}
-	// Apply to routing: exactly the physically-dead links are down.
-	n.router.ResetFailures()
-	if len(dead) > 0 {
-		n.router.SetLinksDown(dead, true)
-	}
+	// Apply to routing: exactly the physically-dead links are down. The
+	// whole-set form is a no-op on the router (cached trees survive)
+	// when the dead set did not change.
+	n.router.SetDownLinks(dead)
 	n.recomputeLoads()
+	n.epoch.Add(1)
+	n.latMemo.Store(&latMemoT{})
 }
 
 // effectivePath returns the link's current physical realization and
-// whether the link is up. Must be called with n.mu held.
+// whether the link is up. Must be called with n.mu held (read or write).
 func (n *Net) effectivePath(l *topology.Link) ([]topology.Segment, bool) {
 	if segs, ok := n.repath[l.ID]; ok {
 		return segs, segs != nil
@@ -200,7 +275,7 @@ func (n *Net) effectivePath(l *topology.Link) ([]topology.Segment, bool) {
 }
 
 // recomputeLoads counts how many links ride each conduit. Must be called
-// with n.mu held.
+// with n.mu held for writing.
 func (n *Net) recomputeLoads() {
 	loads := make(map[topology.ConduitID]int)
 	for i := range n.topo.Links {
@@ -243,8 +318,8 @@ func (n *Net) conduitPenalty(id topology.ConduitID) (delayMs, loss float64) {
 
 // LinkUp reports whether a link currently has a physical realization.
 func (n *Net) LinkUp(id topology.LinkID) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	segs, ok := n.repath[id]
 	if !ok {
 		return true
@@ -255,8 +330,8 @@ func (n *Net) LinkUp(id topology.LinkID) bool {
 // CablesOnLink returns the cables carrying the link's *current*
 // realization (ground truth for cable-inference experiments).
 func (n *Net) CablesOnLink(id topology.LinkID) []topology.CableID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	l := n.topo.Link(id)
 	segs, up := n.effectivePath(l)
 	if !up {
@@ -275,9 +350,22 @@ func (n *Net) CablesOnLink(id topology.LinkID) []topology.CableID {
 }
 
 // linkLatency returns the one-way propagation+processing delay and the
-// compound congestion loss for a link under current conditions.
-// Must be called with n.mu held.
+// compound congestion loss for a link under current conditions. Results
+// are memoized per failure epoch (the inputs — repath, loads,
+// conduitDown — only change inside reRealize, which swaps the memo).
+// Must be called with n.mu held (read or write).
 func (n *Net) linkLatency(l *topology.Link) (ms float64, loss float64, up bool) {
+	memo := n.latMemo.Load()
+	if v, ok := memo.m.Load(l.ID); ok {
+		e := v.(latVal)
+		return e.ms, e.loss, e.up
+	}
+	ms, loss, up = n.linkLatencyUncached(l)
+	memo.m.Store(l.ID, latVal{ms: ms, loss: loss, up: up})
+	return ms, loss, up
+}
+
+func (n *Net) linkLatencyUncached(l *topology.Link) (ms float64, loss float64, up bool) {
 	segs, okUp := n.effectivePath(l)
 	if !okUp {
 		return 0, 1, false

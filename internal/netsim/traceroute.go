@@ -51,9 +51,47 @@ func (tr *Traceroute) ASPath() []topology.ASN {
 // router-level path. Addressing follows operational practice: the far
 // end of an IXP-fabric peering link answers from its IXP LAN interface
 // address — the signal traIXroute-style detection relies on.
+//
+// The result is a pure function of (seed, src, dst, routing generation,
+// failure epoch) and is memoized on that key; experiment drivers probe
+// the same pairs repeatedly. Memoized results share their Hops slice, so
+// callers must treat the Traceroute as read-only (all current consumers
+// do — the wire layer copies hops into its own record format).
 func (n *Net) Traceroute(srcASN topology.ASN, dst netx.Addr) Traceroute {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	memo := n.trMemoFor()
+	key := trKey{src: srcASN, dst: dst}
+	if v, ok := memo.m.Load(key); ok {
+		return v.(Traceroute)
+	}
+	tr := n.tracerouteUncached(srcASN, dst)
+	if n.router.Gen() == memo.gen && n.epoch.Load() == memo.epoch {
+		// Only cache results whose inputs were stable across the whole
+		// computation; a concurrent failure change just skips the store.
+		memo.m.Store(key, tr)
+	}
+	return tr
+}
+
+// trMemoFor returns the Traceroute memo for the current (routing
+// generation, failure epoch), replacing a stale one if needed.
+func (n *Net) trMemoFor() *trMemoT {
+	gen := n.router.Gen()
+	ep := n.epoch.Load()
+	for {
+		m := n.trMemo.Load()
+		if m != nil && m.gen == gen && m.epoch == ep {
+			return m
+		}
+		fresh := &trMemoT{gen: gen, epoch: ep}
+		if n.trMemo.CompareAndSwap(m, fresh) {
+			return fresh
+		}
+	}
+}
+
+func (n *Net) tracerouteUncached(srcASN topology.ASN, dst netx.Addr) Traceroute {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 
 	tr := Traceroute{
 		SrcASN:  srcASN,
@@ -193,7 +231,8 @@ func (n *Net) Traceroute(srcASN topology.ASN, dst netx.Addr) Traceroute {
 
 // tracerouteToIXPLAN handles probing an IXP LAN address directly: the LAN
 // is unrouted globally, so the probe only succeeds when the source's own
-// upstream path happens to touch that fabric. Must hold n.mu.
+// upstream path happens to touch that fabric. Must hold n.mu (read or
+// write).
 func (n *Net) tracerouteToIXPLAN(srcASN topology.ASN, dst netx.Addr, x topology.IXPID) Traceroute {
 	tr := Traceroute{SrcASN: srcASN, SrcAddr: n.HostAddr(srcASN, 0), DstAddr: dst}
 	ixp := n.topo.IXPs[x]
@@ -328,16 +367,54 @@ func (n *Net) Ping(srcASN topology.ASN, dst netx.Addr) (float64, bool) {
 // PathQuality returns the AS-to-AS round-trip latency and compound loss
 // probability along the current forwarding path. ok is false when no
 // path exists (or a link on it is physically dead mid-reconvergence).
+// Results are a pure function of (routing generation, failure epoch,
+// src, dst) and are memoized on that key — outage sweeps re-ask the same
+// pairs for every event.
 func (n *Net) PathQuality(src, dst topology.ASN) (rtt, loss float64, ok bool) {
 	if src == dst {
 		return 2.0, 0, true
 	}
+	memo := n.pqMemoFor()
+	key := uint64(src)<<32 | uint64(dst)
+	if memo != nil {
+		if v, okM := memo.m.Load(key); okM {
+			e := v.(pqVal)
+			return e.rtt, e.loss, e.ok
+		}
+	}
+	rtt, loss, ok = n.pathQualityUncached(src, dst)
+	if memo != nil && n.router.Gen() == memo.gen && n.epoch.Load() == memo.epoch {
+		// Only cache results whose inputs were stable across the whole
+		// computation; a concurrent failure change just skips the store.
+		memo.m.Store(key, pqVal{rtt: rtt, loss: loss, ok: ok})
+	}
+	return rtt, loss, ok
+}
+
+// pqMemoFor returns the PathQuality memo for the current (routing
+// generation, failure epoch), replacing a stale one if needed.
+func (n *Net) pqMemoFor() *pqMemoT {
+	gen := n.router.Gen()
+	ep := n.epoch.Load()
+	for {
+		m := n.pqMemo.Load()
+		if m != nil && m.gen == gen && m.epoch == ep {
+			return m
+		}
+		fresh := &pqMemoT{gen: gen, epoch: ep}
+		if n.pqMemo.CompareAndSwap(m, fresh) {
+			return fresh
+		}
+	}
+}
+
+func (n *Net) pathQualityUncached(src, dst topology.ASN) (rtt, loss float64, ok bool) {
 	path, okPath := n.router.Path(src, dst)
 	if !okPath {
 		return 0, 1, false
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	oneWay := 1.0
 	pass := 1.0
 	for i := 1; i < len(path.Hops); i++ {

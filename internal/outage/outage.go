@@ -12,6 +12,7 @@ import (
 
 	"github.com/afrinet/observatory/internal/geo"
 	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/par"
 	"github.com/afrinet/observatory/internal/topology"
 )
 
@@ -113,6 +114,13 @@ type Model struct {
 	// CorrelatedCuts toggles the corridor model: when false, a cable-cut
 	// event cuts exactly one cable (the ablation in DESIGN.md).
 	CorrelatedCuts bool
+
+	// baseline caches the intact-network reachability scores. Every
+	// cable-cut evaluation needs the same "before" snapshot; the stamps
+	// detect any state change that would stale it.
+	baseline      map[string]float64
+	baselineGen   uint64
+	baselineEpoch uint64
 }
 
 // NewModel builds an outage model with correlated (corridor) cuts on.
@@ -213,10 +221,8 @@ func (m *Model) Evaluate(ev Event) Impact {
 	imp := Impact{Event: ev, Drop: make(map[string]float64)}
 	switch ev.Cause {
 	case CauseCableCut:
-		before := m.reachability(nil)
-		for _, c := range ev.Cables {
-			m.net.CutCable(c)
-		}
+		before := m.baselineReachability()
+		m.net.SetCablesCut(ev.Cables, true)
 		after := m.reachability(nil)
 		for ctry, b := range before {
 			a := after[ctry]
@@ -227,9 +233,7 @@ func (m *Model) Evaluate(ev Event) Impact {
 				}
 			}
 		}
-		for _, c := range ev.Cables {
-			m.net.RestoreCable(c)
-		}
+		m.net.SetCablesCut(ev.Cables, false)
 	default:
 		for _, ctry := range ev.Countries {
 			imp.Drop[ctry] = ev.Severity
@@ -244,35 +248,64 @@ func (m *Model) Evaluate(ev Event) Impact {
 	return imp
 }
 
+// baselineReachability returns the intact-network reachability snapshot,
+// computing it at most once per (routing generation, failure epoch). The
+// cut/restore cycle of every evaluated event returns the network to the
+// exact baseline state (the router's whole-set invalidation is a no-op
+// then), so a whole event sequence shares one "before" computation.
+func (m *Model) baselineReachability() map[string]float64 {
+	gen, epoch := m.net.Router().Gen(), m.net.Epoch()
+	if m.baseline != nil && m.baselineGen == gen && m.baselineEpoch == epoch {
+		return m.baseline
+	}
+	m.baseline = m.reachability(nil)
+	m.baselineGen, m.baselineEpoch = gen, epoch
+	return m.baseline
+}
+
 // reachability scores each country: the mean transport quality (path up,
 // weighted by compound loss) over (eyeball, target) pairs. Congestion on
 // over-subscribed backups counts as degradation even when paths exist.
 // Targets are the global content
 // and cloud networks plus the European transit hubs — what end users
-// actually talk to.
+// actually talk to. Countries are scored concurrently (each writes its
+// own result slot, so the map is identical to a serial sweep).
 func (m *Model) reachability(only map[string]bool) map[string]float64 {
 	targets := m.targets()
-	out := make(map[string]float64)
-	for _, c := range geo.Countries() {
+	countries := geo.Countries()
+	type score struct {
+		iso string
+		val float64
+		ok  bool
+	}
+	scores := par.Map(0, len(countries), func(i int) score {
+		c := countries[i]
 		if only != nil && !only[c.ISO2] {
-			continue
+			return score{}
 		}
 		eyeballs := m.eyeballs(c.ISO2, 3)
 		if len(eyeballs) == 0 {
-			continue
+			return score{}
 		}
-		var score float64
+		var sum float64
 		total := 0
 		for _, e := range eyeballs {
 			for _, tg := range targets {
 				total++
 				if _, loss, ok := m.net.PathQuality(e, tg); ok {
-					score += 1 - loss
+					sum += 1 - loss
 				}
 			}
 		}
-		if total > 0 {
-			out[c.ISO2] = score / float64(total)
+		if total == 0 {
+			return score{}
+		}
+		return score{iso: c.ISO2, val: sum / float64(total), ok: true}
+	})
+	out := make(map[string]float64)
+	for _, s := range scores {
+		if s.ok {
+			out[s.iso] = s.val
 		}
 	}
 	return out

@@ -1,0 +1,129 @@
+// Package par is the repo's tiny deterministic worker pool: bounded
+// fan-out over an index range with index-addressed results, so a
+// parallel run is byte-identical to the serial one.
+//
+// Determinism contract: callers pass a function of the *index* only.
+// Each index is processed exactly once, by exactly one worker, and any
+// output must be written to a slot addressed by that index (Map does
+// this for you) or merged with an order-independent operation. Under
+// that contract the result is a pure function of the inputs — worker
+// count and scheduling never change it, only how fast it arrives.
+//
+// Errors and panics: ForEachErr collects every error and returns the one
+// from the lowest index (deterministic regardless of which worker hit it
+// first). A panic in any worker aborts the remaining unclaimed work and
+// is re-raised on the calling goroutine with the original value.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers overrides the fan-out width for calls that pass
+// workers <= 0. Zero means "use GOMAXPROCS". Tests use SetDefaultWorkers
+// to force serial (1) and wide runs over the same code path.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the pool width used when a call passes
+// workers <= 0, returning the previous value. n <= 0 restores the
+// GOMAXPROCS default.
+func SetDefaultWorkers(n int) int {
+	return int(defaultWorkers.Swap(int64(n)))
+}
+
+// Workers resolves a requested width: itself if positive, else the
+// process-wide default from SetDefaultWorkers, else GOMAXPROCS.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	if d := int(defaultWorkers.Load()); d > 0 {
+		return d
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// capturedPanic wraps a worker panic so the caller can tell a re-raised
+// panic apart from a worker returning a panic-typed value.
+type capturedPanic struct{ val any }
+
+// run claims indices [0, n) with an atomic counter across w goroutines.
+// The first panic aborts unclaimed work and is returned for re-raising.
+func run(w, n int, fn func(int)) *capturedPanic {
+	if n <= 0 {
+		return nil
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		// Serial path: no goroutines, panics propagate natively.
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		panicked atomic.Pointer[capturedPanic]
+		wg       sync.WaitGroup
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if v := recover(); v != nil {
+							panicked.CompareAndSwap(nil, &capturedPanic{val: v})
+							next.Store(int64(n)) // abort unclaimed work
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	return panicked.Load()
+}
+
+// ForEach calls fn(i) for every i in [0, n) using at most
+// Workers(workers) goroutines. Each index runs exactly once; a panic in
+// fn aborts unclaimed indices and re-panics on the caller.
+func ForEach(workers, n int, fn func(int)) {
+	if p := run(Workers(workers), n, fn); p != nil {
+		panic(p.val)
+	}
+}
+
+// ForEachErr is ForEach for fallible work. Every index still runs (an
+// error does not cancel siblings, matching a serial loop that collects
+// errors); the returned error is the one from the lowest index, so the
+// result is independent of worker scheduling.
+func ForEachErr(workers, n int, fn func(int) error) error {
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map applies fn to every index in [0, n) and returns the results in
+// index order — the parallel equivalent of append-in-a-loop.
+func Map[T any](workers, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,114 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: len=%d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d]=%d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachEachIndexOnce(t *testing.T) {
+	counts := make([]atomic.Int64, 500)
+	ForEach(8, len(counts), func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Fatalf("index %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	ForEach(4, -3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n<=0")
+	}
+}
+
+func TestForEachErrLowestIndexWins(t *testing.T) {
+	errLow := errors.New("low")
+	for _, workers := range []int{1, 8} {
+		err := ForEachErr(workers, 50, func(i int) error {
+			switch i {
+			case 7:
+				return errLow
+			case 31:
+				return errors.New("high")
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("workers=%d: got %v, want %v", workers, err, errLow)
+		}
+	}
+	if err := ForEachErr(8, 20, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: no panic propagated", workers)
+				}
+				if s, ok := v.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: panic value %v", workers, v)
+				}
+			}()
+			ForEach(workers, 100, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestPanicAbortsUnclaimedWork(t *testing.T) {
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		ForEach(2, 10_000, func(i int) {
+			ran.Add(1)
+			panic(fmt.Sprintf("first panic at %d", i))
+		})
+	}()
+	// Both workers can each be mid-claim when the abort lands, but the
+	// vast majority of the range must be skipped.
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("panic did not abort work: %d of 10000 indices ran", n)
+	}
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	prev := SetDefaultWorkers(1)
+	defer SetDefaultWorkers(prev)
+	if w := Workers(0); w != 1 {
+		t.Fatalf("Workers(0)=%d after SetDefaultWorkers(1)", w)
+	}
+	if w := Workers(5); w != 5 {
+		t.Fatalf("Workers(5)=%d, explicit request must win", w)
+	}
+	SetDefaultWorkers(0)
+	if w := Workers(0); w < 1 {
+		t.Fatalf("Workers(0)=%d with GOMAXPROCS default", w)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"github.com/afrinet/observatory/internal/geo"
 	"github.com/afrinet/observatory/internal/netsim"
 	"github.com/afrinet/observatory/internal/netx"
+	"github.com/afrinet/observatory/internal/par"
 	"github.com/afrinet/observatory/internal/registry"
 	"github.com/afrinet/observatory/internal/topology"
 )
@@ -84,21 +85,26 @@ func NewBuilder(n *netsim.Net, rt *bgp.RoutedTable, seed int64) *Builder {
 func (b *Builder) BuildANT() Hitlist {
 	h := Hitlist{Tool: ToolANT}
 	const historySamples = 48
-	for _, p24 := range b.rt.Slash24s() {
-		found := false
+	// Each /24's probing history is independent; fan out and flatten the
+	// per-block target lists in index order, matching the serial append.
+	p24s := b.rt.Slash24s()
+	perBlock := par.Map(0, len(p24s), func(i int) []netx.Addr {
+		p24 := p24s[i]
+		var targets []netx.Addr
 		for k := 0; k < historySamples; k++ {
 			a := p24.Nth(uint64(1 + pick(splitmix(b.seed^uint64(p24.Base())^uint64(k)), 254)))
 			if b.net.AddrResponds(a) {
-				h.Targets = append(h.Targets, a)
-				found = true
+				targets = append(targets, a)
+				// Historical lists retain a second candidate per block.
+				second := p24.Nth(uint64(1 + pick(splitmix(b.seed^uint64(p24.Base())^0x99), 254)))
+				targets = append(targets, second)
 				break
 			}
 		}
-		if found {
-			// Historical lists retain a second candidate per block.
-			a := p24.Nth(uint64(1 + pick(splitmix(b.seed^uint64(p24.Base())^0x99), 254)))
-			h.Targets = append(h.Targets, a)
-		}
+		return targets
+	})
+	for _, ts := range perBlock {
+		h.Targets = append(h.Targets, ts...)
 	}
 	// Exchange LANs reached by old traceroute campaigns.
 	for _, id := range b.topo.IXPIDs() {
@@ -196,11 +202,20 @@ func (b *Builder) Run(h Hitlist, vantages []topology.ASN, lastHopLoss, lanHopLos
 	if len(vantages) == 0 {
 		return obs
 	}
-	for i, target := range h.Targets {
+	// Each target's traceroute only adds members to the observed sets —
+	// an order-independent union — so traceroutes fan out and the partial
+	// sightings merge into the same maps a serial run would build.
+	type sighting struct {
+		asns []topology.ASN
+		ixps []topology.IXPID
+	}
+	partials := par.Map(0, len(h.Targets), func(i int) sighting {
+		target := h.Targets[i]
 		v := vantages[i%len(vantages)]
 		tr := b.net.Traceroute(v, target)
 		dropLast := lastHopLoss > 0 &&
 			f01(splitmix(b.seed^uint64(target)^0xE4)) < lastHopLoss
+		var sg sighting
 		for j, hop := range tr.Hops {
 			if hop.Addr == 0 {
 				continue
@@ -213,13 +228,22 @@ func (b *Builder) Run(h Hitlist, vantages []topology.ASN, lastHopLoss, lanHopLos
 					f01(splitmix(b.seed^uint64(x)<<20^uint64(v)^0xF7)) < lanHopLoss {
 					continue
 				}
-				obs.IXPs[x] = true
-				obs.ASNs[registry.RouteServerASN(x)] = true
+				sg.ixps = append(sg.ixps, x)
+				sg.asns = append(sg.asns, registry.RouteServerASN(x))
 				continue
 			}
 			if asn, ok := b.rt.Origin(hop.Addr); ok {
-				obs.ASNs[asn] = true
+				sg.asns = append(sg.asns, asn)
 			}
+		}
+		return sg
+	})
+	for _, sg := range partials {
+		for _, asn := range sg.asns {
+			obs.ASNs[asn] = true
+		}
+		for _, x := range sg.ixps {
+			obs.IXPs[x] = true
 		}
 	}
 	return obs

@@ -16,6 +16,7 @@ import (
 	"github.com/afrinet/observatory/internal/dnssim"
 	"github.com/afrinet/observatory/internal/geo"
 	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/par"
 	"github.com/afrinet/observatory/internal/topology"
 )
 
@@ -171,21 +172,24 @@ func (e *Engine) Run(s Scenario) Outcome {
 		return sm
 	}
 
-	before := make(map[string]sample)
-	for _, iso := range countries {
-		before[iso] = measure(iso)
+	// Countries measure independently (page loads only read the stack),
+	// so both sweeps fan out; each country writes its own slot and the
+	// assembled maps match the serial sweep exactly.
+	measureAll := func() map[string]sample {
+		samples := par.Map(0, len(countries), func(i int) sample {
+			return measure(countries[i])
+		})
+		out := make(map[string]sample, len(countries))
+		for i, iso := range countries {
+			out[iso] = samples[i]
+		}
+		return out
 	}
 
-	for _, c := range s.CutCables {
-		e.net.CutCable(c)
-	}
-	after := make(map[string]sample)
-	for _, iso := range countries {
-		after[iso] = measure(iso)
-	}
-	for _, c := range s.CutCables {
-		e.net.RestoreCable(c)
-	}
+	before := measureAll()
+	e.net.SetCablesCut(s.CutCables, true)
+	after := measureAll()
+	e.net.SetCablesCut(s.CutCables, false)
 
 	out := Outcome{Scenario: s}
 	for _, iso := range countries {

@@ -1,0 +1,28 @@
+#!/bin/sh
+# bench.sh — run the root benchmark suite and fold the results into
+# BENCH_PR3.json via cmd/benchjson (min ns/op across -count runs).
+#
+# Usage:
+#   scripts/bench.sh               # record the "after" section
+#   scripts/bench.sh before        # record the "before" section
+#   BENCH_COUNT=5 scripts/bench.sh # more repetitions (default 3)
+#
+# When both sections are present the JSON gains a per-benchmark
+# "speedup" map (before ns/op / after ns/op).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+label="${1:-after}"
+count="${BENCH_COUNT:-3}"
+benchtime="${BENCH_TIME:-1x}"
+out="${BENCH_OUT:-BENCH_PR3.json}"
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -bench (count=$count, benchtime=$benchtime) =="
+go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" . | tee "$tmp"
+
+echo "== benchjson ($label -> $out) =="
+go run ./cmd/benchjson -label "$label" -out "$out" < "$tmp"

@@ -32,4 +32,9 @@ fi
 echo "== go test -race =="
 go test -race -count=1 ./...
 
+echo "== bench smoke =="
+# Every benchmark must still run (one iteration each); guards against
+# bit-rot in the harness scripts/bench.sh relies on.
+go test -run '^$' -bench . -benchtime=1x -count=1 . > /dev/null
+
 echo "OK"
