@@ -15,12 +15,14 @@ fmt:
 	gofmt -w .
 
 # Run the root benchmark suite and fold min ns/op per benchmark into
-# BENCH_PR3.json ("after" section; `scripts/bench.sh before` records the
+# BENCH_PR4.json ("after" section; `scripts/bench.sh before` records the
 # baseline). BENCH_COUNT / BENCH_TIME tune repetitions and benchtime.
 bench:
 	./scripts/bench.sh
 
-# 30s smoke run of the journal-replay fuzzer: random record streams,
-# truncations, and bit flips must never panic the recovery path.
+# 30s smoke runs of the replay fuzzers: random record streams,
+# truncations, and bit flips must never panic the journal recovery path
+# or the segment reader.
 fuzz:
 	go test ./internal/journal -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime 30s
+	go test ./internal/store -run '^$$' -fuzz '^FuzzSegmentReplay$$' -fuzztime 30s

@@ -7,10 +7,15 @@ package observatory
 // everything (numbers recorded in EXPERIMENTS.md).
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"github.com/afrinet/observatory/internal/experiments"
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/store"
+	"github.com/afrinet/observatory/internal/topology"
 )
 
 var (
@@ -257,6 +262,96 @@ func BenchmarkTraceroute(b *testing.B) {
 		tr := env.Net.Traceroute(36924, dst)
 		if len(tr.Hops) == 0 {
 			b.Fatal("no hops")
+		}
+	}
+}
+
+// benchStoreRecords builds a seeded result corpus for the store
+// benchmarks: several experiments, countries, and ASNs spread over a
+// range of ticks, with realistic OK/loss and RTT mixes.
+func benchStoreRecords(n int) []store.Record {
+	rng := rand.New(rand.NewSource(7))
+	countries := []string{"NG", "KE", "ZA", "RW", "EG"}
+	recs := make([]store.Record, n)
+	for i := range recs {
+		exp := fmt.Sprintf("exp-%04d", 1+i%4)
+		ok := rng.Intn(5) != 0
+		r := store.Record{
+			Experiment: exp,
+			TaskID:     fmt.Sprintf("%s-t%06d", exp, i),
+			ProbeID:    fmt.Sprintf("pr-%02d", i%8),
+			Tick:       int64(1 + i/100),
+			Country:    countries[i%len(countries)],
+			ASN:        topology.ASN(36900 + i%6),
+			Result:     probes.Result{Kind: probes.TaskPing, OK: ok},
+		}
+		r.Result.TaskID, r.Result.Experiment = r.TaskID, exp
+		if ok {
+			r.Result.RTTms = 5 + 200*rng.Float64()
+		}
+		recs[i] = r
+	}
+	return recs
+}
+
+// BenchmarkStoreIngest measures appending 10k results through the
+// memtable into sealed on-disk segments (auto-flush at the default
+// threshold), ending with an explicit flush so every record is durable.
+func BenchmarkStoreIngest(b *testing.B) {
+	recs := benchStoreRecords(10000)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := store.Open(b.TempDir(), store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for j := 0; j < len(recs); j += 500 {
+			if err := s.Append(recs[j : j+500]...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkQueryAggregate measures a grouped time-window aggregation
+// over a compacted on-disk store: segment pruning via the sparse index,
+// parallel segment scans, and the percentile fold.
+func BenchmarkQueryAggregate(b *testing.B) {
+	recs := benchStoreRecords(20000)
+	s, err := store.Open(b.TempDir(), store.Options{FlushEvery: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for j := 0; j < len(recs); j += 1000 {
+		if err := s.Append(recs[j : j+1000]...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Compact(0); err != nil {
+		b.Fatal(err)
+	}
+	q := store.AggQuery{
+		Filter:  store.Filter{FromTick: 50, ToTick: 150},
+		GroupBy: store.GroupCountryASN,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := s.Aggregate(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Matched == 0 {
+			b.Fatal("aggregation matched nothing")
 		}
 	}
 }

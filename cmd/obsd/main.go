@@ -7,6 +7,7 @@
 //	obsd [-listen 127.0.0.1:8600] [-trusted owner1,owner2]
 //	     [-tick 5s] [-lease-ttl 3] [-suspect-after 2] [-dead-after 5]
 //	     [-data-dir /var/lib/obsd] [-snapshot-every 1024]
+//	     [-store-dir DIR] [-retention N] [-compact-every N]
 //
 // The controller's at-least-once task pipeline runs on a logical tick
 // clock: every -tick interval obsd advances it once, which expires
@@ -23,6 +24,15 @@
 // probes retry through the outage. SIGINT/SIGTERM trigger a graceful
 // shutdown: in-flight HTTP requests drain, a final snapshot is taken,
 // and the journal is closed cleanly.
+//
+// Result payloads live in a log-structured results store beside the
+// journal (-store-dir, default <data-dir>/store): the WAL carries only
+// dedup bookkeeping, so snapshots and replay stay small no matter how
+// many results accumulate. Every -compact-every ticks obsd runs a store
+// maintenance sweep that merges small segments and, with -retention N,
+// drops results older than N ticks. Analysts query the store through
+// GET /api/v1/query (aggregations and filtered scans) and the paginated
+// /api/v1/experiments/{id}/results endpoint.
 //
 // Probes (cmd/obsprobe) sharing the controller's world seed connect to
 // the same simulated Internet, so a controller plus a fleet of probe
@@ -52,6 +62,9 @@ func main() {
 	deadAfter := flag.Int64("dead-after", 5, "silent ticks before a probe is dead and its queue reassigned")
 	dataDir := flag.String("data-dir", "", "journal+snapshot directory for crash-safe state (empty = in-memory only)")
 	snapEvery := flag.Int("snapshot-every", 1024, "journal records between automatic compacted snapshots (with -data-dir)")
+	storeDir := flag.String("store-dir", "", "results-store segment directory (default <data-dir>/store; with -data-dir)")
+	retention := flag.Int64("retention", 0, "drop stored results older than this many ticks at compaction (0 = keep forever)")
+	compactEvery := flag.Int64("compact-every", 256, "ticks between results-store compaction sweeps (0 = never)")
 	flag.Parse()
 
 	var cohort []string
@@ -83,6 +96,8 @@ func main() {
 			SuspectAfter:  *suspectAfter,
 			DeadAfter:     *deadAfter,
 			SnapshotEvery: *snapEvery,
+			StoreDir:      *storeDir,
+			Retention:     *retention,
 		})
 		if err != nil {
 			log.Fatalf("obsd: recover: %v", err)
@@ -92,6 +107,9 @@ func main() {
 			time.Since(start).Round(time.Millisecond),
 			d["recovery_replayed"], d["recovery_truncated_tail"], ctrl.Now())
 	} else {
+		if *storeDir != "" {
+			log.Printf("obsd: warning: -store-dir ignored without -data-dir (results stay in memory)")
+		}
 		ctrl = core.NewController(cohort...)
 		ctrl.LeaseTTL = *leaseTTL
 		ctrl.SuspectAfter = *suspectAfter
@@ -106,6 +124,7 @@ func main() {
 		last := ctrl.Health()
 		t := time.NewTicker(*tick)
 		defer t.Stop()
+		var ticks int64
 		for {
 			select {
 			case <-ctx.Done():
@@ -113,6 +132,11 @@ func main() {
 			case <-t.C:
 			}
 			ctrl.Tick(1)
+			if ticks++; *compactEvery > 0 && ticks%*compactEvery == 0 {
+				if err := ctrl.CompactStore(); err != nil {
+					log.Printf("obsd: store compaction: %v", err)
+				}
+			}
 			h := ctrl.Health()
 			if h.Status != last.Status || h.ProbesDead != last.ProbesDead || h.ProbesSuspect != last.ProbesSuspect {
 				log.Printf("obsd: fleet %s — alive=%d suspect=%d dead=%d queued=%d leased=%d",

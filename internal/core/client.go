@@ -9,10 +9,13 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/store"
 )
 
 // DefaultHTTPTimeout bounds every controller round trip so a hung
@@ -243,6 +246,72 @@ func (c *Client) Results(expID string) ([]probes.Result, error) {
 	var out []probes.Result
 	err := c.get(fmt.Sprintf("/api/v1/experiments/%s/results", expID), &out)
 	return out, err
+}
+
+// ResultsPage fetches one page of an experiment's results: up to limit
+// results after cursor ("" starts over). The returned cursor is "" on
+// the last page.
+func (c *Client) ResultsPage(expID string, limit int, cursor string) ([]probes.Result, string, error) {
+	var out resultsPage
+	q := url.Values{}
+	q.Set("limit", strconv.Itoa(limit))
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	err := c.get(fmt.Sprintf("/api/v1/experiments/%s/results?%s", expID, q.Encode()), &out)
+	return out.Results, out.NextCursor, err
+}
+
+// queryParams renders a store filter as /api/v1/query parameters.
+func queryParams(f store.Filter) url.Values {
+	q := url.Values{}
+	if f.Experiment != "" {
+		q.Set("experiment", f.Experiment)
+	}
+	if f.Country != "" {
+		q.Set("country", f.Country)
+	}
+	if f.ASN != 0 {
+		q.Set("asn", strconv.FormatUint(uint64(f.ASN), 10))
+	}
+	if f.Kind != "" {
+		q.Set("kind", f.Kind)
+	}
+	if f.FromTick > 0 {
+		q.Set("from_tick", strconv.FormatInt(f.FromTick, 10))
+	}
+	if f.ToTick > 0 {
+		q.Set("to_tick", strconv.FormatInt(f.ToTick, 10))
+	}
+	return q
+}
+
+// QueryAggregate runs a time-window aggregation (counts, loss rate, RTT
+// percentiles, optionally grouped) over the controller's results store.
+func (c *Client) QueryAggregate(f store.Filter, groupBy string) (store.AggReport, error) {
+	q := queryParams(f)
+	q.Set("op", "aggregate")
+	if groupBy != "" {
+		q.Set("group_by", groupBy)
+	}
+	var out store.AggReport
+	err := c.get("/api/v1/query?"+q.Encode(), &out)
+	return out, err
+}
+
+// QueryScan fetches one page of stored result records matching a filter.
+func (c *Client) QueryScan(f store.Filter, limit int, cursor string) ([]store.Record, string, error) {
+	q := queryParams(f)
+	q.Set("op", "scan")
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	var out scanPage
+	err := c.get("/api/v1/query?"+q.Encode(), &out)
+	return out.Records, out.NextCursor, err
 }
 
 // Probes lists the registered probes.

@@ -52,6 +52,7 @@ import (
 	"github.com/afrinet/observatory/internal/journal"
 	"github.com/afrinet/observatory/internal/metrics"
 	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/store"
 	"github.com/afrinet/observatory/internal/topology"
 )
 
@@ -132,13 +133,16 @@ type HealthReport struct {
 // StatsReport is the /api/v1/stats payload: pipeline counters plus
 // per-probe liveness. Durability carries the journal-layer counters
 // (journal_records_appended, snapshots_written, recovery_replayed,
-// recovery_truncated_tail, ...); they are scoped to the current process
-// run rather than journaled, so recovery equivalence is defined over
-// everything except this field.
+// recovery_truncated_tail, ...) and Store the results-store counters
+// (store_frames_appended, segments_flushed, segments_compacted,
+// frames_expired, queries_served, ...); both are scoped to the current
+// process run rather than journaled, so recovery equivalence is defined
+// over everything except these two fields.
 type StatsReport struct {
 	Tick              int64            `json:"tick"`
 	Counters          map[string]int64 `json:"counters"`
 	Durability        map[string]int64 `json:"durability,omitempty"`
+	Store             map[string]int64 `json:"store,omitempty"`
 	Experiments       int              `json:"experiments"`
 	QueuedTasks       int              `json:"queued_tasks"`
 	OutstandingLeases int              `json:"outstanding_leases"`
@@ -155,7 +159,6 @@ type Controller struct {
 	probes      map[string]*probeState
 	experiments map[string]*Experiment
 	queues      map[string][]probes.Task // per-probe pending tasks
-	results     map[string][]probes.Result
 	// taskIDs indexes each experiment's valid task IDs; recorded marks
 	// the ones that already have a result (the dedup set).
 	taskIDs   map[string]map[string]bool
@@ -179,6 +182,13 @@ type Controller struct {
 	snapEvery int
 	sinceSnap int
 
+	// store holds result payloads (internal/store). The WAL keeps only
+	// the dedup/lease bookkeeping for results; the payloads live here,
+	// so journal replay and snapshots stay small no matter how many
+	// results accumulate. In-memory controllers get a memory-backed
+	// store; Recover attaches a disk-backed one.
+	store *store.Store
+
 	// LeaseTTL is how many ticks a probe has to return a leased task's
 	// result before the task is requeued.
 	LeaseTTL int64
@@ -195,7 +205,7 @@ func NewController(trusted ...string) *Controller {
 		probes:       make(map[string]*probeState),
 		experiments:  make(map[string]*Experiment),
 		queues:       make(map[string][]probes.Task),
-		results:      make(map[string][]probes.Result),
+		store:        store.NewMemory(store.Options{}),
 		taskIDs:      make(map[string]map[string]bool),
 		recorded:     make(map[string]map[string]bool),
 		leases:       make(map[string]*leaseRec),
@@ -625,10 +635,17 @@ func (c *Controller) OutstandingLeases() int {
 // result is recorded at most once per (experiment, task): redelivered
 // duplicates are counted and dropped, so retrying an upload is always
 // safe. It returns how many results were newly recorded.
+//
+// Payloads go to the results store (stamped with the submitting probe's
+// country/ASN and the current tick) before the dedup refs are
+// journaled; the WAL carries only (experiment, task) bookkeeping. A
+// crash between the two leaves an unacknowledged payload in the store,
+// which read-time dedup collapses when the retry lands.
 func (c *Controller) SubmitResults(probeID string, rs []probes.Result) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.probes[probeID]; !ok {
+	st, ok := c.probes[probeID]
+	if !ok {
 		c.stats.Inc("results_rejected")
 		return 0, fmt.Errorf("core: unknown probe %s", probeID)
 	}
@@ -643,41 +660,111 @@ func (c *Controller) SubmitResults(probeID string, rs []probes.Result) (int, err
 			return 0, fmt.Errorf("core: unknown task %q in experiment %s", r.TaskID, r.Experiment)
 		}
 	}
+	refs := make([]resultRef, 0, len(rs))
+	var fresh []store.Record
+	batch := make(map[string]bool, len(rs))
+	for _, r := range rs {
+		refs = append(refs, resultRef{Experiment: r.Experiment, TaskID: r.TaskID})
+		key := r.Experiment + "/" + r.TaskID
+		if c.recorded[r.Experiment][r.TaskID] || batch[key] {
+			continue // a replayed duplicate; nothing new to store
+		}
+		batch[key] = true
+		r.ProbeID = probeID
+		fresh = append(fresh, store.Record{
+			Experiment: r.Experiment,
+			TaskID:     r.TaskID,
+			ProbeID:    probeID,
+			Tick:       c.now,
+			Country:    st.info.Country,
+			ASN:        st.info.ASN,
+			Result:     r,
+		})
+	}
+	if err := c.store.Append(fresh...); err != nil {
+		c.dur.Inc("store_append_errors")
+		return 0, fmt.Errorf("core: results store: %w", err)
+	}
 	accepted := 0
-	if err := c.mutateLocked(opResults, resultsOp{ProbeID: probeID, Results: rs}, func() {
-		accepted = c.applyResultsLocked(probeID, rs)
+	if err := c.mutateLocked(opResults, resultsOp{ProbeID: probeID, Refs: refs}, func() {
+		accepted = c.applyResultsLocked(probeID, refs)
 	}); err != nil {
 		return 0, err
 	}
 	return accepted, nil
 }
 
-func (c *Controller) applyResultsLocked(probeID string, rs []probes.Result) int {
+// applyResultsLocked applies the journaled bookkeeping half of a result
+// batch: dedup, lease clearing, and counters. Payloads are not touched —
+// the live path stored them before journaling, and replay finds them
+// already in the store.
+func (c *Controller) applyResultsLocked(probeID string, refs []resultRef) int {
 	if st, ok := c.probes[probeID]; ok {
 		c.touchLocked(st)
 	}
 	accepted := 0
-	for _, r := range rs {
-		if c.recorded[r.Experiment] == nil || c.recorded[r.Experiment][r.TaskID] {
+	for _, ref := range refs {
+		if c.recorded[ref.Experiment] == nil || c.recorded[ref.Experiment][ref.TaskID] {
 			c.stats.Inc("results_deduped")
 			continue
 		}
-		c.recorded[r.Experiment][r.TaskID] = true
-		r.ProbeID = probeID
-		c.results[r.Experiment] = append(c.results[r.Experiment], r)
-		delete(c.leases, r.Experiment+"/"+r.TaskID)
+		c.recorded[ref.Experiment][ref.TaskID] = true
+		delete(c.leases, ref.Experiment+"/"+ref.TaskID)
 		c.stats.Inc("results_recorded")
 		accepted++
 	}
 	return accepted
 }
 
-// Results returns the collected results of one experiment.
+// Results returns the collected results of one experiment, served from
+// the results store without touching the controller lock — result reads
+// scale independently of the control plane's write path.
 func (c *Controller) Results(expID string) []probes.Result {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]probes.Result(nil), c.results[expID]...)
+	rs, _, err := c.ResultsPage(expID, 0, "")
+	if err != nil {
+		return nil
+	}
+	return rs
 }
+
+// ResultsPage returns up to limit results of one experiment starting
+// after cursor (both from a previous page; "" starts over, limit <= 0
+// means everything). Cursors are store sequence positions: stable across
+// flushes, compaction, and restarts.
+func (c *Controller) ResultsPage(expID string, limit int, cursor string) ([]probes.Result, string, error) {
+	recs, next, err := c.store.ScanPage(store.Filter{Experiment: expID}, limit, cursor)
+	if err != nil {
+		return nil, "", err
+	}
+	var out []probes.Result
+	for _, r := range recs {
+		out = append(out, r.Result)
+	}
+	return out, next, nil
+}
+
+// ScanResults pages through stored result records matching a filter.
+func (c *Controller) ScanResults(f store.Filter, limit int, cursor string) ([]store.Record, string, error) {
+	return c.store.ScanPage(f, limit, cursor)
+}
+
+// AggregateResults computes time-window aggregations (counts, loss
+// rate, RTT percentiles) over stored results, optionally grouped by
+// country and/or ASN. Served straight from the store.
+func (c *Controller) AggregateResults(q store.AggQuery) (store.AggReport, error) {
+	return c.store.Aggregate(q)
+}
+
+// CompactStore runs one results-store maintenance sweep: merging small
+// segments and enforcing the retention policy against the controller's
+// current tick. cmd/obsd calls it on a -compact-every cadence.
+func (c *Controller) CompactStore() error {
+	return c.store.Compact(c.Now())
+}
+
+// ResultStore exposes the underlying results store (tests and
+// diagnostics).
+func (c *Controller) ResultStore() *store.Store { return c.store }
 
 // Done reports whether every one of an experiment's tasks has exactly
 // one recorded result.
@@ -703,6 +790,9 @@ func (c *Controller) Stats() StatsReport {
 	}
 	if d := c.dur.Snapshot(); len(d) > 0 {
 		rep.Durability = d
+	}
+	if sc := c.store.Counters(); len(sc) > 0 {
+		rep.Store = sc
 	}
 	for _, q := range c.queues {
 		rep.QueuedTasks += len(q)

@@ -3,10 +3,12 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"github.com/afrinet/observatory/internal/journal"
 	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/store"
 )
 
 // The controller journals operations, not state deltas: every mutating
@@ -47,9 +49,19 @@ type leaseOp struct {
 	Max     int    `json:"max"`
 }
 
+// resultRef is the journaled bookkeeping for one submitted result: just
+// enough to replay dedup and lease clearing. The payload itself lives
+// in the results store (internal/store), not the WAL. Every ref in a
+// batch is journaled — including ones that dedup as duplicates — so
+// replay reproduces the live run's counters exactly.
+type resultRef struct {
+	Experiment string `json:"exp"`
+	TaskID     string `json:"task"`
+}
+
 type resultsOp struct {
-	ProbeID string          `json:"probe_id"`
-	Results []probes.Result `json:"results"`
+	ProbeID string      `json:"probe_id"`
+	Refs    []resultRef `json:"refs"`
 }
 
 type tickOp struct {
@@ -57,20 +69,21 @@ type tickOp struct {
 }
 
 // persistState is the snapshot payload: the controller's full book,
-// JSON-encodable. Set-valued maps are stored as sorted slices.
+// JSON-encodable. Set-valued maps are stored as sorted slices. Result
+// payloads are deliberately absent — they live in the results store,
+// which is why snapshot size no longer grows with result volume.
 type persistState struct {
-	Now         int64                      `json:"now"`
-	NextExpID   int                        `json:"next_exp_id"`
-	Probes      map[string]persistProbe    `json:"probes,omitempty"`
-	Experiments map[string]*Experiment     `json:"experiments,omitempty"`
-	Queues      map[string][]probes.Task   `json:"queues,omitempty"`
-	Results     map[string][]probes.Result `json:"results,omitempty"`
-	TaskIDs     map[string][]string        `json:"task_ids,omitempty"`
-	Recorded    map[string][]string        `json:"recorded,omitempty"`
-	Leases      map[string]persistLease    `json:"leases,omitempty"`
-	SubmitIDs   map[string]string          `json:"submit_ids,omitempty"`
-	Counters    map[string]int64           `json:"counters,omitempty"`
-	Trusted     []string                   `json:"trusted,omitempty"`
+	Now         int64                    `json:"now"`
+	NextExpID   int                      `json:"next_exp_id"`
+	Probes      map[string]persistProbe  `json:"probes,omitempty"`
+	Experiments map[string]*Experiment   `json:"experiments,omitempty"`
+	Queues      map[string][]probes.Task `json:"queues,omitempty"`
+	TaskIDs     map[string][]string      `json:"task_ids,omitempty"`
+	Recorded    map[string][]string      `json:"recorded,omitempty"`
+	Leases      map[string]persistLease  `json:"leases,omitempty"`
+	SubmitIDs   map[string]string        `json:"submit_ids,omitempty"`
+	Counters    map[string]int64         `json:"counters,omitempty"`
+	Trusted     []string                 `json:"trusted,omitempty"`
 }
 
 type persistProbe struct {
@@ -100,6 +113,16 @@ type DurabilityConfig struct {
 	// many journal records. 0 disables automatic snapshots (explicit
 	// Snapshot/Close still work).
 	SnapshotEvery int
+	// StoreDir is where the results store keeps its segments. Empty
+	// defaults to <dir>/store.
+	StoreDir string
+	// StoreFlushEvery / StoreTargetFrames override the results store's
+	// memtable flush threshold and compaction target when > 0.
+	StoreFlushEvery   int
+	StoreTargetFrames int
+	// Retention drops stored results older than this many ticks during
+	// compaction sweeps. 0 keeps everything.
+	Retention int64
 }
 
 // Recover rebuilds a controller from a journal directory — latest
@@ -110,12 +133,34 @@ type DurabilityConfig struct {
 // detected by checksum, counted (recovery_truncated_tail), and
 // discarded rather than crashing recovery; because appends sync before
 // acknowledging, a discarded tail record was never acked to a client.
+//
+// Recover also reopens the results store (StoreDir, default
+// <dir>/store) and reconciles it against the replayed dedup book: a
+// result whose ref was journaled but whose payload died with the
+// memtable is un-recorded and its task requeued to the original
+// assignee (counted as recovery_results_requeued), so a crash loses at
+// most the unflushed memtable and the pipeline re-runs exactly those
+// tasks.
 func Recover(dir string, cfg DurabilityConfig) (*Controller, error) {
 	l, err := journal.Open(dir)
 	if err != nil {
 		return nil, err
 	}
+	storeDir := cfg.StoreDir
+	if storeDir == "" {
+		storeDir = filepath.Join(dir, "store")
+	}
+	st, err := store.Open(storeDir, store.Options{
+		FlushEvery:   cfg.StoreFlushEvery,
+		TargetFrames: cfg.StoreTargetFrames,
+		Retention:    cfg.Retention,
+	})
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
 	c := NewController(cfg.Trusted...)
+	c.store = st
 	if cfg.LeaseTTL > 0 {
 		c.LeaseTTL = cfg.LeaseTTL
 	}
@@ -151,9 +196,64 @@ func Recover(dir string, cfg DurabilityConfig) (*Controller, error) {
 	if l.TornTail {
 		c.dur.Inc("recovery_truncated_tail")
 	}
+	if err := c.reconcileStoreLocked(); err != nil {
+		l.Close()
+		c.store.Close()
+		return nil, err
+	}
 	c.log = l
 	c.snapEvery = cfg.SnapshotEvery
 	return c, nil
+}
+
+// reconcileStoreLocked squares the replayed dedup book against what the
+// results store actually holds. A ref journaled in the crash window may
+// point at a payload that only ever lived in the memtable; treating it
+// as recorded would silently drop that measurement. Such tasks are
+// un-recorded and requeued to their original assignee, restoring the
+// at-least-once invariant: the probe re-runs the task and the pipeline
+// converges exactly-once again. Runs before the journal is attached, so
+// none of this is (or needs to be) journaled — it is a deterministic
+// function of journal plus store contents.
+func (c *Controller) reconcileStoreLocked() error {
+	expIDs := make([]string, 0, len(c.recorded))
+	for id := range c.recorded {
+		expIDs = append(expIDs, id)
+	}
+	sort.Strings(expIDs)
+	for _, expID := range expIDs {
+		rec := c.recorded[expID]
+		if len(rec) == 0 {
+			continue
+		}
+		have, err := c.store.KeySet(expID)
+		if err != nil {
+			return fmt.Errorf("core: reconciling store for %s: %w", expID, err)
+		}
+		var missing []string
+		for taskID := range rec {
+			if !have[taskID] {
+				missing = append(missing, taskID)
+			}
+		}
+		sort.Strings(missing)
+		exp := c.experiments[expID]
+		for _, taskID := range missing {
+			delete(rec, taskID)
+			c.stats.Add("results_recorded", -1)
+			c.dur.Inc("recovery_results_requeued")
+			if exp == nil {
+				continue
+			}
+			for _, a := range exp.Assignments {
+				if a.Task.ID == taskID {
+					c.queues[a.ProbeID] = append(c.queues[a.ProbeID], a.Task)
+					break
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // applyRecordLocked replays one journaled operation through the same
@@ -204,7 +304,7 @@ func (c *Controller) applyRecordLocked(rec journal.Record) error {
 		if err := json.Unmarshal(rec.Data, &op); err != nil {
 			return fail(err)
 		}
-		c.applyResultsLocked(op.ProbeID, op.Results)
+		c.applyResultsLocked(op.ProbeID, op.Refs)
 	case opTick:
 		var op tickOp
 		if err := json.Unmarshal(rec.Data, &op); err != nil {
@@ -283,13 +383,15 @@ func (c *Controller) Snapshot() error {
 	return nil
 }
 
-// Close takes a final snapshot and closes the journal; part of obsd's
-// graceful shutdown. Safe on in-memory controllers.
+// Close flushes the results store, takes a final snapshot, and closes
+// the journal; part of obsd's graceful shutdown. Safe on in-memory
+// controllers.
 func (c *Controller) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	storeErr := c.store.Close()
 	if c.log == nil {
-		return nil
+		return storeErr
 	}
 	snapErr := c.log.WriteSnapshot(c.persistLocked())
 	if snapErr == nil {
@@ -299,6 +401,9 @@ func (c *Controller) Close() error {
 	}
 	closeErr := c.log.Close()
 	c.log = nil
+	if storeErr != nil {
+		return storeErr
+	}
 	if snapErr != nil {
 		return snapErr
 	}
@@ -313,7 +418,6 @@ func (c *Controller) persistLocked() persistState {
 		Probes:      make(map[string]persistProbe, len(c.probes)),
 		Experiments: make(map[string]*Experiment, len(c.experiments)),
 		Queues:      make(map[string][]probes.Task),
-		Results:     make(map[string][]probes.Result),
 		TaskIDs:     make(map[string][]string, len(c.taskIDs)),
 		Recorded:    make(map[string][]string, len(c.recorded)),
 		Leases:      make(map[string]persistLease, len(c.leases)),
@@ -329,11 +433,6 @@ func (c *Controller) persistLocked() persistState {
 	for id, q := range c.queues {
 		if len(q) > 0 {
 			st.Queues[id] = append([]probes.Task(nil), q...)
-		}
-	}
-	for id, rs := range c.results {
-		if len(rs) > 0 {
-			st.Results[id] = append([]probes.Result(nil), rs...)
 		}
 	}
 	for id, set := range c.taskIDs {
@@ -364,9 +463,6 @@ func (c *Controller) restoreLocked(st persistState) {
 	}
 	for id, q := range st.Queues {
 		c.queues[id] = q
-	}
-	for id, rs := range st.Results {
-		c.results[id] = rs
 	}
 	for id, ids := range st.TaskIDs {
 		c.taskIDs[id] = toSet(ids)

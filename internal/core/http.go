@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -9,6 +10,8 @@ import (
 	"sync"
 
 	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/store"
+	"github.com/afrinet/observatory/internal/topology"
 )
 
 // RecoveryGate fronts the controller's handler while recovery runs:
@@ -63,6 +66,10 @@ func (g *RecoveryGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 //	GET  /api/v1/experiments/{id}          -> Experiment
 //	POST /api/v1/experiments/{id}/approve
 //	GET  /api/v1/experiments/{id}/results  -> []probes.Result
+//	     (?limit=N&cursor=C -> {results, next_cursor} paginated)
+//	GET  /api/v1/query                     -> AggReport or {records, next_cursor}
+//	     (op=aggregate|scan; filters: experiment, country, asn, kind,
+//	     from_tick, to_tick; group_by for aggregate, limit/cursor for scan)
 //	GET  /api/v1/health                    -> HealthReport
 //	GET  /api/v1/stats                     -> StatsReport
 //
@@ -76,7 +83,8 @@ func (g *RecoveryGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // a heartbeat; /heartbeat exists for probes with nothing to lease or
 // upload. /health and /stats report fleet liveness and the pipeline
 // counters (tasks_leased, leases_expired, tasks_requeued,
-// results_recorded, results_deduped, ...) for cmd/obsd.
+// results_recorded, results_deduped, ...) for cmd/obsd. Request bodies
+// are bounded at MaxBodyBytes; oversized payloads get 413.
 //
 // ?max=N on /tasks caps the lease size: N must be a positive integer
 // (400 otherwise); omitting it (or N=0) means the server default of 32.
@@ -87,9 +95,119 @@ func (c *Controller) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/probes/", c.handleProbeSub)
 	mux.HandleFunc("/api/v1/experiments", c.handleSubmit)
 	mux.HandleFunc("/api/v1/experiments/", c.handleExperimentSub)
+	mux.HandleFunc("/api/v1/query", c.handleQuery)
 	mux.HandleFunc("/api/v1/health", c.handleHealth)
 	mux.HandleFunc("/api/v1/stats", c.handleStats)
 	return mux
+}
+
+// resultsPage is the paginated /experiments/{id}/results response.
+type resultsPage struct {
+	Results    []probes.Result `json:"results"`
+	NextCursor string          `json:"next_cursor,omitempty"`
+}
+
+// scanPage is the paginated /query?op=scan response.
+type scanPage struct {
+	Records    []store.Record `json:"records"`
+	NextCursor string         `json:"next_cursor,omitempty"`
+}
+
+// parseLimit parses a ?limit= value ("" means no limit). Writes the 400
+// itself; the second return is false when the handler should stop.
+func parseLimit(w http.ResponseWriter, s string) (int, bool) {
+	if s == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("limit must be a non-negative integer, got %q", s))
+		return 0, false
+	}
+	return n, true
+}
+
+// parseFilter builds a store.Filter from query parameters (experiment,
+// country, asn, kind, from_tick, to_tick). Writes the 400 itself.
+func parseFilter(w http.ResponseWriter, q map[string][]string) (store.Filter, bool) {
+	get := func(k string) string {
+		if vs := q[k]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	f := store.Filter{
+		Experiment: get("experiment"),
+		Country:    get("country"),
+		Kind:       get("kind"),
+	}
+	if s := get("asn"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("asn must be an integer, got %q", s))
+			return f, false
+		}
+		f.ASN = topology.ASN(n)
+	}
+	for _, tk := range []struct {
+		name string
+		dst  *int64
+	}{{"from_tick", &f.FromTick}, {"to_tick", &f.ToTick}} {
+		if s := get(tk.name); s != "" {
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("%s must be an integer, got %q", tk.name, s))
+				return f, false
+			}
+			*tk.dst = n
+		}
+	}
+	return f, true
+}
+
+// handleQuery serves GET /api/v1/query: filtered scans and time-window
+// aggregations over the results store.
+//
+//	op=aggregate (default)  -> AggReport; group_by=none|country|asn|country_asn
+//	op=scan                 -> {records, next_cursor}; limit/cursor paginate
+//
+// Filter parameters (all optional): experiment, country, asn, kind,
+// from_tick, to_tick (inclusive tick bounds).
+func (c *Controller) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	q := r.URL.Query()
+	f, ok := parseFilter(w, q)
+	if !ok {
+		return
+	}
+	switch op := q.Get("op"); op {
+	case "", "aggregate":
+		rep, err := c.AggregateResults(store.AggQuery{Filter: f, GroupBy: q.Get("group_by")})
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	case "scan":
+		limit, ok := parseLimit(w, q.Get("limit"))
+		if !ok {
+			return
+		}
+		recs, next, err := c.ScanResults(f, limit, q.Get("cursor"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if recs == nil {
+			recs = []store.Record{}
+		}
+		writeJSON(w, http.StatusOK, scanPage{Records: recs, NextCursor: next})
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown op %q (want aggregate or scan)", op))
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -102,14 +220,35 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// MaxBodyBytes bounds every JSON request body; anything larger is
+// rejected with 413 before it can balloon controller memory.
+const MaxBodyBytes = 8 << 20 // 8 MiB
+
+// decodeBody decodes a bounded JSON request body into v, writing the
+// error response (413 for oversized bodies, 400 otherwise) itself.
+// Returns false when the handler should stop.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
 func (c *Controller) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
 	var p ProbeInfo
-	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &p) {
 		return
 	}
 	if err := c.RegisterProbe(p); err != nil {
@@ -176,8 +315,7 @@ func (c *Controller) handleProbeSub(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		var rs []probes.Result
-		if err := json.NewDecoder(r.Body).Decode(&rs); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+		if !decodeBody(w, r, &rs) {
 			return
 		}
 		accepted, err := c.SubmitResults(id, rs)
@@ -218,8 +356,7 @@ func (c *Controller) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req submitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	exp, err := c.SubmitExperimentIdem(req.RequestID, req.Owner, req.Description, req.Assignments)
@@ -266,7 +403,25 @@ func (c *Controller) handleExperimentSub(w http.ResponseWriter, r *http.Request)
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 			return
 		}
-		writeJSON(w, http.StatusOK, c.Results(id))
+		q := r.URL.Query()
+		if q.Get("limit") == "" && q.Get("cursor") == "" {
+			// Legacy shape: the whole result set as a bare array.
+			writeJSON(w, http.StatusOK, c.Results(id))
+			return
+		}
+		limit, ok := parseLimit(w, q.Get("limit"))
+		if !ok {
+			return
+		}
+		rs, next, err := c.ResultsPage(id, limit, q.Get("cursor"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if rs == nil {
+			rs = []probes.Result{}
+		}
+		writeJSON(w, http.StatusOK, resultsPage{Results: rs, NextCursor: next})
 	default:
 		writeErr(w, http.StatusNotFound, fmt.Errorf("not found"))
 	}

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSegmentReplay hammers ParseSegment with corrupted, truncated, and
+// arbitrary byte streams: it must never panic, must return records in
+// strictly increasing seq order, and — for any prefix truncation of a
+// valid segment — must return a prefix of the original records with
+// torn=true (or the whole set at a clean boundary).
+func FuzzSegmentReplay(f *testing.F) {
+	var recs []Record
+	for i := 0; i < 8; i++ {
+		r := mkRec("exp-0001", i, int64(i))
+		r.Seq = uint64(i + 1)
+		recs = append(recs, r)
+	}
+	valid, err := EncodeSegment(buildMeta(recs), recs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])  // torn tail
+	f.Add(valid[:frameHeader-2]) // short header
+	f.Add([]byte{})              // empty
+	f.Add([]byte("not a segment"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0xff // corrupt last frame's payload
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		meta, got, torn := ParseSegment(data)
+		for i := 1; i < len(got); i++ {
+			if got[i].Seq <= got[i-1].Seq {
+				t.Fatalf("records out of seq order at %d", i)
+			}
+		}
+		if len(got) > meta.Frames && meta.Frames > 0 {
+			// More records than the index claims is possible only for
+			// adversarial metas; tolerated, never fatal. (Real segments
+			// write Frames == len(recs).)
+			_ = torn
+		}
+		// Truncations of the known-valid segment return a prefix.
+		if len(data) < len(valid) && bytes.Equal(data, valid[:len(data)]) {
+			if len(got) > len(recs) {
+				t.Fatalf("truncated segment yielded %d records, original had %d", len(got), len(recs))
+			}
+			for i, r := range got {
+				if r.Seq != recs[i].Seq || r.TaskID != recs[i].TaskID {
+					t.Fatalf("truncated segment record %d is not a prefix of the original", i)
+				}
+			}
+			if len(got) < len(recs) && !torn {
+				t.Fatal("lost records without torn=true")
+			}
+		}
+	})
+}

@@ -1,0 +1,284 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"github.com/afrinet/observatory/internal/par"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// Filter selects records. Zero values mean "any"; tick bounds are
+// inclusive and a bound of 0 (or less) is open.
+type Filter struct {
+	Experiment string
+	Country    string
+	ASN        topology.ASN
+	Kind       string
+	FromTick   int64
+	ToTick     int64
+}
+
+func (f Filter) match(r Record) bool {
+	if f.Experiment != "" && r.Experiment != f.Experiment {
+		return false
+	}
+	if f.Country != "" && r.Country != f.Country {
+		return false
+	}
+	if f.ASN != 0 && r.ASN != f.ASN {
+		return false
+	}
+	if f.Kind != "" && string(r.Result.Kind) != f.Kind {
+		return false
+	}
+	if f.FromTick > 0 && r.Tick < f.FromTick {
+		return false
+	}
+	if f.ToTick > 0 && r.Tick > f.ToTick {
+		return false
+	}
+	return true
+}
+
+// collect gathers every record matching the filter, in sequence order,
+// with at most one record per (experiment, task) — the lowest-seq copy
+// wins, collapsing the duplicates a crash window can leave. Sealed
+// segments are pruned on their sparse index and the survivors scanned in
+// parallel; because each segment's matches land in its own slot and
+// segment seq ranges are disjoint, the merged output is identical no
+// matter how many workers ran (the internal/par contract).
+func (s *Store) collect(f Filter) ([]Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var scan []*segment
+	for _, sg := range s.segs {
+		if sg.meta.mayMatch(f) {
+			scan = append(scan, sg)
+		}
+	}
+	type part struct {
+		recs []Record
+		err  error
+	}
+	parts := par.Map(0, len(scan), func(i int) part {
+		recs, torn, err := scan[i].load()
+		if err != nil {
+			return part{err: err}
+		}
+		if torn {
+			s.ctr.Inc("segments_truncated_read")
+		}
+		var m []Record
+		for _, r := range recs {
+			if f.match(r) {
+				m = append(m, r)
+			}
+		}
+		return part{recs: m}
+	})
+	seen := make(map[string]bool)
+	var out []Record
+	emit := func(r Record) {
+		k := r.Key()
+		if seen[k] {
+			s.ctr.Inc("records_deduped_read")
+			return
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		for _, r := range p.recs {
+			emit(r)
+		}
+	}
+	for _, r := range s.mem {
+		if f.match(r) {
+			emit(r)
+		}
+	}
+	return out, nil
+}
+
+// ScanPage returns matching records in stable sequence order, limit at a
+// time. cursor is the opaque position returned by the previous page (""
+// starts from the beginning); the returned cursor is "" once the scan is
+// exhausted. Cursors stay valid across flushes, compactions, and
+// restarts because they are sequence numbers, which all three preserve.
+// limit <= 0 returns everything.
+func (s *Store) ScanPage(f Filter, limit int, cursor string) ([]Record, string, error) {
+	after, err := parseCursor(cursor)
+	if err != nil {
+		return nil, "", err
+	}
+	recs, err := s.collect(f)
+	if err != nil {
+		return nil, "", err
+	}
+	s.ctr.Inc("queries_served")
+	start := sort.Search(len(recs), func(i int) bool { return recs[i].Seq > after })
+	recs = recs[start:]
+	if limit > 0 && len(recs) > limit {
+		next := strconv.FormatUint(recs[limit-1].Seq, 10)
+		return recs[:limit], next, nil
+	}
+	return recs, "", nil
+}
+
+func parseCursor(cursor string) (uint64, error) {
+	if cursor == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(cursor, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("store: bad cursor %q", cursor)
+	}
+	return n, nil
+}
+
+// Aggregation group-by modes.
+const (
+	GroupNone       = "none"
+	GroupCountry    = "country"
+	GroupASN        = "asn"
+	GroupCountryASN = "country_asn"
+)
+
+// AggQuery is one aggregation request: a record filter plus how to
+// bucket the matches.
+type AggQuery struct {
+	Filter  Filter
+	GroupBy string // "", GroupNone, GroupCountry, GroupASN, GroupCountryASN
+}
+
+// AggGroup is one aggregation bucket: result counts, loss rate, and RTT
+// statistics (computed over successful results that reported an RTT).
+type AggGroup struct {
+	Country  string       `json:"country,omitempty"`
+	ASN      topology.ASN `json:"asn,omitempty"`
+	Count    int64        `json:"count"`
+	OK       int64        `json:"ok"`
+	LossRate float64      `json:"loss_rate"`
+	RTTCount int64        `json:"rtt_count,omitempty"`
+	RTTMean  float64      `json:"rtt_mean_ms,omitempty"`
+	RTTP50   float64      `json:"rtt_p50_ms,omitempty"`
+	RTTP90   float64      `json:"rtt_p90_ms,omitempty"`
+	RTTP99   float64      `json:"rtt_p99_ms,omitempty"`
+}
+
+// AggReport is an aggregation response: the buckets (sorted by key for
+// determinism) plus how many distinct records matched.
+type AggReport struct {
+	Matched int64      `json:"matched"`
+	Groups  []AggGroup `json:"groups"`
+}
+
+// Aggregate computes time-window aggregations — counts, loss rate, and
+// RTT mean/percentiles — over the filtered records, bucketed per the
+// query's GroupBy. Scans run in parallel across segments; the
+// aggregation itself is a serial fold in sequence order, so results are
+// independent of worker count.
+func (s *Store) Aggregate(q AggQuery) (AggReport, error) {
+	switch q.GroupBy {
+	case "", GroupNone, GroupCountry, GroupASN, GroupCountryASN:
+	default:
+		return AggReport{}, fmt.Errorf("store: unknown group_by %q", q.GroupBy)
+	}
+	recs, err := s.collect(q.Filter)
+	if err != nil {
+		return AggReport{}, err
+	}
+	s.ctr.Inc("queries_served")
+
+	type bucket struct {
+		g    AggGroup
+		rtts []float64
+	}
+	buckets := make(map[string]*bucket)
+	var order []string
+	for _, r := range recs {
+		var key string
+		g := AggGroup{}
+		switch q.GroupBy {
+		case GroupCountry:
+			key, g.Country = r.Country, r.Country
+		case GroupASN:
+			key, g.ASN = fmt.Sprintf("%d", r.ASN), r.ASN
+		case GroupCountryASN:
+			key = fmt.Sprintf("%s/%d", r.Country, r.ASN)
+			g.Country, g.ASN = r.Country, r.ASN
+		}
+		b, ok := buckets[key]
+		if !ok {
+			b = &bucket{g: g}
+			buckets[key] = b
+			order = append(order, key)
+		}
+		b.g.Count++
+		if r.Result.OK {
+			b.g.OK++
+			if r.Result.RTTms > 0 {
+				b.rtts = append(b.rtts, r.Result.RTTms)
+			}
+		}
+	}
+	sort.Strings(order)
+	rep := AggReport{Matched: int64(len(recs))}
+	for _, key := range order {
+		b := buckets[key]
+		if b.g.Count > 0 {
+			b.g.LossRate = 1 - float64(b.g.OK)/float64(b.g.Count)
+		}
+		if len(b.rtts) > 0 {
+			sort.Float64s(b.rtts)
+			sum := 0.0
+			for _, v := range b.rtts {
+				sum += v
+			}
+			b.g.RTTCount = int64(len(b.rtts))
+			b.g.RTTMean = sum / float64(len(b.rtts))
+			b.g.RTTP50 = percentile(b.rtts, 50)
+			b.g.RTTP90 = percentile(b.rtts, 90)
+			b.g.RTTP99 = percentile(b.rtts, 99)
+		}
+		rep.Groups = append(rep.Groups, b.g)
+	}
+	return rep, nil
+}
+
+// percentile is the nearest-rank percentile of an ascending-sorted
+// sample set.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// KeySet returns the set of task IDs the store holds for one experiment.
+// Recovery uses it to reconcile the controller's dedup bookkeeping
+// against what actually survived a crash.
+func (s *Store) KeySet(experiment string) (map[string]bool, error) {
+	recs, err := s.collect(Filter{Experiment: experiment})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		out[r.TaskID] = true
+	}
+	return out, nil
+}

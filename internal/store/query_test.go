@@ -1,0 +1,189 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/afrinet/observatory/internal/par"
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// genRecords builds a randomized-but-seeded corpus spanning several
+// experiments, countries, ASNs, kinds, and ticks.
+func genRecords(seed int64, n int) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	countries := []string{"NG", "KE", "ZA", "RW"}
+	kinds := []probes.TaskKind{probes.TaskPing, probes.TaskDNS}
+	var out []Record
+	for i := 0; i < n; i++ {
+		exp := fmt.Sprintf("exp-%04d", 1+rng.Intn(4))
+		ok := rng.Intn(4) != 0
+		r := Record{
+			Experiment: exp,
+			TaskID:     fmt.Sprintf("%s-t%04d", exp, i),
+			ProbeID:    fmt.Sprintf("pr-%02d", rng.Intn(6)),
+			Tick:       int64(1 + rng.Intn(50)),
+			Country:    countries[rng.Intn(len(countries))],
+			ASN:        topology.ASN(36900 + rng.Intn(4)),
+			Result: probes.Result{
+				Kind: kinds[rng.Intn(len(kinds))],
+				OK:   ok,
+			},
+		}
+		r.Result.TaskID, r.Result.Experiment = r.TaskID, exp
+		if ok && rng.Intn(5) != 0 {
+			r.Result.RTTms = 5 + 200*rng.Float64()
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// naiveAggregate recomputes an aggregation straight over the raw
+// records with none of the store's machinery — the oracle the store's
+// Aggregate must match.
+func naiveAggregate(recs []Record, q AggQuery) AggReport {
+	type bucket struct {
+		g    AggGroup
+		rtts []float64
+	}
+	buckets := map[string]*bucket{}
+	var keys []string
+	matched := int64(0)
+	for _, r := range recs {
+		if !q.Filter.match(r) {
+			continue
+		}
+		matched++
+		var key string
+		g := AggGroup{}
+		switch q.GroupBy {
+		case GroupCountry:
+			key, g.Country = r.Country, r.Country
+		case GroupASN:
+			key, g.ASN = fmt.Sprintf("%d", r.ASN), r.ASN
+		case GroupCountryASN:
+			key = fmt.Sprintf("%s/%d", r.Country, r.ASN)
+			g.Country, g.ASN = r.Country, r.ASN
+		}
+		b, ok := buckets[key]
+		if !ok {
+			b = &bucket{g: g}
+			buckets[key] = b
+			keys = append(keys, key)
+		}
+		b.g.Count++
+		if r.Result.OK {
+			b.g.OK++
+			if r.Result.RTTms > 0 {
+				b.rtts = append(b.rtts, r.Result.RTTms)
+			}
+		}
+	}
+	sort.Strings(keys)
+	rep := AggReport{Matched: matched}
+	for _, k := range keys {
+		b := buckets[k]
+		b.g.LossRate = 1 - float64(b.g.OK)/float64(b.g.Count)
+		if len(b.rtts) > 0 {
+			sort.Float64s(b.rtts)
+			sum := 0.0
+			for _, v := range b.rtts {
+				sum += v
+			}
+			b.g.RTTCount = int64(len(b.rtts))
+			b.g.RTTMean = sum / float64(len(b.rtts))
+			rank := func(p float64) float64 {
+				i := int(math.Ceil(p / 100 * float64(len(b.rtts))))
+				if i < 1 {
+					i = 1
+				}
+				return b.rtts[i-1]
+			}
+			b.g.RTTP50, b.g.RTTP90, b.g.RTTP99 = rank(50), rank(90), rank(99)
+		}
+		rep.Groups = append(rep.Groups, b.g)
+	}
+	return rep
+}
+
+// TestQueryEquivalence checks, across seeds, that the store's
+// aggregations match a naive fold over the raw records, and that
+// serial (1 worker) and parallel (8 workers) scans are deep-equal.
+func TestQueryEquivalence(t *testing.T) {
+	queries := []AggQuery{
+		{},
+		{GroupBy: GroupCountry},
+		{GroupBy: GroupASN},
+		{GroupBy: GroupCountryASN},
+		{Filter: Filter{Experiment: "exp-0002"}, GroupBy: GroupCountry},
+		{Filter: Filter{Country: "KE"}, GroupBy: GroupASN},
+		{Filter: Filter{ASN: 36901}, GroupBy: GroupCountry},
+		{Filter: Filter{FromTick: 10, ToTick: 30}, GroupBy: GroupCountryASN},
+		{Filter: Filter{Kind: string(probes.TaskDNS)}},
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			raw := genRecords(seed, 500)
+			s, err := Open(t.TempDir(), Options{FlushEvery: 32, TargetFrames: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.Append(raw...); err != nil {
+				t.Fatal(err)
+			}
+			// Append assigned seqs in place; run part of the corpus
+			// through compaction so queries cross merged segments too.
+			if err := s.Compact(0); err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range queries {
+				q := q
+				want := naiveAggregate(raw, q)
+				got, err := s.Aggregate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("aggregate %+v diverged from naive oracle\nwant: %+v\ngot:  %+v", q, want, got)
+				}
+
+				prev := par.SetDefaultWorkers(1)
+				serial, err := s.Aggregate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serialScan, _, serr := s.ScanPage(q.Filter, 0, "")
+				par.SetDefaultWorkers(8)
+				parallel, err := s.Aggregate(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parScan, _, perr := s.ScanPage(q.Filter, 0, "")
+				par.SetDefaultWorkers(prev)
+				if serr != nil || perr != nil {
+					t.Fatal(serr, perr)
+				}
+				if !reflect.DeepEqual(serial, parallel) {
+					t.Fatalf("serial vs parallel aggregate diverged for %+v", q)
+				}
+				if !reflect.DeepEqual(serialScan, parScan) {
+					t.Fatalf("serial vs parallel scan diverged for %+v", q)
+				}
+			}
+		})
+	}
+}
+
+func TestAggregateRejectsUnknownGroupBy(t *testing.T) {
+	s := NewMemory(Options{})
+	if _, err := s.Aggregate(AggQuery{GroupBy: "continent"}); err == nil {
+		t.Fatal("unknown group_by accepted")
+	}
+}

@@ -1,0 +1,410 @@
+// Package store is the observatory's results store: a log-structured,
+// append-only home for measurement results, decoupled from the
+// control-plane journal so result volume never bloats snapshots or
+// replay.
+//
+// # Shape
+//
+// Appends land in an in-memory memtable. When the memtable reaches
+// Options.FlushEvery records it is sealed into an immutable segment —
+// written whole to a temp file, fsynced, renamed, directory-fsynced,
+// exactly like the journal's snapshots — carrying a sparse index
+// (SegmentMeta: seq range, tick range, distinct experiments, countries,
+// ASNs) as its first frame. Queries prune segments on that index and
+// scan the survivors in parallel (internal/par), then merge serially in
+// sequence order so a parallel scan is byte-identical to a serial one.
+//
+// Compaction merges runs of small adjacent segments into larger ones
+// and applies the retention policy (records older than Options.Retention
+// ticks are dropped); it only ever writes a new segment and then deletes
+// the inputs, so a crash at any point leaves a readable store — Open
+// prunes input segments whose sequence range a later segment subsumes,
+// completing the interrupted compaction.
+//
+// # Durability contract
+//
+// Sealed segments are durable; the memtable is not. A crash loses at
+// most the memtable — the controller reconciles its write-ahead
+// bookkeeping against the store at recovery and requeues any task whose
+// result payload died with the memtable (see internal/core). Duplicate
+// records for the same (experiment, task) — possible when a crash lands
+// between the store append and the journal append — are collapsed at
+// read time: every scan and aggregation keeps the lowest-seq record per
+// key.
+//
+// A store directory has a single writer at a time, like the journal;
+// readers of sealed segments need no coordination.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/afrinet/observatory/internal/metrics"
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// Record is one stored measurement result plus the index keys queries
+// filter and group on. Seq is assigned by Append: a strictly increasing
+// store-wide sequence that survives flushes, compactions, and restarts,
+// giving scans a stable total order (and cursors a stable meaning).
+type Record struct {
+	Seq        uint64        `json:"seq"`
+	Experiment string        `json:"experiment"`
+	TaskID     string        `json:"task_id"`
+	ProbeID    string        `json:"probe_id"`
+	Tick       int64         `json:"tick"`
+	Country    string        `json:"country,omitempty"`
+	ASN        topology.ASN  `json:"asn,omitempty"`
+	Result     probes.Result `json:"result"`
+}
+
+// Key is the record's dedup identity: one result per (experiment, task).
+func (r Record) Key() string { return r.Experiment + "/" + r.TaskID }
+
+// Options parameterizes a Store.
+type Options struct {
+	// FlushEvery seals the memtable into a segment once it holds this
+	// many records (default 1024). 1 makes every append durable
+	// immediately.
+	FlushEvery int
+	// Retention is how many ticks of results to keep; records whose
+	// Tick is older than now-Retention are dropped at compaction.
+	// 0 keeps everything forever.
+	Retention int64
+	// TargetFrames caps how large (in records) a compacted segment may
+	// grow (default 4 * FlushEvery). Adjacent segments are merged while
+	// their combined size stays within it.
+	TargetFrames int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = 1024
+	}
+	if o.TargetFrames <= 0 {
+		o.TargetFrames = 4 * o.FlushEvery
+	}
+	return o
+}
+
+// Store is the log-structured results store. Safe for concurrent use:
+// appends, flushes, and compaction serialize on a write lock; queries
+// share a read lock (parallel segment scans happen under it, so sealed
+// segments cannot vanish mid-scan).
+type Store struct {
+	mu        sync.RWMutex
+	dir       string // "" = memory-only (segments kept in RAM)
+	opts      Options
+	segs      []*segment // sorted by meta.MinSeq; seq ranges are disjoint
+	mem       []Record
+	nextSeq   uint64
+	nextSegID uint64
+	ctr       *metrics.CounterSet
+	closed    bool
+}
+
+// NewMemory creates a store with no backing directory: segments live in
+// memory. Used by in-memory controllers and tests; the query and
+// compaction paths are identical to a disk store's.
+func NewMemory(opts Options) *Store {
+	return &Store{opts: opts.withDefaults(), ctr: metrics.NewCounterSet(), nextSeq: 1, nextSegID: 1}
+}
+
+// Open opens (creating if needed) a store directory, loads every sealed
+// segment's sparse index, deletes stray temp files from interrupted
+// flushes, and prunes segments subsumed by an interrupted compaction's
+// output. An empty dir yields a memory-only store.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return NewMemory(opts), nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts.withDefaults(), ctr: metrics.NewCounterSet(), nextSeq: 1, nextSegID: 1}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A flush or compaction died before its rename; the record
+			// frames inside were never acknowledged as sealed.
+			_ = os.Remove(filepath.Join(dir, name))
+			s.ctr.Inc("segments_tmp_removed")
+			continue
+		}
+		var id uint64
+		if n, err := fmt.Sscanf(name, "seg-%016x.seg", &id); n != 1 || err != nil {
+			continue
+		}
+		meta, err := readSegmentMeta(filepath.Join(dir, name))
+		if err != nil {
+			// Unreadable index: leave the file for forensics, serve
+			// without it.
+			s.ctr.Inc("segments_unreadable")
+			continue
+		}
+		s.segs = append(s.segs, &segment{id: id, meta: meta, path: filepath.Join(dir, name)})
+		if id >= s.nextSegID {
+			s.nextSegID = id + 1
+		}
+		if meta.MaxSeq >= s.nextSeq {
+			s.nextSeq = meta.MaxSeq + 1
+		}
+	}
+	sort.Slice(s.segs, func(i, j int) bool {
+		if s.segs[i].meta.MinSeq != s.segs[j].meta.MinSeq {
+			return s.segs[i].meta.MinSeq < s.segs[j].meta.MinSeq
+		}
+		return s.segs[i].id < s.segs[j].id
+	})
+	s.pruneSubsumedLocked()
+	return s, nil
+}
+
+// pruneSubsumedLocked completes an interrupted compaction: a segment
+// whose sequence range lies entirely within another (higher-id, i.e.
+// newer) segment's range is a compaction input whose deletion never
+// happened. The output is authoritative — it already applied retention —
+// so the input is dropped and its file deleted.
+func (s *Store) pruneSubsumedLocked() {
+	keep := s.segs[:0]
+	for _, sg := range s.segs {
+		subsumed := false
+		for _, other := range s.segs {
+			if other == sg || other.id <= sg.id {
+				continue
+			}
+			if other.meta.MinSeq <= sg.meta.MinSeq && sg.meta.MaxSeq <= other.meta.MaxSeq {
+				subsumed = true
+				break
+			}
+		}
+		if subsumed {
+			if sg.path != "" {
+				_ = os.Remove(sg.path)
+			}
+			s.ctr.Inc("segments_subsumed")
+			continue
+		}
+		keep = append(keep, sg)
+	}
+	s.segs = keep
+}
+
+// Append stores records, assigning each its sequence number. The
+// memtable is sealed into a segment when it reaches FlushEvery records.
+// Records live only in memory until sealed; callers needing the
+// stronger guarantee call Flush (or set FlushEvery to 1).
+func (s *Store) Append(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	for i := range recs {
+		recs[i].Seq = s.nextSeq
+		s.nextSeq++
+		s.mem = append(s.mem, recs[i])
+	}
+	s.ctr.Add("store_frames_appended", int64(len(recs)))
+	if len(s.mem) >= s.opts.FlushEvery {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// Flush seals the memtable into a segment now. No-op when empty.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if len(s.mem) == 0 {
+		return nil
+	}
+	recs := s.mem
+	meta := buildMeta(recs)
+	sg := &segment{id: s.nextSegID, meta: meta}
+	if s.dir == "" {
+		sg.recs = recs
+	} else {
+		path, err := writeSegmentFile(s.dir, sg.id, meta, recs)
+		if err != nil {
+			s.ctr.Inc("segment_write_errors")
+			return err
+		}
+		sg.path = path
+	}
+	s.nextSegID++
+	s.segs = append(s.segs, sg)
+	s.mem = nil
+	s.ctr.Inc("segments_flushed")
+	return nil
+}
+
+// Compact merges runs of small adjacent segments into larger ones and
+// applies the retention policy relative to the given current tick:
+// records older than Options.Retention ticks are dropped, and segments
+// that are entirely expired are deleted without being read. now is the
+// controller's logical clock, so compaction stays deterministic.
+func (s *Store) Compact(now int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	cutoff := int64(-1) // no expiry
+	if s.opts.Retention > 0 && now >= s.opts.Retention {
+		cutoff = now - s.opts.Retention // ticks strictly older expire
+	}
+
+	// Drop segments that retention has expired wholesale.
+	if cutoff >= 0 {
+		keep := s.segs[:0]
+		for _, sg := range s.segs {
+			if sg.meta.MaxTick < cutoff {
+				if sg.path != "" {
+					if err := os.Remove(sg.path); err != nil {
+						keep = append(keep, sg) // try again next sweep
+						continue
+					}
+				}
+				s.ctr.Add("frames_expired", int64(sg.meta.Frames))
+				continue
+			}
+			keep = append(keep, sg)
+		}
+		s.segs = keep
+	}
+
+	// Greedily group adjacent segments whose combined size stays within
+	// TargetFrames; every group of two or more is rewritten as one.
+	var out []*segment
+	i := 0
+	for i < len(s.segs) {
+		group := []*segment{s.segs[i]}
+		frames := s.segs[i].meta.Frames
+		j := i + 1
+		for j < len(s.segs) && frames+s.segs[j].meta.Frames <= s.opts.TargetFrames {
+			frames += s.segs[j].meta.Frames
+			group = append(group, s.segs[j])
+			j++
+		}
+		if len(group) < 2 {
+			out = append(out, s.segs[i])
+			i++
+			continue
+		}
+		merged, err := s.mergeLocked(group, cutoff)
+		if err != nil {
+			return err
+		}
+		if merged != nil {
+			out = append(out, merged)
+		}
+		i = j
+	}
+	s.segs = out
+	return nil
+}
+
+// mergeLocked rewrites a run of adjacent segments as one, dropping
+// expired records. The new segment is durably in place before any input
+// is deleted; Open's subsumption pruning covers a crash in between.
+// A fully-expired merge yields (nil, nil) and just deletes the inputs.
+func (s *Store) mergeLocked(group []*segment, cutoff int64) (*segment, error) {
+	var recs []Record
+	for _, sg := range group {
+		rs, torn, err := sg.load()
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			s.ctr.Inc("segments_truncated_read")
+		}
+		for _, r := range rs {
+			if cutoff >= 0 && r.Tick < cutoff {
+				s.ctr.Inc("frames_expired")
+				continue
+			}
+			recs = append(recs, r)
+		}
+	}
+	var merged *segment
+	if len(recs) > 0 {
+		meta := buildMeta(recs)
+		merged = &segment{id: s.nextSegID, meta: meta}
+		if s.dir == "" {
+			merged.recs = recs
+		} else {
+			path, err := writeSegmentFile(s.dir, merged.id, meta, recs)
+			if err != nil {
+				s.ctr.Inc("segment_write_errors")
+				return nil, err
+			}
+			merged.path = path
+		}
+		s.nextSegID++
+	}
+	for _, sg := range group {
+		if sg.path != "" {
+			_ = os.Remove(sg.path)
+		}
+	}
+	s.ctr.Add("segments_compacted", int64(len(group)))
+	return merged, nil
+}
+
+// Close seals the memtable so everything appended so far is durable.
+// Further operations fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.flushLocked()
+	s.closed = true
+	return err
+}
+
+// Counters snapshots the store's event counters
+// (store_frames_appended, segments_flushed, segments_compacted,
+// frames_expired, queries_served, ...). They are scoped to the current
+// process run.
+func (s *Store) Counters() map[string]int64 { return s.ctr.Snapshot() }
+
+// SegmentCount reports how many sealed segments the store holds.
+func (s *Store) SegmentCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.segs)
+}
+
+// MemtableLen reports how many records await the next flush.
+func (s *Store) MemtableLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.mem)
+}
+
+// Dir returns the store directory ("" for memory-only stores).
+func (s *Store) Dir() string { return s.dir }

@@ -21,11 +21,12 @@ echo "== go build =="
 go build ./...
 
 echo "== determinism lint =="
-# The controller and journal must be replay-deterministic: wall-clock
-# reads belong in main(), never in these packages. Logical time comes
-# in via Tick / journaled ops.
-if git grep -n 'time\.Now()' -- internal/core internal/journal; then
-    echo "determinism lint: time.Now() is forbidden in internal/core and internal/journal" >&2
+# The controller, journal, and results store must be
+# replay-deterministic: wall-clock reads belong in main(), never in
+# these packages. Logical time comes in via Tick / journaled ops, and
+# the store's retention clock is the controller's tick counter.
+if git grep -n 'time\.Now()' -- internal/core internal/journal internal/store; then
+    echo "determinism lint: time.Now() is forbidden in internal/core, internal/journal, and internal/store" >&2
     exit 1
 fi
 
