@@ -8,6 +8,7 @@
 //	     [-tick 5s] [-lease-ttl 3] [-suspect-after 2] [-dead-after 5]
 //	     [-data-dir /var/lib/obsd] [-snapshot-every 1024]
 //	     [-store-dir DIR] [-retention N] [-compact-every N]
+//	     [-debug-addr 127.0.0.1:8601]
 //
 // The controller's at-least-once task pipeline runs on a logical tick
 // clock: every -tick interval obsd advances it once, which expires
@@ -15,6 +16,11 @@
 // suspect/dead, and reassigns dead probes' queues to live peers. Fleet
 // health is logged whenever it changes and is always available at
 // GET /api/v1/health and /api/v1/stats.
+//
+// With -debug-addr obsd opens a second, operator-only listener serving
+// net/http/pprof under /debug/pprof/ and the same Prometheus exposition
+// the API serves at /metrics. Keep it bound to loopback or a management
+// network: unlike the API listener it exposes profiling data.
 //
 // With -data-dir the controller is crash-safe: every mutation is
 // appended to a checksummed write-ahead journal before it is
@@ -45,6 +51,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -65,6 +72,7 @@ func main() {
 	storeDir := flag.String("store-dir", "", "results-store segment directory (default <data-dir>/store; with -data-dir)")
 	retention := flag.Int64("retention", 0, "drop stored results older than this many ticks at compaction (0 = keep forever)")
 	compactEvery := flag.Int64("compact-every", 256, "ticks between results-store compaction sweeps (0 = never)")
+	debugAddr := flag.String("debug-addr", "", "optional operator listener serving /debug/pprof/ and /metrics (empty = off)")
 	flag.Parse()
 
 	var cohort []string
@@ -116,6 +124,29 @@ func main() {
 		ctrl.DeadAfter = *deadAfter
 	}
 	gate.Ready(ctrl.Handler())
+
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = ctrl.Observability().WritePrometheus(w)
+		})
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("obsd: debug listener: %v", err)
+		}
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				log.Printf("obsd: debug listener: %v", err)
+			}
+		}()
+		log.Printf("obsd: debug listener (pprof + metrics) on http://%s", dln.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -24,14 +24,16 @@ import (
 	"flag"
 	"log"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
 	"github.com/afrinet/observatory/internal/core"
+	"github.com/afrinet/observatory/internal/obs"
 	"github.com/afrinet/observatory/internal/probes"
 	"github.com/afrinet/observatory/internal/topology"
 
-	obs "github.com/afrinet/observatory"
+	observatory "github.com/afrinet/observatory"
 )
 
 func main() {
@@ -54,7 +56,7 @@ func main() {
 	}
 
 	log.Printf("obsprobe %s: generating world (seed=%d year=%d)...", *id, *seed, *year)
-	stack := obs.NewStack(obs.Config{Seed: *seed, Year: *year})
+	stack := observatory.NewStack(observatory.Config{Seed: *seed, Year: *year})
 	if stack.Topology.ASes[topology.ASN(*asn)] == nil {
 		log.Fatalf("obsprobe: AS%d does not exist in this world", *asn)
 	}
@@ -74,6 +76,8 @@ func main() {
 	agent := stack.NewAgent(cfg)
 
 	cl := core.NewClient(*controller)
+	reg := obs.NewRegistry()
+	cl.Obs = reg
 	if err := cl.Register(core.ProbeInfo{
 		ID: *id, ASN: topology.ASN(*asn),
 		Country:  stack.Topology.ASes[topology.ASN(*asn)].Country,
@@ -140,10 +144,35 @@ func main() {
 				log.Printf("obsprobe %s: exiting with %d undelivered results (lease expiry will requeue them)",
 					*id, len(pending))
 			}
+			logLatencies(*id, reg)
 			log.Printf("obsprobe %s: bye", *id)
 			return
 		case <-time.After(*poll):
 		}
 	}
 	flush()
+	logLatencies(*id, reg)
+}
+
+// logLatencies prints the probe's own view of controller latency at
+// shutdown: one line per API call (lease polls, result submits, ...)
+// with count, mean, p50/p99, and max. The same numbers the controller
+// aggregates server-side, but measured from the probe's end of the
+// flaky link — the side the paper argues is underobserved.
+func logLatencies(id string, reg *obs.Registry) {
+	snaps := reg.Snapshots()
+	names := make([]string, 0, len(snaps))
+	for name := range snaps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := snaps[name]
+		if s.Count == 0 {
+			continue
+		}
+		log.Printf("obsprobe %s: latency %s count=%d mean=%s p50=%s p99=%s max=%s",
+			id, name, s.Count,
+			s.Mean.Round(time.Microsecond), s.P50, s.P99, s.Max.Round(time.Microsecond))
+	}
 }

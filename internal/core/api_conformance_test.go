@@ -1,0 +1,355 @@
+package core
+
+// api_conformance_test.go walks the route table (APIRoutes) rather than
+// hand-listing endpoints, so a route added to the table is conformance-
+// checked automatically: method rejection, error-envelope shape,
+// request-id echo, metrics registration, page shapes, and the trace
+// ring's bound and span nesting.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/afrinet/observatory/internal/obs"
+)
+
+// fillPattern substitutes every {param} in a route pattern with a
+// concrete segment.
+func fillPattern(pattern string) string {
+	segs := strings.Split(pattern, "/")
+	for i, s := range segs {
+		if strings.HasPrefix(s, "{") && strings.HasSuffix(s, "}") {
+			segs[i] = "conf-" + s[1:len(s)-1]
+		}
+	}
+	return strings.Join(segs, "/")
+}
+
+// doReq drives one request through the handler and returns the
+// recorder.
+func doReq(h http.Handler, method, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	var req *http.Request
+	if body != "" {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+	} else {
+		req = httptest.NewRequest(method, path, nil)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// decodeEnvelope asserts the body is the uniform error envelope and
+// returns it.
+func decodeEnvelope(t *testing.T, w *httptest.ResponseRecorder) errorEnvelope {
+	t.Helper()
+	var env errorEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatalf("response is not an error envelope: %v (body=%q)", err, w.Body.String())
+	}
+	if env.Error.Code == "" || env.Error.Message == "" || env.Error.RequestID == "" {
+		t.Fatalf("envelope missing fields: %+v", env.Error)
+	}
+	return env
+}
+
+// TestRouteTableMethodRejection sends the wrong method to every route
+// in the table and requires a 405 envelope with a correct Allow header.
+func TestRouteTableMethodRejection(t *testing.T) {
+	c := NewController("owner")
+	h := c.Handler()
+	for _, rt := range APIRoutes() {
+		wrong := http.MethodPost
+		if rt.Method == http.MethodPost {
+			wrong = http.MethodGet
+		}
+		path := fillPattern(rt.Pattern)
+		w := doReq(h, wrong, path, "", map[string]string{RequestIDHeader: "conf-" + rt.Name})
+		if w.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s %s: status %d, want 405", rt.Name, wrong, path, w.Code)
+			continue
+		}
+		if allow := w.Header().Get("Allow"); !strings.Contains(allow, rt.Method) {
+			t.Errorf("%s: Allow %q does not include %s", rt.Name, allow, rt.Method)
+		}
+		env := decodeEnvelope(t, w)
+		if env.Error.Code != ErrCodeMethodNotAllowed {
+			t.Errorf("%s: code %q, want %q", rt.Name, env.Error.Code, ErrCodeMethodNotAllowed)
+		}
+		if env.Error.RequestID != "conf-"+rt.Name {
+			t.Errorf("%s: envelope request_id %q does not echo the header", rt.Name, env.Error.RequestID)
+		}
+	}
+}
+
+// TestRequestIDEcho covers the three request-id cases: client-supplied
+// ids echo, absent ids mint, and oversized ids are replaced.
+func TestRequestIDEcho(t *testing.T) {
+	c := NewController("owner")
+	h := c.Handler()
+
+	w := doReq(h, http.MethodGet, "/api/v1/health", "", map[string]string{RequestIDHeader: "probe-77-call-3"})
+	if got := w.Header().Get(RequestIDHeader); got != "probe-77-call-3" {
+		t.Fatalf("client id not echoed: %q", got)
+	}
+
+	w = doReq(h, http.MethodGet, "/api/v1/health", "", nil)
+	if got := w.Header().Get(RequestIDHeader); !strings.HasPrefix(got, "srv-") {
+		t.Fatalf("no id supplied: got %q, want minted srv- id", got)
+	}
+
+	w = doReq(h, http.MethodGet, "/api/v1/health", "", map[string]string{RequestIDHeader: strings.Repeat("x", 200)})
+	if got := w.Header().Get(RequestIDHeader); !strings.HasPrefix(got, "srv-") {
+		t.Fatalf("oversized id accepted verbatim: %q", got)
+	}
+}
+
+// TestErrorEnvelopeOnEveryErrorPath samples the distinct error paths
+// (404 unknown path, 404 missing resource, 400 bad query, 405) and
+// requires the envelope on each.
+func TestErrorEnvelopeOnEveryErrorPath(t *testing.T) {
+	c := NewController("owner")
+	h := c.Handler()
+	cases := []struct {
+		method, path string
+		status       int
+		code         string
+	}{
+		{http.MethodGet, "/api/v2/nope", http.StatusNotFound, ErrCodeNotFound},
+		{http.MethodGet, "/api/v1/experiments/ghost", http.StatusNotFound, ErrCodeNotFound},
+		{http.MethodGet, "/api/v1/probes/p1/tasks?max=bogus", http.StatusBadRequest, ErrCodeBadRequest},
+		{http.MethodGet, "/api/v1/debug/traces?slowest=-2", http.StatusBadRequest, ErrCodeBadRequest},
+		{http.MethodDelete, "/api/v1/probes", http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		w := doReq(h, tc.method, tc.path, "", nil)
+		if w.Code != tc.status {
+			t.Errorf("%s %s: status %d, want %d (body=%q)", tc.method, tc.path, w.Code, tc.status, w.Body.String())
+			continue
+		}
+		if env := decodeEnvelope(t, w); env.Error.Code != tc.code {
+			t.Errorf("%s %s: code %q, want %q", tc.method, tc.path, env.Error.Code, tc.code)
+		}
+	}
+}
+
+// TestEveryRouteInMetrics hits each table route once with its own
+// method, then requires a histogram series tagged with every route name
+// in the /metrics exposition.
+func TestEveryRouteInMetrics(t *testing.T) {
+	c := NewController("owner")
+	h := c.Handler()
+	for _, rt := range APIRoutes() {
+		body := ""
+		if rt.Method == http.MethodPost {
+			body = "{}"
+		}
+		doReq(h, rt.Method, fillPattern(rt.Pattern), body, nil) // status irrelevant: latency is observed either way
+	}
+	w := doReq(h, http.MethodGet, "/metrics", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	text := w.Body.String()
+	for _, rt := range APIRoutes() {
+		series := fmt.Sprintf(`obs_http_request_seconds_count{route=%q}`, rt.Name)
+		if !strings.Contains(text, series) {
+			t.Errorf("route %s missing from /metrics (want %s)", rt.Name, series)
+		}
+	}
+	// The mutator and store instrumentation must surface too.
+	for _, family := range []string{"obs_mutator_seconds", "obs_store_seconds", "obs_pipeline_events_total"} {
+		if !strings.Contains(text, family) {
+			t.Errorf("family %s missing from /metrics", family)
+		}
+	}
+}
+
+// TestMetricsDeterministicOrder requires two scrapes to list series in
+// the same order (the exposition is sorted, not map-ordered).
+func TestMetricsDeterministicOrder(t *testing.T) {
+	c := NewController("owner")
+	h := c.Handler()
+	names := func(text string) []string {
+		var out []string
+		for _, line := range strings.Split(text, "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			out = append(out, strings.SplitN(line, " ", 2)[0])
+		}
+		return out
+	}
+	a := names(doReq(h, http.MethodGet, "/metrics", "", nil).Body.String())
+	b := names(doReq(h, http.MethodGet, "/metrics", "", nil).Body.String())
+	if len(a) == 0 {
+		t.Fatal("empty exposition")
+	}
+	// The second scrape may add the metrics route's own series values but
+	// never reorder; compare the shared prefix of series names.
+	for i := range a {
+		if i < len(b) && a[i] != b[i] {
+			t.Fatalf("series order changed between scrapes: %q vs %q at %d", a[i], b[i], i)
+		}
+	}
+}
+
+// TestListEndpointsPageShape requires the {items, next_cursor} shape on
+// list endpoints, with items present (not null) even when empty.
+func TestListEndpointsPageShape(t *testing.T) {
+	c := NewController("owner")
+	h := c.Handler()
+
+	w := doReq(h, http.MethodGet, "/api/v1/probes", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("probes list: status %d", w.Code)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(w.Body.Bytes(), &raw); err != nil {
+		t.Fatalf("probes list: %v", err)
+	}
+	if items, ok := raw["items"]; !ok || string(items) == "null" {
+		t.Fatalf("probes list: items missing or null: %s", w.Body.String())
+	}
+
+	if err := c.RegisterProbe(ProbeInfo{ID: "p1", ASN: 1, Country: "RW"}); err != nil {
+		t.Fatal(err)
+	}
+	var pg struct {
+		Items      []ProbeInfo `json:"items"`
+		NextCursor string      `json:"next_cursor"`
+	}
+	w = doReq(h, http.MethodGet, "/api/v1/probes", "", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &pg); err != nil {
+		t.Fatal(err)
+	}
+	if len(pg.Items) != 1 || pg.Items[0].ID != "p1" {
+		t.Fatalf("probes page: %+v", pg)
+	}
+
+	w = doReq(h, http.MethodGet, "/api/v1/debug/traces?slowest=3", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("debug traces: status %d", w.Code)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &raw); err != nil {
+		t.Fatalf("debug traces: %v", err)
+	}
+	if _, ok := raw["items"]; !ok {
+		t.Fatalf("debug traces: no items key: %s", w.Body.String())
+	}
+}
+
+// TestTraceSpanNesting drives a durable controller and requires the
+// full span chain handler → mutator → journal.append in the published
+// trace.
+func TestTraceSpanNesting(t *testing.T) {
+	c, err := Recover(t.TempDir(), DurabilityConfig{Trusted: []string{"owner"}, SnapshotEvery: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	h := c.Handler()
+
+	w := doReq(h, http.MethodPost, "/api/v1/probes/register",
+		`{"id": "p1", "asn": 1, "country": "RW"}`,
+		map[string]string{RequestIDHeader: "trace-me"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("register: status %d body=%s", w.Code, w.Body.String())
+	}
+
+	w = doReq(h, http.MethodGet, "/api/v1/debug/traces?slowest=50", "", nil)
+	var pg struct {
+		Items []obs.TraceView `json:"items"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &pg); err != nil {
+		t.Fatal(err)
+	}
+	var tr *obs.TraceView
+	for i := range pg.Items {
+		if pg.Items[i].RequestID == "trace-me" {
+			tr = &pg.Items[i]
+		}
+	}
+	if tr == nil {
+		t.Fatalf("register trace not in ring: %+v", pg.Items)
+	}
+	if tr.Route != "probe_register" || tr.Status != http.StatusOK {
+		t.Fatalf("trace mislabeled: %+v", tr)
+	}
+	if len(tr.Spans) != 1 || tr.Spans[0].Name != "handler" {
+		t.Fatalf("root span: %+v", tr.Spans)
+	}
+	var mutator *obs.SpanView
+	for i := range tr.Spans[0].Children {
+		if tr.Spans[0].Children[i].Name == "mutator:probe_register" {
+			mutator = &tr.Spans[0].Children[i]
+		}
+	}
+	if mutator == nil {
+		t.Fatalf("no mutator span under handler: %+v", tr.Spans[0].Children)
+	}
+	found := false
+	for _, ch := range mutator.Children {
+		if ch.Name == "journal.append" {
+			found = true
+			for _, g := range ch.Children {
+				if g.Name != "journal.fsync" {
+					t.Fatalf("unexpected span under journal.append: %+v", g)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no journal.append span under mutator: %+v", mutator.Children)
+	}
+}
+
+// TestTraceRingBounded hammers the handler from many goroutines and
+// requires the ring to stay at its bound. Run under -race this also
+// exercises the ring's synchronization.
+func TestTraceRingBounded(t *testing.T) {
+	c := NewController("owner")
+	h := c.Handler()
+	var wg sync.WaitGroup
+	const workers, per = 8, 2 * DefaultTraceRing / 8
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				doReq(h, http.MethodGet, "/api/v1/health", "", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Traces().Len(); got != DefaultTraceRing {
+		t.Fatalf("ring length %d, want bound %d", got, DefaultTraceRing)
+	}
+	if got := len(c.Traces().Slowest(10)); got != 10 {
+		t.Fatalf("Slowest(10) returned %d", got)
+	}
+}
+
+// TestAPIDocInSync fails when the committed API.md drifts from the
+// route table it is generated from.
+func TestAPIDocInSync(t *testing.T) {
+	disk, err := os.ReadFile("../../API.md")
+	if err != nil {
+		t.Fatalf("API.md unreadable: %v", err)
+	}
+	if string(disk) != APIDocMarkdown() {
+		t.Fatal("API.md is stale: regenerate with `go run ./cmd/apidoc > API.md`")
+	}
+}

@@ -14,9 +14,44 @@ import (
 	"sync"
 	"time"
 
+	"github.com/afrinet/observatory/internal/obs"
 	"github.com/afrinet/observatory/internal/probes"
 	"github.com/afrinet/observatory/internal/store"
 )
+
+// APIError is a non-2xx controller response decoded from the v1 error
+// envelope. Errors returned by Client calls wrap it, so callers can
+// branch on the machine code and log the request id the controller
+// traced the failure under:
+//
+//	var apiErr *core.APIError
+//	if errors.As(err, &apiErr) && apiErr.Code == core.ErrCodeNotFound { ... }
+type APIError struct {
+	Status    int    // HTTP status code
+	Code      string // machine code (ErrCode* constants)
+	Message   string
+	RequestID string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("core: api error %d %s: %s (request_id=%s)", e.Status, e.Code, e.Message, e.RequestID)
+}
+
+// decodeAPIError turns a non-2xx response body into an *APIError. A
+// body that is not a v1 envelope (a pre-envelope controller) becomes an
+// APIError with an empty Code carrying the raw body text.
+func decodeAPIError(status int, body []byte) *APIError {
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		return &APIError{
+			Status:    status,
+			Code:      env.Error.Code,
+			Message:   env.Error.Message,
+			RequestID: env.Error.RequestID,
+		}
+	}
+	return &APIError{Status: status, Message: string(bytes.TrimSpace(body))}
+}
 
 // DefaultHTTPTimeout bounds every controller round trip so a hung
 // connection on a flaky cellular link cannot wedge the probe loop.
@@ -48,6 +83,10 @@ type Client struct {
 	// RequestID, when set, overrides how Submit mints its idempotency
 	// keys (tests pin it for reproducible dedup).
 	RequestID func() string
+	// Obs, when set, records one latency histogram series per API call
+	// (obs_client_seconds, call=<name>). cmd/obsprobe wires one in and
+	// logs the snapshot at shutdown.
+	Obs *obs.Registry
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -106,8 +145,16 @@ func transientStatus(code int) bool {
 }
 
 // do issues one request per attempt, retrying transient failures when
-// retryable is set. body is re-sent verbatim on each attempt.
-func (c *Client) do(method, path string, body []byte, out interface{}, retryable bool) error {
+// retryable is set. body is re-sent verbatim on each attempt. Every call
+// carries one X-Request-ID, stable across its retries, so a client log
+// line joins against the controller's traces and slow-request log; name
+// tags the per-call latency series when Obs is set.
+func (c *Client) do(name, method, path string, body []byte, out interface{}, retryable bool) error {
+	if c.Obs != nil {
+		t := obs.StartTimer()
+		defer func() { c.Obs.Hist("obs_client_seconds", "call", name).Observe(t.Elapsed()) }()
+	}
+	reqID := mintRequestID()
 	attempts := c.MaxAttempts
 	if attempts <= 0 || !retryable {
 		attempts = 1
@@ -125,6 +172,7 @@ func (c *Client) do(method, path string, body []byte, out interface{}, retryable
 		if err != nil {
 			return err
 		}
+		req.Header.Set(RequestIDHeader, reqID)
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
@@ -136,7 +184,7 @@ func (c *Client) do(method, path string, body []byte, out interface{}, retryable
 		if transientStatus(resp.StatusCode) {
 			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
-			lastErr = fmt.Errorf("core: %s: %s", resp.Status, bytes.TrimSpace(b))
+			lastErr = decodeAPIError(resp.StatusCode, b)
 			continue
 		}
 		err = decodeResponse(resp, out)
@@ -146,22 +194,22 @@ func (c *Client) do(method, path string, body []byte, out interface{}, retryable
 	return fmt.Errorf("core: %s %s failed after %d attempts: %w", method, path, attempts, lastErr)
 }
 
-func (c *Client) post(path string, body, out interface{}, retryable bool) error {
+func (c *Client) post(name, path string, body, out interface{}, retryable bool) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	return c.do(http.MethodPost, path, buf, out, retryable)
+	return c.do(name, http.MethodPost, path, buf, out, retryable)
 }
 
-func (c *Client) get(path string, out interface{}) error {
-	return c.do(http.MethodGet, path, nil, out, true)
+func (c *Client) get(name, path string, out interface{}) error {
+	return c.do(name, http.MethodGet, path, nil, out, true)
 }
 
 func decodeResponse(resp *http.Response, out interface{}) error {
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("core: %s: %s", resp.Status, bytes.TrimSpace(b))
+		return decodeAPIError(resp.StatusCode, b)
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
@@ -170,9 +218,42 @@ func decodeResponse(resp *http.Response, out interface{}) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// getPage fetches a list endpoint and decodes the {items, next_cursor}
+// page shape into items. Pre-page controllers returned bare arrays;
+// those are still accepted for one release (see README's deprecation
+// note) by decoding the body straight into items.
+func (c *Client) getPage(name, path string, items interface{}) (string, error) {
+	var raw json.RawMessage
+	if err := c.get(name, path, &raw); err != nil {
+		return "", err
+	}
+	return decodePage(raw, items)
+}
+
+func decodePage(raw []byte, items interface{}) (string, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		// Legacy bare-array shape.
+		return "", json.Unmarshal(trimmed, items)
+	}
+	var pg struct {
+		Items      json.RawMessage `json:"items"`
+		NextCursor string          `json:"next_cursor"`
+	}
+	if err := json.Unmarshal(trimmed, &pg); err != nil {
+		return "", err
+	}
+	if len(pg.Items) > 0 {
+		if err := json.Unmarshal(pg.Items, items); err != nil {
+			return "", err
+		}
+	}
+	return pg.NextCursor, nil
+}
+
 // Register announces a probe to the controller (idempotent: retried).
 func (c *Client) Register(p ProbeInfo) error {
-	return c.post("/api/v1/probes/register", p, nil, true)
+	return c.post("probe_register", "/api/v1/probes/register", p, nil, true)
 }
 
 // LeaseTasks fetches up to max queued tasks for the probe. A lost
@@ -180,20 +261,20 @@ func (c *Client) Register(p ProbeInfo) error {
 // them when the lease expires, so retrying is safe.
 func (c *Client) LeaseTasks(probeID string, max int) ([]probes.Task, error) {
 	var out []probes.Task
-	err := c.get(fmt.Sprintf("/api/v1/probes/%s/tasks?max=%d", probeID, max), &out)
+	err := c.get("probe_tasks", fmt.Sprintf("/api/v1/probes/%s/tasks?max=%d", probeID, max), &out)
 	return out, err
 }
 
 // SubmitResults uploads a batch of results. Safe to retry: the
 // controller deduplicates by (experiment, task).
 func (c *Client) SubmitResults(probeID string, rs []probes.Result) error {
-	return c.post(fmt.Sprintf("/api/v1/probes/%s/results", probeID), rs, nil, true)
+	return c.post("probe_results", fmt.Sprintf("/api/v1/probes/%s/results", probeID), rs, nil, true)
 }
 
 // Heartbeat tells the controller the probe is alive when there is no
 // lease or result traffic to piggyback on.
 func (c *Client) Heartbeat(probeID string) error {
-	return c.post(fmt.Sprintf("/api/v1/probes/%s/heartbeat", probeID), struct{}{}, nil, true)
+	return c.post("probe_heartbeat", fmt.Sprintf("/api/v1/probes/%s/heartbeat", probeID), struct{}{}, nil, true)
 }
 
 // Submit posts an experiment, retrying transient failures like every
@@ -203,7 +284,7 @@ func (c *Client) Heartbeat(probeID string) error {
 func (c *Client) Submit(owner, description string, as []probes.Assignment) (*Experiment, error) {
 	var out Experiment
 	req := submitRequest{RequestID: c.newRequestID(), Owner: owner, Description: description, Assignments: as}
-	err := c.post("/api/v1/experiments", req, &out, true)
+	err := c.post("experiment_submit", "/api/v1/experiments", req, &out, true)
 	if err != nil {
 		return nil, err
 	}
@@ -238,13 +319,13 @@ func (c *Client) newRequestID() string {
 
 // Approve approves a pending experiment (idempotent: retried).
 func (c *Client) Approve(expID string) error {
-	return c.post(fmt.Sprintf("/api/v1/experiments/%s/approve", expID), struct{}{}, nil, true)
+	return c.post("experiment_approve", fmt.Sprintf("/api/v1/experiments/%s/approve", expID), struct{}{}, nil, true)
 }
 
 // Results fetches an experiment's collected results.
 func (c *Client) Results(expID string) ([]probes.Result, error) {
 	var out []probes.Result
-	err := c.get(fmt.Sprintf("/api/v1/experiments/%s/results", expID), &out)
+	_, err := c.getPage("experiment_results", fmt.Sprintf("/api/v1/experiments/%s/results", expID), &out)
 	return out, err
 }
 
@@ -252,14 +333,14 @@ func (c *Client) Results(expID string) ([]probes.Result, error) {
 // results after cursor ("" starts over). The returned cursor is "" on
 // the last page.
 func (c *Client) ResultsPage(expID string, limit int, cursor string) ([]probes.Result, string, error) {
-	var out resultsPage
+	var out []probes.Result
 	q := url.Values{}
 	q.Set("limit", strconv.Itoa(limit))
 	if cursor != "" {
 		q.Set("cursor", cursor)
 	}
-	err := c.get(fmt.Sprintf("/api/v1/experiments/%s/results?%s", expID, q.Encode()), &out)
-	return out.Results, out.NextCursor, err
+	next, err := c.getPage("experiment_results", fmt.Sprintf("/api/v1/experiments/%s/results?%s", expID, q.Encode()), &out)
+	return out, next, err
 }
 
 // queryParams renders a store filter as /api/v1/query parameters.
@@ -295,7 +376,7 @@ func (c *Client) QueryAggregate(f store.Filter, groupBy string) (store.AggReport
 		q.Set("group_by", groupBy)
 	}
 	var out store.AggReport
-	err := c.get("/api/v1/query?"+q.Encode(), &out)
+	err := c.get("query", "/api/v1/query?"+q.Encode(), &out)
 	return out, err
 }
 
@@ -309,29 +390,29 @@ func (c *Client) QueryScan(f store.Filter, limit int, cursor string) ([]store.Re
 	if cursor != "" {
 		q.Set("cursor", cursor)
 	}
-	var out scanPage
-	err := c.get("/api/v1/query?"+q.Encode(), &out)
-	return out.Records, out.NextCursor, err
+	var out []store.Record
+	next, err := c.getPage("query", "/api/v1/query?"+q.Encode(), &out)
+	return out, next, err
 }
 
 // Probes lists the registered probes.
 func (c *Client) Probes() ([]ProbeInfo, error) {
 	var out []ProbeInfo
-	err := c.get("/api/v1/probes", &out)
+	_, err := c.getPage("probes_list", "/api/v1/probes", &out)
 	return out, err
 }
 
 // Health fetches the controller's fleet-health summary.
 func (c *Client) Health() (HealthReport, error) {
 	var out HealthReport
-	err := c.get("/api/v1/health", &out)
+	err := c.get("health", "/api/v1/health", &out)
 	return out, err
 }
 
 // Stats fetches the controller's pipeline counters and probe statuses.
 func (c *Client) Stats() (StatsReport, error) {
 	var out StatsReport
-	err := c.get("/api/v1/stats", &out)
+	err := c.get("stats", "/api/v1/stats", &out)
 	return out, err
 }
 

@@ -45,12 +45,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/afrinet/observatory/internal/journal"
 	"github.com/afrinet/observatory/internal/metrics"
+	"github.com/afrinet/observatory/internal/obs"
 	"github.com/afrinet/observatory/internal/probes"
 	"github.com/afrinet/observatory/internal/store"
 	"github.com/afrinet/observatory/internal/topology"
@@ -182,6 +185,21 @@ type Controller struct {
 	snapEvery int
 	sinceSnap int
 
+	// Observability (see observability.go): reg collects the latency
+	// histograms and counter sources served by /metrics; ring retains
+	// finished request traces for /api/v1/debug/traces; span is the
+	// active request's span (guarded by mu — the ctx mutator variants
+	// set it, mutateLocked and the journal sync hook nest under it);
+	// mutHist/hAppend/hFsync/hSnapshot cache hot-path histogram
+	// pointers so observing a latency is lock-free.
+	reg       *obs.Registry
+	ring      *obs.TraceRing
+	span      *obs.Span
+	mutHist   map[string]*obs.Histogram
+	hAppend   *obs.Histogram
+	hFsync    *obs.Histogram
+	hSnapshot *obs.Histogram
+
 	// store holds result payloads (internal/store). The WAL keeps only
 	// the dedup/lease bookkeeping for results; the payloads live here,
 	// so journal replay and snapshots stay small no matter how many
@@ -196,6 +214,10 @@ type Controller struct {
 	// to suspect / dead.
 	SuspectAfter int64
 	DeadAfter    int64
+	// SlowRequest is the request-duration threshold above which the
+	// HTTP router emits one structured slow-request log line; <= 0
+	// disables the logging. Set before Handler is called.
+	SlowRequest time.Duration
 }
 
 // NewController creates an empty control plane with the given trusted
@@ -205,7 +227,6 @@ func NewController(trusted ...string) *Controller {
 		probes:       make(map[string]*probeState),
 		experiments:  make(map[string]*Experiment),
 		queues:       make(map[string][]probes.Task),
-		store:        store.NewMemory(store.Options{}),
 		taskIDs:      make(map[string]map[string]bool),
 		recorded:     make(map[string]map[string]bool),
 		leases:       make(map[string]*leaseRec),
@@ -217,6 +238,8 @@ func NewController(trusted ...string) *Controller {
 		SuspectAfter: 2,
 		DeadAfter:    5,
 	}
+	c.initObs()
+	c.store = store.NewMemory(store.Options{Obs: c.reg})
 	for _, t := range trusted {
 		c.trusted[t] = true
 	}
@@ -226,11 +249,18 @@ func NewController(trusted ...string) *Controller {
 // RegisterProbe adds or updates a vantage point. Registration counts as
 // probe contact.
 func (c *Controller) RegisterProbe(p ProbeInfo) error {
+	return c.registerProbeCtx(context.Background(), p)
+}
+
+// registerProbeCtx is RegisterProbe carrying the request span (if any)
+// into the mutation for tracing.
+func (c *Controller) registerProbeCtx(ctx context.Context, p ProbeInfo) error {
 	if p.ID == "" {
 		return fmt.Errorf("core: probe id required")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.setSpanLocked(obs.SpanFrom(ctx))()
 	return c.mutateLocked(opRegister, p, func() { c.applyRegisterLocked(p) })
 }
 
@@ -270,11 +300,16 @@ func (c *Controller) Probes() []ProbeInfo {
 // traffic to piggyback on. Unknown probes are rejected so the fleet
 // view stays authoritative.
 func (c *Controller) Heartbeat(probeID string) error {
+	return c.heartbeatCtx(context.Background(), probeID)
+}
+
+func (c *Controller) heartbeatCtx(ctx context.Context, probeID string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.probes[probeID]; !ok {
 		return fmt.Errorf("core: unknown probe %s", probeID)
 	}
+	defer c.setSpanLocked(obs.SpanFrom(ctx))()
 	return c.mutateLocked(opHeartbeat, probeOp{ProbeID: probeID}, func() { c.applyHeartbeatLocked(probeID) })
 }
 
@@ -449,11 +484,16 @@ func (c *Controller) SubmitExperiment(owner, description string, assignments []p
 // This is what makes the HTTP client's Submit retryable — a duplicated
 // delivery cannot double the workload.
 func (c *Controller) SubmitExperimentIdem(requestID, owner, description string, assignments []probes.Assignment) (*Experiment, error) {
+	return c.submitExperimentIdemCtx(context.Background(), requestID, owner, description, assignments)
+}
+
+func (c *Controller) submitExperimentIdemCtx(ctx context.Context, requestID, owner, description string, assignments []probes.Assignment) (*Experiment, error) {
 	if len(assignments) == 0 {
 		return nil, fmt.Errorf("core: experiment has no assignments")
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.setSpanLocked(obs.SpanFrom(ctx))()
 	if requestID != "" {
 		if expID, ok := c.submitIDs[requestID]; ok {
 			c.dur.Inc("submits_deduped")
@@ -499,8 +539,13 @@ func (c *Controller) applySubmitLocked(op submitOp) *Experiment {
 
 // Approve moves a pending experiment to approved and schedules its tasks.
 func (c *Controller) Approve(expID string) error {
+	return c.approveCtx(context.Background(), expID)
+}
+
+func (c *Controller) approveCtx(ctx context.Context, expID string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.setSpanLocked(obs.SpanFrom(ctx))()
 	exp, ok := c.experiments[expID]
 	if !ok {
 		return fmt.Errorf("core: unknown experiment %s", expID)
@@ -575,8 +620,13 @@ func cloneExp(e *Experiment) *Experiment {
 // after a crash and its tasks stuck until a replayed expiry that never
 // comes.
 func (c *Controller) LeaseTasks(probeID string, max int) []probes.Task {
+	return c.leaseTasksCtx(context.Background(), probeID, max)
+}
+
+func (c *Controller) leaseTasksCtx(ctx context.Context, probeID string, max int) []probes.Task {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.setSpanLocked(obs.SpanFrom(ctx))()
 	var lease []probes.Task
 	if err := c.mutateLocked(opLease, leaseOp{ProbeID: probeID, Max: max}, func() {
 		lease = c.applyLeaseLocked(probeID, max)
@@ -642,8 +692,13 @@ func (c *Controller) OutstandingLeases() int {
 // crash between the two leaves an unacknowledged payload in the store,
 // which read-time dedup collapses when the retry lands.
 func (c *Controller) SubmitResults(probeID string, rs []probes.Result) (int, error) {
+	return c.submitResultsCtx(context.Background(), probeID, rs)
+}
+
+func (c *Controller) submitResultsCtx(ctx context.Context, probeID string, rs []probes.Result) (int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.setSpanLocked(obs.SpanFrom(ctx))()
 	st, ok := c.probes[probeID]
 	if !ok {
 		c.stats.Inc("results_rejected")
@@ -681,7 +736,10 @@ func (c *Controller) SubmitResults(probeID string, rs []probes.Result) (int, err
 			Result:     r,
 		})
 	}
-	if err := c.store.Append(fresh...); err != nil {
+	storeSpan := c.span.Child("store.append")
+	err := c.store.Append(fresh...)
+	storeSpan.End()
+	if err != nil {
 		c.dur.Inc("store_append_errors")
 		return 0, fmt.Errorf("core: results store: %w", err)
 	}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"github.com/afrinet/observatory/internal/journal"
+	"github.com/afrinet/observatory/internal/obs"
 	"github.com/afrinet/observatory/internal/probes"
 	"github.com/afrinet/observatory/internal/store"
 )
@@ -146,6 +147,10 @@ func Recover(dir string, cfg DurabilityConfig) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The controller is built first so the disk-backed store can share
+	// its metric registry (the in-memory store NewController installed
+	// is simply replaced).
+	c := NewController(cfg.Trusted...)
 	storeDir := cfg.StoreDir
 	if storeDir == "" {
 		storeDir = filepath.Join(dir, "store")
@@ -154,13 +159,12 @@ func Recover(dir string, cfg DurabilityConfig) (*Controller, error) {
 		FlushEvery:   cfg.StoreFlushEvery,
 		TargetFrames: cfg.StoreTargetFrames,
 		Retention:    cfg.Retention,
+		Obs:          c.reg,
 	})
 	if err != nil {
 		l.Close()
 		return nil, err
 	}
-	c := NewController(cfg.Trusted...)
-	c.store = st
 	if cfg.LeaseTTL > 0 {
 		c.LeaseTTL = cfg.LeaseTTL
 	}
@@ -173,6 +177,7 @@ func Recover(dir string, cfg DurabilityConfig) (*Controller, error) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.store = st
 	var snapSeq uint64
 	if l.Snap != nil {
 		var st persistState
@@ -200,6 +205,17 @@ func Recover(dir string, cfg DurabilityConfig) (*Controller, error) {
 		l.Close()
 		c.store.Close()
 		return nil, err
+	}
+	// Journal fsync timing: the hook runs inside Append, which only the
+	// mutation path (under c.mu) calls, so reading c.span here is as
+	// guarded as every other span access.
+	l.WrapSync = func(sync func() error) error {
+		sp := c.span.Child("journal.fsync")
+		t := obs.StartTimer()
+		err := sync()
+		sp.End()
+		c.hFsync.Observe(t.Elapsed())
+		return err
 	}
 	c.log = l
 	c.snapEvery = cfg.SnapshotEvery
@@ -327,6 +343,13 @@ func (c *Controller) applyRecordLocked(rec journal.Record) error {
 // journal attached (in-memory controller, or replay in progress) only
 // the apply runs.
 func (c *Controller) mutateLocked(kind string, v any, apply func()) error {
+	sp := c.span.Child("mutator:" + kind)
+	t := obs.StartTimer()
+	defer func() {
+		sp.End()
+		c.mutHist[kind].Observe(t.Elapsed())
+	}()
+	defer c.setSpanLocked(sp)()
 	if err := c.appendLocked(kind, v); err != nil {
 		return err
 	}
@@ -338,11 +361,20 @@ func (c *Controller) mutateLocked(kind string, v any, apply func()) error {
 }
 
 // appendLocked journals one validated operation before it is applied.
+// The append runs under its own span so the fsync hook (wired in
+// Recover) nests the sync time beneath it.
 func (c *Controller) appendLocked(kind string, v any) error {
 	if c.log == nil {
 		return nil
 	}
-	if _, err := c.log.Append(kind, v); err != nil {
+	sp := c.span.Child("journal.append")
+	t := obs.StartTimer()
+	restore := c.setSpanLocked(sp)
+	_, err := c.log.Append(kind, v)
+	restore()
+	sp.End()
+	c.hAppend.Observe(t.Elapsed())
+	if err != nil {
 		c.dur.Inc("journal_append_errors")
 		return fmt.Errorf("core: journal append: %w", err)
 	}
@@ -358,7 +390,12 @@ func (c *Controller) snapshotLocked() {
 	if c.log == nil {
 		return
 	}
-	if err := c.log.WriteSnapshot(c.persistLocked()); err != nil {
+	sp := c.span.Child("journal.snapshot")
+	t := obs.StartTimer()
+	err := c.log.WriteSnapshot(c.persistLocked())
+	sp.End()
+	c.hSnapshot.Observe(t.Elapsed())
+	if err != nil {
 		c.dur.Inc("snapshot_errors")
 		return
 	}

@@ -1,5 +1,10 @@
 package core
 
+// http.go holds the route handlers behind the v1 route table in
+// routes.go. Method enforcement, body caps, request ids, tracing, and
+// latency histograms all live in the router; handlers only parse,
+// call the controller, and render through envelope.go.
+
 import (
 	"encoding/json"
 	"errors"
@@ -16,11 +21,11 @@ import (
 
 // RecoveryGate fronts the controller's handler while recovery runs:
 // until Ready is called every request is answered 503 Service
-// Unavailable with a Retry-After header, which the probe client treats
-// as transient and retries through. cmd/obsd binds its listener
-// immediately and flips the gate once Recover returns, so probes
-// reconnecting after a controller restart see a brief 503 window rather
-// than connection refusals.
+// Unavailable (code "unavailable") with a Retry-After header, which the
+// probe client treats as transient and retries through. cmd/obsd binds
+// its listener immediately and flips the gate once Recover returns, so
+// probes reconnecting after a controller restart see a brief 503 window
+// rather than connection refusals.
 type RecoveryGate struct {
 	mu sync.RWMutex
 	h  http.Handler
@@ -48,69 +53,41 @@ func (g *RecoveryGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h := g.h
 	g.mu.RUnlock()
 	if h == nil {
+		ensureRequestID(w, r)
 		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("controller recovering, retry shortly"))
+		writeAPIError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
+			fmt.Errorf("controller recovering, retry shortly"))
 		return
 	}
 	h.ServeHTTP(w, r)
 }
 
-// Handler exposes the controller over HTTP/JSON:
-//
-//	POST /api/v1/probes/register           body ProbeInfo
-//	GET  /api/v1/probes                    -> []ProbeInfo
-//	GET  /api/v1/probes/{id}/tasks?max=N   -> []probes.Task (lease)
-//	POST /api/v1/probes/{id}/results       body []probes.Result
-//	POST /api/v1/probes/{id}/heartbeat
-//	POST /api/v1/experiments               body submitRequest -> Experiment
-//	GET  /api/v1/experiments/{id}          -> Experiment
-//	POST /api/v1/experiments/{id}/approve
-//	GET  /api/v1/experiments/{id}/results  -> []probes.Result
-//	     (?limit=N&cursor=C -> {results, next_cursor} paginated)
-//	GET  /api/v1/query                     -> AggReport or {records, next_cursor}
-//	     (op=aggregate|scan; filters: experiment, country, asn, kind,
-//	     from_tick, to_tick; group_by for aggregate, limit/cursor for scan)
-//	GET  /api/v1/health                    -> HealthReport
-//	GET  /api/v1/stats                     -> StatsReport
-//
-// The probe-facing routes implement the at-least-once protocol
-// described in the package comment: tasks fetched via /tasks are held
-// under a lease of LeaseTTL controller ticks and are requeued if no
-// result arrives in time; /results is idempotent (duplicates are
-// deduplicated by experiment and task ID, so clients retry uploads
-// freely) and rejects batches naming unknown experiments, unknown
-// tasks, or an unregistered probe with 400. Every probe call counts as
-// a heartbeat; /heartbeat exists for probes with nothing to lease or
-// upload. /health and /stats report fleet liveness and the pipeline
-// counters (tasks_leased, leases_expired, tasks_requeued,
-// results_recorded, results_deduped, ...) for cmd/obsd. Request bodies
-// are bounded at MaxBodyBytes; oversized payloads get 413.
-//
-// ?max=N on /tasks caps the lease size: N must be a positive integer
-// (400 otherwise); omitting it (or N=0) means the server default of 32.
-func (c *Controller) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/api/v1/probes/register", c.handleRegister)
-	mux.HandleFunc("/api/v1/probes", c.handleProbes)
-	mux.HandleFunc("/api/v1/probes/", c.handleProbeSub)
-	mux.HandleFunc("/api/v1/experiments", c.handleSubmit)
-	mux.HandleFunc("/api/v1/experiments/", c.handleExperimentSub)
-	mux.HandleFunc("/api/v1/query", c.handleQuery)
-	mux.HandleFunc("/api/v1/health", c.handleHealth)
-	mux.HandleFunc("/api/v1/stats", c.handleStats)
-	return mux
+var errNotFound = errors.New("not found")
+
+func errMethod(allowed []string) error {
+	return fmt.Errorf("method not allowed (allowed: %s)", strings.Join(allowed, ", "))
 }
 
-// resultsPage is the paginated /experiments/{id}/results response.
-type resultsPage struct {
-	Results    []probes.Result `json:"results"`
-	NextCursor string          `json:"next_cursor,omitempty"`
-}
+// MaxBodyBytes bounds every JSON request body; anything larger is
+// rejected with 413 before it can balloon controller memory. The router
+// applies the cap; decodeBody translates the overflow.
+const MaxBodyBytes = 8 << 20 // 8 MiB
 
-// scanPage is the paginated /query?op=scan response.
-type scanPage struct {
-	Records    []store.Record `json:"records"`
-	NextCursor string         `json:"next_cursor,omitempty"`
+// decodeBody decodes the (router-bounded) JSON request body into v,
+// writing the error envelope (413 for oversized bodies, 400 otherwise)
+// itself. Returns false when the handler should stop.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeAPIError(w, http.StatusRequestEntityTooLarge, ErrCodeBodyTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
+		return false
+	}
+	return true
 }
 
 // parseLimit parses a ?limit= value ("" means no limit). Writes the 400
@@ -121,7 +98,8 @@ func parseLimit(w http.ResponseWriter, s string) (int, bool) {
 	}
 	n, err := strconv.Atoi(s)
 	if err != nil || n < 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("limit must be a non-negative integer, got %q", s))
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest,
+			fmt.Errorf("limit must be a non-negative integer, got %q", s))
 		return 0, false
 	}
 	return n, true
@@ -144,7 +122,8 @@ func parseFilter(w http.ResponseWriter, q map[string][]string) (store.Filter, bo
 	if s := get("asn"); s != "" {
 		n, err := strconv.ParseUint(s, 10, 32)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("asn must be an integer, got %q", s))
+			writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest,
+				fmt.Errorf("asn must be an integer, got %q", s))
 			return f, false
 		}
 		f.ASN = topology.ASN(n)
@@ -156,7 +135,8 @@ func parseFilter(w http.ResponseWriter, q map[string][]string) (store.Filter, bo
 		if s := get(tk.name); s != "" {
 			n, err := strconv.ParseInt(s, 10, 64)
 			if err != nil {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("%s must be an integer, got %q", tk.name, s))
+				writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest,
+					fmt.Errorf("%s must be an integer, got %q", tk.name, s))
 				return f, false
 			}
 			*tk.dst = n
@@ -165,178 +145,61 @@ func parseFilter(w http.ResponseWriter, q map[string][]string) (store.Filter, bo
 	return f, true
 }
 
-// handleQuery serves GET /api/v1/query: filtered scans and time-window
-// aggregations over the results store.
-//
-//	op=aggregate (default)  -> AggReport; group_by=none|country|asn|country_asn
-//	op=scan                 -> {records, next_cursor}; limit/cursor paginate
-//
-// Filter parameters (all optional): experiment, country, asn, kind,
-// from_tick, to_tick (inclusive tick bounds).
-func (c *Controller) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
-		return
-	}
-	q := r.URL.Query()
-	f, ok := parseFilter(w, q)
-	if !ok {
-		return
-	}
-	switch op := q.Get("op"); op {
-	case "", "aggregate":
-		rep, err := c.AggregateResults(store.AggQuery{Filter: f, GroupBy: q.Get("group_by")})
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, rep)
-	case "scan":
-		limit, ok := parseLimit(w, q.Get("limit"))
-		if !ok {
-			return
-		}
-		recs, next, err := c.ScanResults(f, limit, q.Get("cursor"))
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if recs == nil {
-			recs = []store.Record{}
-		}
-		writeJSON(w, http.StatusOK, scanPage{Records: recs, NextCursor: next})
-	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown op %q (want aggregate or scan)", op))
-	}
-}
-
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-// MaxBodyBytes bounds every JSON request body; anything larger is
-// rejected with 413 before it can balloon controller memory.
-const MaxBodyBytes = 8 << 20 // 8 MiB
-
-// decodeBody decodes a bounded JSON request body into v, writing the
-// error response (413 for oversized bodies, 400 otherwise) itself.
-// Returns false when the handler should stop.
-func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			writeErr(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
-			return false
-		}
-		writeErr(w, http.StatusBadRequest, err)
-		return false
-	}
-	return true
-}
-
-func (c *Controller) handleRegister(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
+func (c *Controller) handleRegister(w http.ResponseWriter, r *http.Request, _ pathParams) {
 	var p ProbeInfo
 	if !decodeBody(w, r, &p) {
 		return
 	}
-	if err := c.RegisterProbe(p); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if err := c.registerProbeCtx(r.Context(), p); err != nil {
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"id": p.ID})
 }
 
-func (c *Controller) handleProbes(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
-		return
+func (c *Controller) handleProbes(w http.ResponseWriter, r *http.Request, _ pathParams) {
+	items := c.Probes()
+	if items == nil {
+		items = []ProbeInfo{}
 	}
-	writeJSON(w, http.StatusOK, c.Probes())
+	writeJSON(w, http.StatusOK, page{Items: items})
 }
 
-func (c *Controller) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
-		return
+func (c *Controller) handleProbeTasks(w http.ResponseWriter, r *http.Request, p pathParams) {
+	max := 32
+	if s := r.URL.Query().Get("max"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest,
+				fmt.Errorf("max must be a non-negative integer, got %q", s))
+			return
+		}
+		if n > 0 {
+			max = n
+		}
 	}
-	writeJSON(w, http.StatusOK, c.Health())
+	writeJSON(w, http.StatusOK, c.leaseTasksCtx(r.Context(), p["id"], max))
 }
 
-func (c *Controller) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+func (c *Controller) handleProbeResults(w http.ResponseWriter, r *http.Request, p pathParams) {
+	var rs []probes.Result
+	if !decodeBody(w, r, &rs) {
 		return
 	}
-	writeJSON(w, http.StatusOK, c.Stats())
+	accepted, err := c.submitResultsCtx(r.Context(), p["id"], rs)
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted, "received": len(rs)})
 }
 
-// handleProbeSub routes /api/v1/probes/{id}/(tasks|results|heartbeat).
-func (c *Controller) handleProbeSub(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/probes/")
-	parts := strings.Split(rest, "/")
-	if len(parts) != 2 || parts[0] == "" {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("not found"))
+func (c *Controller) handleProbeHeartbeat(w http.ResponseWriter, r *http.Request, p pathParams) {
+	if err := c.heartbeatCtx(r.Context(), p["id"]); err != nil {
+		writeAPIError(w, http.StatusNotFound, ErrCodeNotFound, err)
 		return
 	}
-	id, action := parts[0], parts[1]
-	switch action {
-	case "tasks":
-		if r.Method != http.MethodGet {
-			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
-			return
-		}
-		max := 32
-		if s := r.URL.Query().Get("max"); s != "" {
-			n, err := strconv.Atoi(s)
-			if err != nil || n < 0 {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("max must be a non-negative integer, got %q", s))
-				return
-			}
-			if n > 0 {
-				max = n
-			}
-		}
-		writeJSON(w, http.StatusOK, c.LeaseTasks(id, max))
-	case "results":
-		if r.Method != http.MethodPost {
-			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-			return
-		}
-		var rs []probes.Result
-		if !decodeBody(w, r, &rs) {
-			return
-		}
-		accepted, err := c.SubmitResults(id, rs)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]int{"accepted": accepted, "received": len(rs)})
-	case "heartbeat":
-		if r.Method != http.MethodPost {
-			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-			return
-		}
-		if err := c.Heartbeat(id); err != nil {
-			writeErr(w, http.StatusNotFound, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	default:
-		writeErr(w, http.StatusNotFound, fmt.Errorf("not found"))
-	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // submitRequest is the experiment submission body. RequestID, when set,
@@ -350,79 +213,119 @@ type submitRequest struct {
 	Assignments []probes.Assignment `json:"assignments"`
 }
 
-func (c *Controller) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
+func (c *Controller) handleSubmit(w http.ResponseWriter, r *http.Request, _ pathParams) {
 	var req submitRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	exp, err := c.SubmitExperimentIdem(req.RequestID, req.Owner, req.Description, req.Assignments)
+	exp, err := c.submitExperimentIdemCtx(r.Context(), req.RequestID, req.Owner, req.Description, req.Assignments)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, exp)
 }
 
-// handleExperimentSub routes /api/v1/experiments/{id}[/approve|/results].
-func (c *Controller) handleExperimentSub(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/experiments/")
-	parts := strings.Split(rest, "/")
-	id := parts[0]
-	if id == "" {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("experiment id required"))
+func (c *Controller) handleExperimentGet(w http.ResponseWriter, r *http.Request, p pathParams) {
+	exp, ok := c.Experiment(p["id"])
+	if !ok {
+		writeAPIError(w, http.StatusNotFound, ErrCodeNotFound,
+			fmt.Errorf("unknown experiment %s", p["id"]))
 		return
 	}
-	switch {
-	case len(parts) == 1:
-		if r.Method != http.MethodGet {
-			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+	writeJSON(w, http.StatusOK, exp)
+}
+
+func (c *Controller) handleExperimentApprove(w http.ResponseWriter, r *http.Request, p pathParams) {
+	if err := c.approveCtx(r.Context(), p["id"]); err != nil {
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": string(StatusApproved)})
+}
+
+func (c *Controller) handleExperimentResults(w http.ResponseWriter, r *http.Request, p pathParams) {
+	q := r.URL.Query()
+	limit, ok := parseLimit(w, q.Get("limit"))
+	if !ok {
+		return
+	}
+	rs, next, err := c.ResultsPage(p["id"], limit, q.Get("cursor"))
+	if err != nil {
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
+		return
+	}
+	if rs == nil {
+		rs = []probes.Result{}
+	}
+	writeJSON(w, http.StatusOK, page{Items: rs, NextCursor: next})
+}
+
+// handleQuery serves GET /api/v1/query: filtered scans and time-window
+// aggregations over the results store.
+func (c *Controller) handleQuery(w http.ResponseWriter, r *http.Request, _ pathParams) {
+	q := r.URL.Query()
+	f, ok := parseFilter(w, q)
+	if !ok {
+		return
+	}
+	switch op := q.Get("op"); op {
+	case "", "aggregate":
+		rep, err := c.AggregateResults(store.AggQuery{Filter: f, GroupBy: q.Get("group_by")})
+		if err != nil {
+			writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 			return
 		}
-		exp, ok := c.Experiment(id)
-		if !ok {
-			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown experiment %s", id))
-			return
-		}
-		writeJSON(w, http.StatusOK, exp)
-	case len(parts) == 2 && parts[1] == "approve":
-		if r.Method != http.MethodPost {
-			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-			return
-		}
-		if err := c.Approve(id); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": string(StatusApproved)})
-	case len(parts) == 2 && parts[1] == "results":
-		if r.Method != http.MethodGet {
-			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
-			return
-		}
-		q := r.URL.Query()
-		if q.Get("limit") == "" && q.Get("cursor") == "" {
-			// Legacy shape: the whole result set as a bare array.
-			writeJSON(w, http.StatusOK, c.Results(id))
-			return
-		}
+		writeJSON(w, http.StatusOK, rep)
+	case "scan":
 		limit, ok := parseLimit(w, q.Get("limit"))
 		if !ok {
 			return
 		}
-		rs, next, err := c.ResultsPage(id, limit, q.Get("cursor"))
+		recs, next, err := c.ScanResults(f, limit, q.Get("cursor"))
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 			return
 		}
-		if rs == nil {
-			rs = []probes.Result{}
+		if recs == nil {
+			recs = []store.Record{}
 		}
-		writeJSON(w, http.StatusOK, resultsPage{Results: rs, NextCursor: next})
+		writeJSON(w, http.StatusOK, page{Items: recs, NextCursor: next})
 	default:
-		writeErr(w, http.StatusNotFound, fmt.Errorf("not found"))
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest,
+			fmt.Errorf("unknown op %q (want aggregate or scan)", op))
 	}
+}
+
+func (c *Controller) handleHealth(w http.ResponseWriter, r *http.Request, _ pathParams) {
+	writeJSON(w, http.StatusOK, c.Health())
+}
+
+func (c *Controller) handleStats(w http.ResponseWriter, r *http.Request, _ pathParams) {
+	writeJSON(w, http.StatusOK, c.Stats())
+}
+
+// handleDebugTraces serves the slowest recent request traces from the
+// controller's trace ring.
+func (c *Controller) handleDebugTraces(w http.ResponseWriter, r *http.Request, _ pathParams) {
+	n := 10
+	if s := r.URL.Query().Get("slowest"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest,
+				fmt.Errorf("slowest must be a non-negative integer, got %q", s))
+			return
+		}
+		n = v
+	}
+	views := c.ring.Slowest(n)
+	writeJSON(w, http.StatusOK, page{Items: views})
+}
+
+// handleMetrics serves the Prometheus text exposition. It writes text
+// (not JSON) with an implicit 200; it is the one non-envelope response
+// in the API.
+func (c *Controller) handleMetrics(w http.ResponseWriter, r *http.Request, _ pathParams) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = c.reg.WritePrometheus(w)
 }

@@ -1,0 +1,76 @@
+package core
+
+// observability.go wires internal/obs into the control plane: the
+// metric registry behind GET /metrics, the trace ring behind
+// GET /api/v1/debug/traces, and the span plumbing that lets a request
+// trace descend from the HTTP handler through the mutator into the
+// journal append/fsync and the results-store append. The controller's
+// own packages never read the wall clock (scripts/check.sh enforces
+// it); every timing measurement here goes through obs.Timer / obs.Span.
+
+import (
+	"github.com/afrinet/observatory/internal/obs"
+)
+
+// Metric families exposed on /metrics. Histogram buckets are log-scaled
+// seconds (1µs .. ~67s, then +Inf).
+const (
+	// MetricHTTP has one series per route (label route=<route name>).
+	MetricHTTP = "obs_http_request_seconds"
+	// MetricMutator has one series per journaled mutator kind
+	// (label op=<journal op>), covering append+apply+snapshot.
+	MetricMutator = "obs_mutator_seconds"
+	// MetricJournal times the journal sub-steps
+	// (op=append|fsync|snapshot).
+	MetricJournal = "obs_journal_seconds"
+	// MetricStore times results-store operations
+	// (op=ingest|flush|compact|scan|aggregate); see internal/store.
+	MetricStore = "obs_store_seconds"
+)
+
+// initObs builds the controller's registry, trace ring, and cached
+// histogram pointers. Called once from NewController before any store
+// or journal is attached.
+func (c *Controller) initObs() {
+	c.reg = obs.NewRegistry()
+	c.ring = obs.NewTraceRing(DefaultTraceRing)
+	c.SlowRequest = DefaultSlowRequest
+	c.mutHist = make(map[string]*obs.Histogram)
+	for _, kind := range []string{
+		opRegister, opHeartbeat, opSubmit, opApprove, opReject, opLease, opResults, opTick,
+	} {
+		c.mutHist[kind] = c.reg.Hist(MetricMutator, "op", kind)
+	}
+	c.hAppend = c.reg.Hist(MetricJournal, "op", "append")
+	c.hFsync = c.reg.Hist(MetricJournal, "op", "fsync")
+	c.hSnapshot = c.reg.Hist(MetricJournal, "op", "snapshot")
+	c.reg.AddCounters("obs_pipeline_events_total", func() map[string]int64 {
+		return c.stats.Snapshot()
+	})
+	c.reg.AddCounters("obs_durability_events_total", func() map[string]int64 {
+		return c.dur.Snapshot()
+	})
+	c.reg.AddCounters("obs_store_events_total", func() map[string]int64 {
+		c.mu.Lock()
+		st := c.store
+		c.mu.Unlock()
+		return st.Counters()
+	})
+}
+
+// setSpanLocked installs the active request span (nil when untraced)
+// and returns the restore function; callers defer it so nested
+// mutations on the same goroutine unwind correctly. Guarded by c.mu
+// like every other span access.
+func (c *Controller) setSpanLocked(s *obs.Span) func() {
+	prev := c.span
+	c.span = s
+	return func() { c.span = prev }
+}
+
+// Observability exposes the controller's metric registry (cmd/obsd
+// mounts it on the debug listener; tests inspect snapshots).
+func (c *Controller) Observability() *obs.Registry { return c.reg }
+
+// Traces exposes the controller's trace ring.
+func (c *Controller) Traces() *obs.TraceRing { return c.ring }

@@ -1,0 +1,333 @@
+package core
+
+// routes.go is the v1 API surface: a declarative, method-aware route
+// table that replaces the per-handler method checks and manual path
+// splitting earlier revisions accumulated. The router is the one place
+// that enforces methods (405 + Allow), applies the request body cap
+// (413), assigns request ids, and tags each request with the route name
+// used by latency histograms and traces. The same table self-describes
+// the API: API.md is generated from it (cmd/apidoc), and the
+// conformance test walks it.
+
+import (
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/afrinet/observatory/internal/obs"
+)
+
+// pathParams are the captured {name} segments of a matched route.
+type pathParams map[string]string
+
+// paramDoc documents one path or query parameter for API.md.
+type paramDoc struct {
+	Name string
+	Doc  string
+}
+
+// routeDef is one endpoint: routing metadata, self-description for the
+// generated API reference, and the handler.
+type routeDef struct {
+	Name     string // histogram/trace tag, e.g. "probe_tasks"
+	Method   string
+	Pattern  string // "/api/v1/probes/{id}/tasks"
+	Summary  string
+	Query    []paramDoc // query parameters
+	Request  string     // request body schema, "" = none
+	Response string     // response body schema
+	Errors   []string   // error codes beyond the universal ones
+	handle   func(*Controller, http.ResponseWriter, *http.Request, pathParams)
+}
+
+// page is the uniform list-response shape of the v1 API: every list
+// endpoint returns {"items": [...], "next_cursor": "..."} (next_cursor
+// omitted on the last page). The legacy bare-array shape is gone from
+// the server; the client still accepts it for one release when talking
+// to older controllers.
+type page struct {
+	Items      interface{} `json:"items"`
+	NextCursor string      `json:"next_cursor,omitempty"`
+}
+
+// apiRoutes is the v1 route table. Order is the order API.md documents
+// them in.
+var apiRoutes = []routeDef{
+	{
+		Name: "probe_register", Method: http.MethodPost, Pattern: "/api/v1/probes/register",
+		Summary:  "Register (or update) a vantage point. Registration counts as probe contact.",
+		Request:  "ProbeInfo {id, asn, country, has_wired, kind}",
+		Response: `{"id": "<probe id>"}`,
+		Errors:   []string{ErrCodeBadRequest, ErrCodeBodyTooLarge},
+		handle:   (*Controller).handleRegister,
+	},
+	{
+		Name: "probes_list", Method: http.MethodGet, Pattern: "/api/v1/probes",
+		Summary:  "List registered probes sorted by id.",
+		Response: "page of ProbeInfo",
+		handle:   (*Controller).handleProbes,
+	},
+	{
+		Name: "probe_tasks", Method: http.MethodGet, Pattern: "/api/v1/probes/{id}/tasks",
+		Summary: "Lease up to max queued tasks for the probe under the at-least-once lease protocol.",
+		Query: []paramDoc{
+			{Name: "max", Doc: "lease size cap; positive integer, 0 or omitted means the server default of 32"},
+		},
+		Response: "[]Task (bare array: the lease protocol payload, not a paginated list)",
+		Errors:   []string{ErrCodeBadRequest, ErrCodeUnavailable},
+		handle:   (*Controller).handleProbeTasks,
+	},
+	{
+		Name: "probe_results", Method: http.MethodPost, Pattern: "/api/v1/probes/{id}/results",
+		Summary:  "Upload a result batch. Idempotent: duplicates are deduplicated by (experiment, task).",
+		Request:  "[]Result",
+		Response: `{"accepted": n, "received": m}`,
+		Errors:   []string{ErrCodeBadRequest, ErrCodeBodyTooLarge},
+		handle:   (*Controller).handleProbeResults,
+	},
+	{
+		Name: "probe_heartbeat", Method: http.MethodPost, Pattern: "/api/v1/probes/{id}/heartbeat",
+		Summary:  "Record liveness contact from a probe with no lease or result traffic to piggyback on.",
+		Response: `{"status": "ok"}`,
+		Errors:   []string{ErrCodeNotFound},
+		handle:   (*Controller).handleProbeHeartbeat,
+	},
+	{
+		Name: "experiment_submit", Method: http.MethodPost, Pattern: "/api/v1/experiments",
+		Summary:  "Submit an experiment for vetting. Idempotent per request_id; trusted owners are auto-approved.",
+		Request:  `{"request_id"?, "owner", "description", "assignments": [Assignment]}`,
+		Response: "Experiment",
+		Errors:   []string{ErrCodeBadRequest, ErrCodeBodyTooLarge},
+		handle:   (*Controller).handleSubmit,
+	},
+	{
+		Name: "experiment_get", Method: http.MethodGet, Pattern: "/api/v1/experiments/{id}",
+		Summary:  "Fetch one experiment's vetting status and assignments.",
+		Response: "Experiment",
+		Errors:   []string{ErrCodeNotFound},
+		handle:   (*Controller).handleExperimentGet,
+	},
+	{
+		Name: "experiment_approve", Method: http.MethodPost, Pattern: "/api/v1/experiments/{id}/approve",
+		Summary:  "Approve a pending experiment and schedule its tasks. Idempotent.",
+		Response: `{"status": "approved"}`,
+		Errors:   []string{ErrCodeBadRequest},
+		handle:   (*Controller).handleExperimentApprove,
+	},
+	{
+		Name: "experiment_results", Method: http.MethodGet, Pattern: "/api/v1/experiments/{id}/results",
+		Summary: "Page through one experiment's collected results.",
+		Query: []paramDoc{
+			{Name: "limit", Doc: "page size; 0 or omitted returns everything"},
+			{Name: "cursor", Doc: "opaque position from the previous page's next_cursor"},
+		},
+		Response: "page of Result",
+		Errors:   []string{ErrCodeBadRequest},
+		handle:   (*Controller).handleExperimentResults,
+	},
+	{
+		Name: "query", Method: http.MethodGet, Pattern: "/api/v1/query",
+		Summary: "Query the results store: filtered scans and time-window aggregations.",
+		Query: []paramDoc{
+			{Name: "op", Doc: "aggregate (default) or scan"},
+			{Name: "experiment / country / asn / kind / from_tick / to_tick", Doc: "record filters; tick bounds inclusive"},
+			{Name: "group_by", Doc: "aggregate only: none, country, asn, country_asn"},
+			{Name: "limit / cursor", Doc: "scan only: pagination"},
+		},
+		Response: "op=aggregate: AggReport; op=scan: page of Record",
+		Errors:   []string{ErrCodeBadRequest},
+		handle:   (*Controller).handleQuery,
+	},
+	{
+		Name: "health", Method: http.MethodGet, Pattern: "/api/v1/health",
+		Summary:  "Fleet-health summary: probe liveness counts, queue and lease depth.",
+		Response: "HealthReport",
+		handle:   (*Controller).handleHealth,
+	},
+	{
+		Name: "stats", Method: http.MethodGet, Pattern: "/api/v1/stats",
+		Summary:  "Pipeline, durability, and store counters plus per-probe status.",
+		Response: "StatsReport",
+		handle:   (*Controller).handleStats,
+	},
+	{
+		Name: "debug_traces", Method: http.MethodGet, Pattern: "/api/v1/debug/traces",
+		Summary: "The slowest recent requests as span trees (handler → mutator → journal fsync / store append).",
+		Query: []paramDoc{
+			{Name: "slowest", Doc: "how many traces to return, default 10"},
+		},
+		Response: "page of TraceView",
+		Errors:   []string{ErrCodeBadRequest},
+		handle:   (*Controller).handleDebugTraces,
+	},
+	{
+		Name: "metrics", Method: http.MethodGet, Pattern: "/metrics",
+		Summary:  "Prometheus text exposition: route/mutator/store latency histograms and event counters, deterministically ordered.",
+		Response: "Prometheus text format 0.0.4",
+		handle:   (*Controller).handleMetrics,
+	},
+}
+
+// RouteInfo is the exported self-description of one route, consumed by
+// the API.md generator and the conformance test.
+type RouteInfo struct {
+	Name     string
+	Method   string
+	Pattern  string
+	Summary  string
+	Query    [][2]string // name, doc
+	Request  string
+	Response string
+	Errors   []string
+}
+
+// APIRoutes returns the self-description of the full v1 route table in
+// documentation order.
+func APIRoutes() []RouteInfo {
+	out := make([]RouteInfo, 0, len(apiRoutes))
+	for _, rt := range apiRoutes {
+		info := RouteInfo{
+			Name:     rt.Name,
+			Method:   rt.Method,
+			Pattern:  rt.Pattern,
+			Summary:  rt.Summary,
+			Request:  rt.Request,
+			Response: rt.Response,
+			Errors:   append([]string(nil), rt.Errors...),
+		}
+		for _, q := range rt.Query {
+			info.Query = append(info.Query, [2]string{q.Name, q.Doc})
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// compiledRoute is a table entry plus its pre-split pattern and the
+// pre-created latency histogram series.
+type compiledRoute struct {
+	def  routeDef
+	segs []string
+	hist *obs.Histogram
+}
+
+// router matches requests against the route table and wraps every
+// handler with the observability middleware: request ids, body caps,
+// per-route latency histograms, span traces, and slow-request logging.
+type router struct {
+	c      *Controller
+	routes []*compiledRoute
+	ring   *obs.TraceRing
+	slow   time.Duration
+}
+
+// DefaultSlowRequest is the threshold above which a request emits one
+// structured slow-request log line.
+const DefaultSlowRequest = 500 * time.Millisecond
+
+// DefaultTraceRing is how many finished request traces the controller
+// retains for /api/v1/debug/traces.
+const DefaultTraceRing = 256
+
+// Handler exposes the controller's v1 API (see API.md, generated from
+// this route table). Every response carries X-Request-ID; non-2xx
+// responses share the {"error": {code, message, request_id}} envelope;
+// list responses share the {items, next_cursor} page shape; request
+// bodies are bounded at MaxBodyBytes (413 beyond). Per-route latency
+// lands in the obs_http_request_seconds histogram (GET /metrics) and
+// every request leaves a span tree in the trace ring
+// (GET /api/v1/debug/traces).
+func (c *Controller) Handler() http.Handler {
+	rt := &router{c: c, ring: c.ring, slow: c.SlowRequest}
+	for i := range apiRoutes {
+		def := apiRoutes[i]
+		rt.routes = append(rt.routes, &compiledRoute{
+			def:  def,
+			segs: strings.Split(strings.TrimPrefix(def.Pattern, "/"), "/"),
+			hist: c.reg.Hist("obs_http_request_seconds", "route", def.Name),
+		})
+	}
+	return rt
+}
+
+// match finds the route for (method, path). When only the method
+// mismatches it returns the set of allowed methods for the 405.
+func (rt *router) match(method, path string) (*compiledRoute, pathParams, []string) {
+	// Only the leading slash is trimmed: a trailing slash is a real
+	// (empty) segment, so "/api/v1/experiments/" falls through to 404
+	// rather than matching the collection route.
+	segs := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	var allowed []string
+	for _, cr := range rt.routes {
+		params, ok := matchSegs(cr.segs, segs)
+		if !ok {
+			continue
+		}
+		if cr.def.Method == method {
+			return cr, params, nil
+		}
+		allowed = append(allowed, cr.def.Method)
+	}
+	sort.Strings(allowed)
+	return nil, nil, allowed
+}
+
+// matchSegs matches concrete path segments against a pattern; {name}
+// captures any non-empty segment.
+func matchSegs(pattern, segs []string) (pathParams, bool) {
+	if len(pattern) != len(segs) {
+		return nil, false
+	}
+	var params pathParams
+	for i, p := range pattern {
+		if strings.HasPrefix(p, "{") && strings.HasSuffix(p, "}") {
+			if segs[i] == "" {
+				return nil, false
+			}
+			if params == nil {
+				params = make(pathParams, 2)
+			}
+			params[p[1:len(p)-1]] = segs[i]
+			continue
+		}
+		if p != segs[i] {
+			return nil, false
+		}
+	}
+	return params, true
+}
+
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqID := ensureRequestID(w, r)
+	cr, params, allowed := rt.match(r.Method, r.URL.Path)
+	if cr == nil {
+		if len(allowed) > 0 {
+			w.Header().Set("Allow", strings.Join(allowed, ", "))
+			writeAPIError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed,
+				errMethod(allowed))
+			return
+		}
+		writeAPIError(w, http.StatusNotFound, ErrCodeNotFound, errNotFound)
+		return
+	}
+	if r.Method == http.MethodPost {
+		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	}
+	tr := obs.NewTrace(reqID, cr.def.Name, r.Method)
+	r = r.WithContext(obs.WithSpan(r.Context(), tr.Root()))
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+
+	cr.def.handle(rt.c, rec, r, params)
+
+	view, dur := tr.Finish(rec.status)
+	cr.hist.Observe(dur)
+	if rt.ring != nil {
+		rt.ring.Add(view)
+	}
+	if rt.slow > 0 && dur >= rt.slow {
+		log.Printf("obs: slow request route=%s method=%s status=%d dur=%s request_id=%s",
+			cr.def.Name, r.Method, rec.status, dur.Round(time.Microsecond), reqID)
+	}
+}

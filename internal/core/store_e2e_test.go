@@ -297,11 +297,11 @@ func TestOversizedBody413(t *testing.T) {
 		if resp.StatusCode != http.StatusRequestEntityTooLarge {
 			t.Fatalf("%s: status = %d, want 413", path, resp.StatusCode)
 		}
-		var body map[string]string
+		var body errorEnvelope
 		err = json.NewDecoder(resp.Body).Decode(&body)
 		resp.Body.Close()
-		if err != nil || body["error"] == "" {
-			t.Fatalf("%s: 413 without JSON error body (err=%v body=%v)", path, err, body)
+		if err != nil || body.Error.Code != ErrCodeBodyTooLarge || body.Error.Message == "" {
+			t.Fatalf("%s: 413 without envelope error body (err=%v body=%+v)", path, err, body)
 		}
 	}
 	// A reasonable body still works.

@@ -147,6 +147,13 @@ type Log struct {
 	f   *os.File
 	seq uint64 // last sequence number assigned (snapshot or record)
 
+	// WrapSync, when set, is invoked by Append in place of calling the
+	// file sync directly; the wrapper must call sync exactly once and
+	// return its error. The controller uses it to time and trace fsync
+	// latency without this package reading the clock. Like every other
+	// Log method it runs under the caller's serialization.
+	WrapSync func(sync func() error) error
+
 	// Recovery view, filled by Open:
 
 	// Snap is the latest durable snapshot, nil when none exists.
@@ -233,7 +240,13 @@ func (l *Log) Append(kind string, data any) (uint64, error) {
 	if _, err := l.f.Write(frame); err != nil {
 		return 0, fmt.Errorf("journal: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	sync := l.f.Sync
+	if l.WrapSync != nil {
+		err = l.WrapSync(sync)
+	} else {
+		err = sync()
+	}
+	if err != nil {
 		return 0, fmt.Errorf("journal: %w", err)
 	}
 	l.seq++

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram: log2-scaled
+// bounds from 1µs doubling up to ~33.5s, plus a final overflow bucket.
+const NumBuckets = 27
+
+// bucketBound returns the inclusive upper bound of bucket i in
+// nanoseconds; the last bucket is unbounded (+Inf).
+func bucketBound(i int) time.Duration {
+	return time.Microsecond << i
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// d <= 1µs<<i, clamped to the overflow bucket.
+func bucketIndex(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	q := (uint64(d) + 999) / 1000 // ceil µs
+	if q <= 1 {
+		return 0
+	}
+	i := bits.Len64(q - 1)
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// Histogram is a lock-free latency histogram: observations are three
+// atomic adds and one CAS loop, so it is safe on hot paths. The bucket
+// layout is fixed (log2 from 1µs); snapshots reconstruct percentiles
+// from the bucket counts.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64 // nanoseconds
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// BucketCount is one (upper bound, cumulative count) exposition pair.
+type BucketCount struct {
+	// Bound is the bucket's inclusive upper bound; the last bucket's
+	// bound is reported as 0 and means +Inf.
+	Bound time.Duration
+	// Count is cumulative: observations with d <= Bound.
+	Count uint64
+}
+
+// HistSnapshot is a point-in-time view of a histogram. Fields are read
+// with independent atomic loads, so a snapshot taken concurrently with
+// observations may be off by the in-flight ones — fine for telemetry.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Mean    time.Duration
+	P50     time.Duration
+	P90     time.Duration
+	P99     time.Duration
+	Max     time.Duration
+	Buckets []BucketCount
+}
+
+// Snapshot derives the summary view. Percentiles are upper bounds of
+// the bucket containing the rank (the true value is within 2x).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	s.Max = time.Duration(h.max.Load())
+	if s.Count > 0 {
+		s.Mean = s.Sum / time.Duration(s.Count)
+	}
+	var cum uint64
+	s.Buckets = make([]BucketCount, NumBuckets)
+	for i := 0; i < NumBuckets; i++ {
+		cum += h.buckets[i].Load()
+		b := BucketCount{Bound: bucketBound(i), Count: cum}
+		if i == NumBuckets-1 {
+			b.Bound = 0 // +Inf
+		}
+		s.Buckets[i] = b
+	}
+	total := cum
+	s.P50 = h.quantile(s, total, 50)
+	s.P90 = h.quantile(s, total, 90)
+	s.P99 = h.quantile(s, total, 99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket holding the p-th
+// percentile rank; the overflow bucket reports the observed max.
+func (h *Histogram) quantile(s HistSnapshot, total uint64, p int) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := (total*uint64(p) + 99) / 100 // ceil(total*p/100)
+	if rank == 0 {
+		rank = 1
+	}
+	for i, b := range s.Buckets {
+		if b.Count >= rank {
+			if i == NumBuckets-1 {
+				return s.Max
+			}
+			return b.Bound
+		}
+	}
+	return s.Max
+}

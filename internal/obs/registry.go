@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry collects named histogram series and counter sources for
+// exposition. Series are created once (get-or-create under a mutex) and
+// observed lock-free afterwards; callers cache the *Histogram pointer
+// on hot paths.
+type Registry struct {
+	mu       sync.Mutex
+	hists    map[string]*histSeries
+	counters []counterSource
+}
+
+// histSeries is one histogram plus its exposition identity: a metric
+// family name and rendered label pairs.
+type histSeries struct {
+	family string
+	labels string // rendered `k="v",...`, "" when unlabeled
+	h      *Histogram
+}
+
+// counterSource is a named group of monotonic counters pulled at
+// exposition time (the control plane's existing CounterSets plug in
+// here without copying).
+type counterSource struct {
+	family string
+	fn     func() map[string]int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{hists: make(map[string]*histSeries)}
+}
+
+// Hist returns the histogram for the given metric family and label
+// pairs ("k1", "v1", "k2", "v2", ...), creating it on first use. The
+// same (family, labels) always yields the same *Histogram.
+func (r *Registry) Hist(family string, labelPairs ...string) *Histogram {
+	labels := renderLabels(labelPairs)
+	key := family + "\x00" + labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.hists[key]; ok {
+		return s.h
+	}
+	s := &histSeries{family: family, labels: labels, h: &Histogram{}}
+	r.hists[key] = s
+	return s.h
+}
+
+// AddCounters registers a counter source exposed under the given
+// metric family with a `name` label per counter.
+func (r *Registry) AddCounters(family string, fn func() map[string]int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = append(r.counters, counterSource{family: family, fn: fn})
+}
+
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", pairs[i], pairs[i+1])
+	}
+	return b.String()
+}
+
+// series renders a metric line name: family{labels} or family{extra}
+// merged with the series labels.
+func seriesName(family, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return family
+	case labels == "":
+		return family + "{" + extra + "}"
+	case extra == "":
+		return family + "{" + labels + "}"
+	default:
+		return family + "{" + labels + "," + extra + "}"
+	}
+}
+
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// Snapshots returns every histogram series' snapshot keyed by its
+// rendered name (family{labels}), for logging and tests.
+func (r *Registry) Snapshots() map[string]HistSnapshot {
+	r.mu.Lock()
+	series := make([]*histSeries, 0, len(r.hists))
+	for _, s := range r.hists {
+		series = append(series, s)
+	}
+	r.mu.Unlock()
+	out := make(map[string]HistSnapshot, len(series))
+	for _, s := range series {
+		out[seriesName(s.family, s.labels, "")] = s.h.Snapshot()
+	}
+	return out
+}
+
+// WritePrometheus renders every registered histogram and counter in
+// Prometheus text format. Output ordering is deterministic: families
+// sorted by name, series sorted by label string, counters sorted by
+// counter name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	series := make([]*histSeries, 0, len(r.hists))
+	for _, s := range r.hists {
+		series = append(series, s)
+	}
+	counters := append([]counterSource(nil), r.counters...)
+	r.mu.Unlock()
+
+	sort.Slice(series, func(i, j int) bool {
+		if series[i].family != series[j].family {
+			return series[i].family < series[j].family
+		}
+		return series[i].labels < series[j].labels
+	})
+	lastFamily := ""
+	for _, s := range series {
+		if s.family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", s.family); err != nil {
+				return err
+			}
+			lastFamily = s.family
+		}
+		snap := s.h.Snapshot()
+		for _, b := range snap.Buckets {
+			le := "+Inf"
+			if b.Bound != 0 {
+				le = formatSeconds(b.Bound)
+			}
+			name := seriesName(s.family+"_bucket", s.labels, `le="`+le+`"`)
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(s.family+"_sum", s.labels, ""), formatSeconds(snap.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(s.family+"_count", s.labels, ""), snap.Count); err != nil {
+			return err
+		}
+	}
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].family < counters[j].family })
+	for _, c := range counters {
+		vals := c.fn()
+		names := make([]string, 0, len(vals))
+		for k := range vals {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", c.family); err != nil {
+			return err
+		}
+		for _, k := range names {
+			if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(c.family, `name=`+strconv.Quote(k), ""), vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 
+	"github.com/afrinet/observatory/internal/obs"
 	"github.com/afrinet/observatory/internal/par"
 	"github.com/afrinet/observatory/internal/topology"
 )
@@ -113,6 +114,8 @@ func (s *Store) collect(f Filter) ([]Record, error) {
 // restarts because they are sequence numbers, which all three preserve.
 // limit <= 0 returns everything.
 func (s *Store) ScanPage(f Filter, limit int, cursor string) ([]Record, string, error) {
+	t := obs.StartTimer()
+	defer func() { s.hScan.Observe(t.Elapsed()) }()
 	after, err := parseCursor(cursor)
 	if err != nil {
 		return nil, "", err
@@ -185,6 +188,8 @@ type AggReport struct {
 // aggregation itself is a serial fold in sequence order, so results are
 // independent of worker count.
 func (s *Store) Aggregate(q AggQuery) (AggReport, error) {
+	t := obs.StartTimer()
+	defer func() { s.hAggregate.Observe(t.Elapsed()) }()
 	switch q.GroupBy {
 	case "", GroupNone, GroupCountry, GroupASN, GroupCountryASN:
 	default:

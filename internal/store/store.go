@@ -45,6 +45,7 @@ import (
 	"sync"
 
 	"github.com/afrinet/observatory/internal/metrics"
+	"github.com/afrinet/observatory/internal/obs"
 	"github.com/afrinet/observatory/internal/probes"
 	"github.com/afrinet/observatory/internal/topology"
 )
@@ -81,6 +82,11 @@ type Options struct {
 	// grow (default 4 * FlushEvery). Adjacent segments are merged while
 	// their combined size stays within it.
 	TargetFrames int
+	// Obs is the metric registry the store records its operation
+	// latencies into (obs_store_seconds, op=ingest|flush|compact|scan|
+	// aggregate). Nil gets a private registry, so standalone stores pay
+	// the same instrumentation cost without needing a wiring step.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -107,13 +113,35 @@ type Store struct {
 	nextSegID uint64
 	ctr       *metrics.CounterSet
 	closed    bool
+
+	// Cached latency series from Options.Obs; observing is lock-free.
+	hIngest    *obs.Histogram
+	hFlush     *obs.Histogram
+	hCompact   *obs.Histogram
+	hScan      *obs.Histogram
+	hAggregate *obs.Histogram
+}
+
+// initObs caches the store's latency series from the registry (a
+// private one when the options carry none).
+func (s *Store) initObs(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.hIngest = reg.Hist("obs_store_seconds", "op", "ingest")
+	s.hFlush = reg.Hist("obs_store_seconds", "op", "flush")
+	s.hCompact = reg.Hist("obs_store_seconds", "op", "compact")
+	s.hScan = reg.Hist("obs_store_seconds", "op", "scan")
+	s.hAggregate = reg.Hist("obs_store_seconds", "op", "aggregate")
 }
 
 // NewMemory creates a store with no backing directory: segments live in
 // memory. Used by in-memory controllers and tests; the query and
 // compaction paths are identical to a disk store's.
 func NewMemory(opts Options) *Store {
-	return &Store{opts: opts.withDefaults(), ctr: metrics.NewCounterSet(), nextSeq: 1, nextSegID: 1}
+	s := &Store{opts: opts.withDefaults(), ctr: metrics.NewCounterSet(), nextSeq: 1, nextSegID: 1}
+	s.initObs(opts.Obs)
+	return s
 }
 
 // Open opens (creating if needed) a store directory, loads every sealed
@@ -128,6 +156,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{dir: dir, opts: opts.withDefaults(), ctr: metrics.NewCounterSet(), nextSeq: 1, nextSegID: 1}
+	s.initObs(opts.Obs)
 
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -209,6 +238,8 @@ func (s *Store) Append(recs ...Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
+	t := obs.StartTimer()
+	defer func() { s.hIngest.Observe(t.Elapsed()) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -240,6 +271,8 @@ func (s *Store) flushLocked() error {
 	if len(s.mem) == 0 {
 		return nil
 	}
+	t := obs.StartTimer()
+	defer func() { s.hFlush.Observe(t.Elapsed()) }()
 	recs := s.mem
 	meta := buildMeta(recs)
 	sg := &segment{id: s.nextSegID, meta: meta}
@@ -266,6 +299,8 @@ func (s *Store) flushLocked() error {
 // that are entirely expired are deleted without being read. now is the
 // controller's logical clock, so compaction stays deterministic.
 func (s *Store) Compact(now int64) error {
+	t := obs.StartTimer()
+	defer func() { s.hCompact.Observe(t.Elapsed()) }()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh — run the root benchmark suite and fold the results into
-# BENCH_PR4.json via cmd/benchjson (min ns/op across -count runs).
+# BENCH_PR5.json via cmd/benchjson (min ns/op across -count runs).
 #
 # Usage:
 #   scripts/bench.sh               # record the "after" section
@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 label="${1:-after}"
 count="${BENCH_COUNT:-3}"
 benchtime="${BENCH_TIME:-1x}"
-out="${BENCH_OUT:-BENCH_PR4.json}"
+out="${BENCH_OUT:-BENCH_PR5.json}"
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT

@@ -30,6 +30,16 @@ if git grep -n 'time\.Now()' -- internal/core internal/journal internal/store; t
     exit 1
 fi
 
+echo "== envelope lint =="
+# All of internal/core's response writing funnels through envelope.go
+# (writeJSON / writeAPIError), so every non-2xx body carries the uniform
+# {"error": {code, message, request_id}} envelope. A stray http.Error or
+# naked WriteHeader elsewhere in the package bypasses it.
+if git grep -n 'http\.Error(\|WriteHeader(' -- internal/core ':!internal/core/envelope.go'; then
+    echo "envelope lint: http.Error / WriteHeader are forbidden in internal/core outside envelope.go" >&2
+    exit 1
+fi
+
 echo "== go test -race =="
 go test -race -count=1 ./...
 
