@@ -1,6 +1,6 @@
 # Tier-1 verification: formatting, vet, build, and the full test suite
 # under the race detector. CI and pre-merge both run `make check`.
-.PHONY: check test build fmt fuzz bench
+.PHONY: check test build fmt fuzz bench chaos
 
 check:
 	./scripts/check.sh
@@ -26,3 +26,12 @@ bench:
 fuzz:
 	go test ./internal/journal -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime 30s
 	go test ./internal/store -run '^$$' -fuzz '^FuzzSegmentReplay$$' -fuzztime 30s
+
+# Long-timeline chaos drill under the race detector: link flaps,
+# partitions, probe power cycles, and two controller crash/recovers on
+# a seeded schedule. CHAOS_SEED / CHAOS_ROUNDS pick the timeline.
+CHAOS_SEED ?= 42
+CHAOS_ROUNDS ?= 120
+chaos:
+	OBS_CHAOS_SEED=$(CHAOS_SEED) OBS_CHAOS_ROUNDS=$(CHAOS_ROUNDS) \
+	go test -race -count=1 -v -run '^TestChaosScheduleEndToEnd$$' ./internal/core

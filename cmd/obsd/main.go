@@ -9,6 +9,7 @@
 //	     [-data-dir /var/lib/obsd] [-snapshot-every 1024]
 //	     [-store-dir DIR] [-retention N] [-compact-every N]
 //	     [-debug-addr 127.0.0.1:8601]
+//	     [-max-inflight N] [-route-rates query=2:8,...] [-retry-after 1]
 //
 // The controller's at-least-once task pipeline runs on a logical tick
 // clock: every -tick interval obsd advances it once, which expires
@@ -48,17 +49,51 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"github.com/afrinet/observatory/internal/core"
 )
+
+// parseRouteRates parses "route=perTick:burst[,...]" into rate limits.
+func parseRouteRates(spec string) (map[string]core.RateLimit, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]core.RateLimit)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("%q is not route=perTick:burst", part)
+		}
+		per, burst, ok := strings.Cut(val, ":")
+		if !ok {
+			return nil, fmt.Errorf("%q is not route=perTick:burst", part)
+		}
+		p, err := strconv.ParseFloat(per, 64)
+		if err != nil || p < 0 {
+			return nil, fmt.Errorf("bad perTick in %q", part)
+		}
+		b, err := strconv.ParseFloat(burst, 64)
+		if err != nil || b <= 0 {
+			return nil, fmt.Errorf("bad burst in %q", part)
+		}
+		out[strings.TrimSpace(name)] = core.RateLimit{PerTick: p, Burst: b}
+	}
+	return out, nil
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8600", "address to serve the control-plane API on")
@@ -73,6 +108,9 @@ func main() {
 	retention := flag.Int64("retention", 0, "drop stored results older than this many ticks at compaction (0 = keep forever)")
 	compactEvery := flag.Int64("compact-every", 256, "ticks between results-store compaction sweeps (0 = never)")
 	debugAddr := flag.String("debug-addr", "", "optional operator listener serving /debug/pprof/ and /metrics (empty = off)")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently-executing requests; low-priority routes shed at half this bound (0 = unbounded)")
+	routeRates := flag.String("route-rates", "", "admission control: per-route token buckets as route=perTick:burst[,route=perTick:burst...], e.g. query=2:8 (empty = no rate limits)")
+	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds suggested on shed (429) responses")
 	flag.Parse()
 
 	var cohort []string
@@ -122,6 +160,18 @@ func main() {
 		ctrl.LeaseTTL = *leaseTTL
 		ctrl.SuspectAfter = *suspectAfter
 		ctrl.DeadAfter = *deadAfter
+	}
+	if *maxInflight > 0 || *routeRates != "" {
+		rates, err := parseRouteRates(*routeRates)
+		if err != nil {
+			log.Fatalf("obsd: -route-rates: %v", err)
+		}
+		ctrl.ConfigureAdmission(core.AdmissionConfig{
+			MaxInFlight:       *maxInflight,
+			RouteRates:        rates,
+			RetryAfterSeconds: *retryAfter,
+		})
+		log.Printf("obsd: admission control on (max-inflight=%d route-rates=%q)", *maxInflight, *routeRates)
 	}
 	gate.Ready(ctrl.Handler())
 

@@ -7,30 +7,44 @@
 //
 //	obsprobe -controller http://127.0.0.1:8600 -id kgl-01 -asn 36924 \
 //	         [-seed 42] [-wired] [-budget 5.0] [-bundle-mb 20] [-poll 1]
+//	         [-spool-dir /var/lib/obsprobe] [-spool-max 4096]
+//	         [-breaker-threshold 0]
 //
 // Without -wired the probe is cellular-only and meters every task
 // against a prepaid bundle budget, failing tasks once the budget is
 // exhausted — the Section 7.1 cost-consciousness in practice.
 //
+// With -spool-dir every completed result is fsynced to a disk outbox
+// (internal/spool) before upload is attempted, so a probe killed by a
+// power cut restarts and delivers its backlog instead of re-running
+// the measurements; -spool-max bounds the backlog, evicting oldest
+// first. -breaker-threshold N trips a circuit breaker after N
+// consecutive transport failures so a dead uplink fails fast instead of
+// burning the retry budget (0 disables).
+//
 // On SIGINT/SIGTERM the probe shuts down gracefully: it finishes the
 // task batch it is executing, attempts one final upload of any results
 // that previous rounds failed to deliver, and exits. Anything still
-// undelivered is recovered by the controller's lease expiry, so a
-// killed probe never strands work.
+// undelivered waits in the spool for the next start (or, without
+// -spool-dir, is recovered by the controller's lease expiry) — a killed
+// probe never strands work.
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/afrinet/observatory/internal/core"
 	"github.com/afrinet/observatory/internal/obs"
 	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/spool"
 	"github.com/afrinet/observatory/internal/topology"
 
 	observatory "github.com/afrinet/observatory"
@@ -49,6 +63,9 @@ func main() {
 	outageProb := flag.Float64("outage-prob", 0.0, "hourly grid-power outage probability")
 	poll := flag.Duration("poll", time.Second, "task poll interval")
 	once := flag.Bool("once", false, "drain the queue once and exit")
+	spoolDir := flag.String("spool-dir", "", "durable result outbox directory (empty = hold results in memory only)")
+	spoolMax := flag.Int("spool-max", 0, "max undelivered results spooled before oldest are evicted (0 = default 4096, negative = unbounded)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive transport failures before the uplink circuit breaker trips (0 = disabled)")
 	flag.Parse()
 
 	if *id == "" || *asn == 0 {
@@ -78,6 +95,32 @@ func main() {
 	cl := core.NewClient(*controller)
 	reg := obs.NewRegistry()
 	cl.Obs = reg
+	cl.BreakerThreshold = *breakerThreshold
+
+	var sp *spool.Spool
+	if *spoolDir != "" {
+		var err error
+		sp, err = spool.Open(*spoolDir, spool.Options{MaxPending: *spoolMax})
+		if err != nil {
+			log.Fatalf("obsprobe: %v", err)
+		}
+		defer sp.Close()
+		if n := sp.Len(); n > 0 {
+			log.Printf("obsprobe %s: spool holds %d undelivered results from a previous run", *id, n)
+		}
+	}
+	// One counter family covers the probe's whole resilience story:
+	// spool depth/evictions plus breaker trips and Retry-After honors.
+	reg.AddCounters("obs_probe_resilience_total", func() map[string]int64 {
+		out := cl.ResilienceCounters()
+		if sp != nil {
+			for k, v := range sp.Counters() {
+				out[k] = v
+			}
+		}
+		return out
+	})
+
 	if err := cl.Register(core.ProbeInfo{
 		ID: *id, ASN: topology.ASN(*asn),
 		Country:  stack.Topology.ASes[topology.ASN(*asn)].Country,
@@ -90,11 +133,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	// pending holds results whose upload failed even after retries; they
-	// are flushed on later rounds and in one final attempt at shutdown.
-	// Late delivery is safe: the controller dedups by (experiment, task).
+	// Without a spool, pending holds results whose upload failed even
+	// after retries; they are flushed on later rounds and in one final
+	// attempt at shutdown. With -spool-dir the disk outbox plays this
+	// role durably and flush drains it instead. Late delivery is safe
+	// either way: the controller dedups by (experiment, task).
 	var pending []probes.Result
 	flush := func() {
+		if sp != nil {
+			if n, err := core.FlushSpool(cl, *id, sp, 64); err != nil {
+				log.Printf("obsprobe %s: flushing spool (%d still pending): %v", *id, sp.Len(), err)
+			} else if n > 0 {
+				log.Printf("obsprobe %s: delivered %d spooled results", *id, n)
+			}
+			return
+		}
 		if len(pending) == 0 {
 			return
 		}
@@ -107,11 +160,18 @@ func main() {
 	}
 
 	for {
-		// A signal mid-batch lets the batch finish: DrainOnce executes
+		// A signal mid-batch lets the batch finish: the drain executes
 		// and uploads synchronously, and we only check ctx between
 		// rounds.
-		n, leftover, err := core.DrainOnce(cl, agent)
-		pending = append(pending, leftover...)
+		var n int
+		var err error
+		if sp != nil {
+			n, err = core.DrainWithSpool(cl, agent, sp)
+		} else {
+			var leftover []probes.Result
+			n, leftover, err = core.DrainOnce(cl, agent)
+			pending = append(pending, leftover...)
+		}
 		if err != nil {
 			// Transient faults are retried inside the client; anything
 			// surfacing here abandons the round. The controller requeues
@@ -140,10 +200,14 @@ func main() {
 		case <-ctx.Done():
 			log.Printf("obsprobe %s: signal received, shutting down", *id)
 			flush() // one final delivery attempt for held results
-			if len(pending) > 0 {
+			if sp != nil && sp.Len() > 0 {
+				log.Printf("obsprobe %s: exiting with %d spooled results (delivered on next start)",
+					*id, sp.Len())
+			} else if len(pending) > 0 {
 				log.Printf("obsprobe %s: exiting with %d undelivered results (lease expiry will requeue them)",
 					*id, len(pending))
 			}
+			logResilience(*id, cl, sp)
 			logLatencies(*id, reg)
 			log.Printf("obsprobe %s: bye", *id)
 			return
@@ -151,7 +215,35 @@ func main() {
 		}
 	}
 	flush()
+	logResilience(*id, cl, sp)
 	logLatencies(*id, reg)
+}
+
+// logResilience prints the probe's non-zero resilience counters at
+// shutdown: spool depth and evictions, breaker trips, Retry-After
+// honors — the field-conditions ledger for this run.
+func logResilience(id string, cl *core.Client, sp *spool.Spool) {
+	vals := cl.ResilienceCounters()
+	if sp != nil {
+		for k, v := range sp.Counters() {
+			vals[k] = v
+		}
+	}
+	names := make([]string, 0, len(vals))
+	for name, v := range vals {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%d", name, vals[name])
+	}
+	log.Printf("obsprobe %s: resilience %s", id, strings.Join(parts, " "))
 }
 
 // logLatencies prints the probe's own view of controller latency at

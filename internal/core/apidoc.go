@@ -27,10 +27,12 @@ endpoint:
 - **Errors.** Every non-2xx response is the envelope
   ` + "`" + `{"error": {"code": "<machine_code>", "message": "...", "request_id": "..."}}` + "`" + `.
   Universal codes: ` + "`not_found`" + ` (no such route or resource),
-  ` + "`method_not_allowed`" + ` (405, with an ` + "`Allow`" + ` header), and
+  ` + "`method_not_allowed`" + ` (405, with an ` + "`Allow`" + ` header),
   ` + "`unavailable`" + ` (503 while the controller replays its journal after a
-  restart — retry after the ` + "`Retry-After`" + ` delay). Per-route codes are
-  listed below.
+  restart — retry after the ` + "`Retry-After`" + ` delay), and ` + "`rate_limited`" + `
+  (429 when admission control sheds the request under load, also with a
+  ` + "`Retry-After`" + ` delay; low-priority routes shed first). Per-route codes
+  are listed below.
 - **Pagination.** List responses are ` + "`" + `{"items": [...], "next_cursor": "..."}` + "`" + `;
   ` + "`next_cursor`" + ` is omitted on the last page and is otherwise passed back
   as ` + "`?cursor=`" + `. (Clients still accept the pre-v1 bare-array shape for
@@ -43,6 +45,7 @@ endpoint:
 		fmt.Fprintf(&b, "## %s %s\n\n", rt.Method, rt.Pattern)
 		fmt.Fprintf(&b, "%s\n\n", rt.Summary)
 		fmt.Fprintf(&b, "- Route name (metrics/traces tag): `%s`\n", rt.Name)
+		fmt.Fprintf(&b, "- Admission priority: %s\n", rt.Priority)
 		if rt.Request != "" {
 			fmt.Fprintf(&b, "- Request body: %s\n", rt.Request)
 		}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/afrinet/observatory/internal/metrics"
 	"github.com/afrinet/observatory/internal/obs"
 	"github.com/afrinet/observatory/internal/probes"
 	"github.com/afrinet/observatory/internal/store"
@@ -88,10 +89,31 @@ type Client struct {
 	// logs the snapshot at shutdown.
 	Obs *obs.Registry
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	reqSeq int
+	// BreakerThreshold enables the circuit breaker: after this many
+	// consecutive transport failures (connection errors — a received
+	// response of any status is proof the uplink works) the breaker
+	// opens and calls fail fast with ErrCircuitOpen instead of burning
+	// the cellular budget on a dead link. 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerProbeEvery lets every Nth call through a tripped breaker
+	// as a half-open probe (default 4); a probe that gets any response
+	// closes the breaker.
+	BreakerProbeEvery int
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	reqSeq   int
+	brkFails int  // consecutive transport failures
+	brkOpen  bool // breaker tripped
+	brkCalls int  // calls arriving while open (for half-open probes)
+	res      *metrics.CounterSet
 }
+
+// ErrCircuitOpen is returned (wrapped) when the circuit breaker is open
+// and the call was not selected as a half-open probe. The uplink is
+// considered down; callers should back off at their own cadence (the
+// probe's poll loop) rather than retry immediately.
+var ErrCircuitOpen = fmt.Errorf("core: circuit breaker open (uplink considered down)")
 
 // NewClient builds a client for the given controller base URL with the
 // default timeout and retry policy (jitter seed 1).
@@ -139,9 +161,89 @@ func (c *Client) sleep(d time.Duration) {
 	time.Sleep(d)
 }
 
+// counters returns the lazily-created resilience counter set.
+func (c *Client) counters() *metrics.CounterSet {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.res == nil {
+		c.res = metrics.NewCounterSet()
+	}
+	return c.res
+}
+
+// ResilienceCounters snapshots the client's resilience events:
+// breaker_open_total, breaker_fastfail, retry_after_honored.
+// cmd/obsprobe registers them (with the spool's) in its obs registry.
+func (c *Client) ResilienceCounters() map[string]int64 {
+	return c.counters().Snapshot()
+}
+
+// breakerAdmit decides whether a call may proceed. With the breaker
+// open, only every BreakerProbeEvery-th arrival passes as a half-open
+// probe; the rest fail fast.
+func (c *Client) breakerAdmit() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.BreakerThreshold <= 0 || !c.brkOpen {
+		return true
+	}
+	c.brkCalls++
+	every := c.BreakerProbeEvery
+	if every <= 0 {
+		every = 4
+	}
+	return c.brkCalls%every == 0
+}
+
+// breakerFail records a transport failure; enough in a row trip the
+// breaker.
+func (c *Client) breakerFail() {
+	if c.BreakerThreshold <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.brkFails++
+	trip := !c.brkOpen && c.brkFails >= c.BreakerThreshold
+	if trip {
+		c.brkOpen = true
+		c.brkCalls = 0
+	}
+	c.mu.Unlock()
+	if trip {
+		c.counters().Inc("breaker_open_total")
+	}
+}
+
+// breakerOK records a received response (any status): the uplink works,
+// so the breaker closes and the failure streak resets.
+func (c *Client) breakerOK() {
+	if c.BreakerThreshold <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.brkFails = 0
+	c.brkOpen = false
+	c.mu.Unlock()
+}
+
 // transientStatus reports whether a response status is worth retrying.
 func transientStatus(code int) bool {
 	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// retryAfter parses a Retry-After header as delay seconds, the form the
+// controller's admission layer and recovery gate emit. Absent or
+// unparseable headers (including the HTTP-date form) return (0, false).
+func retryAfter(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
 }
 
 // do issues one request per attempt, retrying transient failures when
@@ -154,15 +256,30 @@ func (c *Client) do(name, method, path string, body []byte, out interface{}, ret
 		t := obs.StartTimer()
 		defer func() { c.Obs.Hist("obs_client_seconds", "call", name).Observe(t.Elapsed()) }()
 	}
+	if !c.breakerAdmit() {
+		c.counters().Inc("breaker_fastfail")
+		return fmt.Errorf("core: %s %s: %w", method, path, ErrCircuitOpen)
+	}
 	reqID := mintRequestID()
 	attempts := c.MaxAttempts
 	if attempts <= 0 || !retryable {
 		attempts = 1
 	}
 	var lastErr error
+	var serverDelay time.Duration
+	var haveServerDelay bool
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			c.sleep(c.backoff(attempt - 1))
+			// The server's Retry-After beats the client's own jittered
+			// backoff: the controller knows when it will have capacity
+			// (or be recovered) better than our exponential guess.
+			if haveServerDelay {
+				c.counters().Inc("retry_after_honored")
+				c.sleep(serverDelay)
+				haveServerDelay = false
+			} else {
+				c.sleep(c.backoff(attempt - 1))
+			}
 		}
 		var rd io.Reader
 		if body != nil {
@@ -178,10 +295,13 @@ func (c *Client) do(name, method, path string, body []byte, out interface{}, ret
 		}
 		resp, err := c.HTTP.Do(req)
 		if err != nil {
+			c.breakerFail()
 			lastErr = err
 			continue
 		}
+		c.breakerOK()
 		if transientStatus(resp.StatusCode) {
+			serverDelay, haveServerDelay = retryAfter(resp.Header)
 			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
 			lastErr = decodeAPIError(resp.StatusCode, b)
@@ -457,5 +577,83 @@ func DrainOnce(cl *Client, agent *probes.Agent) (int, []probes.Result, error) {
 			return total, results, err
 		}
 		total += len(tasks)
+	}
+}
+
+// ResultSpool is the durable-outbox contract DrainWithSpool and
+// FlushSpool need, implemented by internal/spool.Spool: results are
+// persisted (Append) before any upload is attempted, offered back
+// oldest-first (Peek), and durably retired once delivered (Ack).
+type ResultSpool interface {
+	probes.ResultSink
+	Peek(max int) ([]probes.Result, uint64)
+	Ack(upTo uint64) error
+	Len() int
+}
+
+// FlushSpool uploads the spool's undelivered backlog in batches of up
+// to batch results (batch <= 0 means 64), durably acking each batch
+// only after the controller accepted it. It returns the number of
+// results delivered; on upload failure everything unacked simply stays
+// spooled for the next flush — even across a probe restart. A batch
+// that was delivered but whose response was lost is re-sent next
+// flush; the controller dedups by (experiment, task), so the cost is
+// bandwidth, never duplicated data.
+func FlushSpool(cl *Client, probeID string, sp ResultSpool, batch int) (int, error) {
+	if batch <= 0 {
+		batch = 64
+	}
+	total := 0
+	for {
+		rs, upTo := sp.Peek(batch)
+		if len(rs) == 0 {
+			return total, nil
+		}
+		if err := cl.SubmitResults(probeID, rs); err != nil {
+			return total, err
+		}
+		if err := sp.Ack(upTo); err != nil {
+			return total, err
+		}
+		total += len(rs)
+	}
+}
+
+// DrainWithSpool is DrainOnce with a durable outbox: leased tasks are
+// executed with every result persisted to the spool *before* upload is
+// attempted, then the whole backlog (including anything left over from
+// previous runs of this probe) is flushed. A probe killed at any point
+// — mid-execution, mid-upload, before upload — restarts, reopens its
+// spool, and delivers exactly what it had completed, without re-running
+// the measurements or waiting for lease expiry. Returns the number of
+// tasks executed this call.
+func DrainWithSpool(cl *Client, agent *probes.Agent, sp ResultSpool) (int, error) {
+	total := 0
+	for {
+		// Flush first so a backlog from a previous life is delivered
+		// even when the lease call fails (e.g. breaker open, link down
+		// at lease time but back by flush... or vice versa — either way
+		// nothing is lost, only deferred).
+		if _, err := FlushSpool(cl, agent.ID(), sp, 64); err != nil {
+			return total, err
+		}
+		tasks, err := cl.LeaseTasks(agent.ID(), 64)
+		if err != nil {
+			return total, err
+		}
+		if len(tasks) == 0 {
+			return total, nil
+		}
+		n, err := agent.RunTasks(tasks, sp)
+		total += n
+		if err != nil {
+			// ErrPowerOut or a spool write failure: whatever was sunk is
+			// safe on disk; flush it before reporting the fault.
+			_, ferr := FlushSpool(cl, agent.ID(), sp, 64)
+			if ferr != nil {
+				return total, fmt.Errorf("%v (and flushing spool: %w)", err, ferr)
+			}
+			return total, err
+		}
 	}
 }

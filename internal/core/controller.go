@@ -138,14 +138,16 @@ type HealthReport struct {
 // (journal_records_appended, snapshots_written, recovery_replayed,
 // recovery_truncated_tail, ...) and Store the results-store counters
 // (store_frames_appended, segments_flushed, segments_compacted,
-// frames_expired, queries_served, ...); both are scoped to the current
-// process run rather than journaled, so recovery equivalence is defined
-// over everything except these two fields.
+// frames_expired, queries_served, ...); Admission the load-shedding
+// counters (requests_shed and its breakdowns). All three are scoped to
+// the current process run rather than journaled, so recovery
+// equivalence is defined over everything except these fields.
 type StatsReport struct {
 	Tick              int64            `json:"tick"`
 	Counters          map[string]int64 `json:"counters"`
 	Durability        map[string]int64 `json:"durability,omitempty"`
 	Store             map[string]int64 `json:"store,omitempty"`
+	Admission         map[string]int64 `json:"admission,omitempty"`
 	Experiments       int              `json:"experiments"`
 	QueuedTasks       int              `json:"queued_tasks"`
 	OutstandingLeases int              `json:"outstanding_leases"`
@@ -200,6 +202,12 @@ type Controller struct {
 	hFsync    *obs.Histogram
 	hSnapshot *obs.Histogram
 
+	// adm is the admission-control layer (see admission.go): per-route
+	// token buckets plus the bounded in-flight gate, evaluated by the
+	// router before each handler. Run-scoped like dur and the store
+	// counters — never journaled, never part of recovery equivalence.
+	adm *admission
+
 	// store holds result payloads (internal/store). The WAL keeps only
 	// the dedup/lease bookkeeping for results; the payloads live here,
 	// so journal replay and snapshots stay small no matter how many
@@ -234,6 +242,7 @@ func NewController(trusted ...string) *Controller {
 		stats:        metrics.NewCounterSet(),
 		submitIDs:    make(map[string]string),
 		dur:          metrics.NewCounterSet(),
+		adm:          newAdmission(),
 		LeaseTTL:     3,
 		SuspectAfter: 2,
 		DeadAfter:    5,
@@ -339,11 +348,15 @@ func (c *Controller) Tick(n int) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	// An unjournaled tick must not advance the clock; the error is
 	// dropped (Tick has no error path) but counted in the durability
 	// counters by the append.
 	_ = c.mutateLocked(opTick, tickOp{N: n}, func() { c.applyTickLocked(n) })
+	c.mu.Unlock()
+	// Token buckets ride the logical clock but outside the journaled
+	// apply: admission is run-scoped, and replaying ticks at recovery
+	// must not grant tokens.
+	c.adm.refill(n)
 }
 
 func (c *Controller) applyTickLocked(n int) {
@@ -851,6 +864,9 @@ func (c *Controller) Stats() StatsReport {
 	}
 	if sc := c.store.Counters(); len(sc) > 0 {
 		rep.Store = sc
+	}
+	if ad := c.adm.snapshot(); len(ad) > 0 {
+		rep.Admission = ad
 	}
 	for _, q := range c.queues {
 		rep.QueuedTasks += len(q)

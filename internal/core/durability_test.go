@@ -28,6 +28,7 @@ func viewOf(c *Controller) ctrlView {
 	stats := c.Stats()
 	stats.Durability = nil
 	stats.Store = nil
+	stats.Admission = nil
 	return ctrlView{Stats: stats, Leases: c.Leases(), Queues: c.Queues()}
 }
 

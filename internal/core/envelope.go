@@ -22,6 +22,7 @@ const (
 	ErrCodeMethodNotAllowed = "method_not_allowed"
 	ErrCodeBodyTooLarge     = "body_too_large"
 	ErrCodeUnavailable      = "unavailable"
+	ErrCodeRateLimited      = "rate_limited"
 )
 
 // RequestIDHeader carries the request id: clients may send one (any

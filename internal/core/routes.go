@@ -13,6 +13,7 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,6 +40,10 @@ type routeDef struct {
 	Request  string     // request body schema, "" = none
 	Response string     // response body schema
 	Errors   []string   // error codes beyond the universal ones
+	// Priority classes the route for admission control: high-priority
+	// field traffic is shed last, low-priority analyst traffic first
+	// (see admission.go).
+	Priority RoutePriority
 	handle   func(*Controller, http.ResponseWriter, *http.Request, pathParams)
 }
 
@@ -61,12 +66,14 @@ var apiRoutes = []routeDef{
 		Request:  "ProbeInfo {id, asn, country, has_wired, kind}",
 		Response: `{"id": "<probe id>"}`,
 		Errors:   []string{ErrCodeBadRequest, ErrCodeBodyTooLarge},
+		Priority: PriorityHigh,
 		handle:   (*Controller).handleRegister,
 	},
 	{
 		Name: "probes_list", Method: http.MethodGet, Pattern: "/api/v1/probes",
 		Summary:  "List registered probes sorted by id.",
 		Response: "page of ProbeInfo",
+		Priority: PriorityLow,
 		handle:   (*Controller).handleProbes,
 	},
 	{
@@ -77,6 +84,7 @@ var apiRoutes = []routeDef{
 		},
 		Response: "[]Task (bare array: the lease protocol payload, not a paginated list)",
 		Errors:   []string{ErrCodeBadRequest, ErrCodeUnavailable},
+		Priority: PriorityHigh,
 		handle:   (*Controller).handleProbeTasks,
 	},
 	{
@@ -85,6 +93,7 @@ var apiRoutes = []routeDef{
 		Request:  "[]Result",
 		Response: `{"accepted": n, "received": m}`,
 		Errors:   []string{ErrCodeBadRequest, ErrCodeBodyTooLarge},
+		Priority: PriorityHigh,
 		handle:   (*Controller).handleProbeResults,
 	},
 	{
@@ -92,6 +101,7 @@ var apiRoutes = []routeDef{
 		Summary:  "Record liveness contact from a probe with no lease or result traffic to piggyback on.",
 		Response: `{"status": "ok"}`,
 		Errors:   []string{ErrCodeNotFound},
+		Priority: PriorityHigh,
 		handle:   (*Controller).handleProbeHeartbeat,
 	},
 	{
@@ -100,6 +110,7 @@ var apiRoutes = []routeDef{
 		Request:  `{"request_id"?, "owner", "description", "assignments": [Assignment]}`,
 		Response: "Experiment",
 		Errors:   []string{ErrCodeBadRequest, ErrCodeBodyTooLarge},
+		Priority: PriorityHigh,
 		handle:   (*Controller).handleSubmit,
 	},
 	{
@@ -107,6 +118,7 @@ var apiRoutes = []routeDef{
 		Summary:  "Fetch one experiment's vetting status and assignments.",
 		Response: "Experiment",
 		Errors:   []string{ErrCodeNotFound},
+		Priority: PriorityLow,
 		handle:   (*Controller).handleExperimentGet,
 	},
 	{
@@ -114,6 +126,7 @@ var apiRoutes = []routeDef{
 		Summary:  "Approve a pending experiment and schedule its tasks. Idempotent.",
 		Response: `{"status": "approved"}`,
 		Errors:   []string{ErrCodeBadRequest},
+		Priority: PriorityHigh,
 		handle:   (*Controller).handleExperimentApprove,
 	},
 	{
@@ -125,6 +138,7 @@ var apiRoutes = []routeDef{
 		},
 		Response: "page of Result",
 		Errors:   []string{ErrCodeBadRequest},
+		Priority: PriorityLow,
 		handle:   (*Controller).handleExperimentResults,
 	},
 	{
@@ -138,18 +152,21 @@ var apiRoutes = []routeDef{
 		},
 		Response: "op=aggregate: AggReport; op=scan: page of Record",
 		Errors:   []string{ErrCodeBadRequest},
+		Priority: PriorityLow,
 		handle:   (*Controller).handleQuery,
 	},
 	{
 		Name: "health", Method: http.MethodGet, Pattern: "/api/v1/health",
 		Summary:  "Fleet-health summary: probe liveness counts, queue and lease depth.",
 		Response: "HealthReport",
+		Priority: PriorityHigh,
 		handle:   (*Controller).handleHealth,
 	},
 	{
 		Name: "stats", Method: http.MethodGet, Pattern: "/api/v1/stats",
 		Summary:  "Pipeline, durability, and store counters plus per-probe status.",
 		Response: "StatsReport",
+		Priority: PriorityLow,
 		handle:   (*Controller).handleStats,
 	},
 	{
@@ -160,12 +177,14 @@ var apiRoutes = []routeDef{
 		},
 		Response: "page of TraceView",
 		Errors:   []string{ErrCodeBadRequest},
+		Priority: PriorityLow,
 		handle:   (*Controller).handleDebugTraces,
 	},
 	{
 		Name: "metrics", Method: http.MethodGet, Pattern: "/metrics",
 		Summary:  "Prometheus text exposition: route/mutator/store latency histograms and event counters, deterministically ordered.",
 		Response: "Prometheus text format 0.0.4",
+		Priority: PriorityHigh,
 		handle:   (*Controller).handleMetrics,
 	},
 }
@@ -181,6 +200,7 @@ type RouteInfo struct {
 	Request  string
 	Response string
 	Errors   []string
+	Priority string // admission class: "high" or "low"
 }
 
 // APIRoutes returns the self-description of the full v1 route table in
@@ -196,6 +216,7 @@ func APIRoutes() []RouteInfo {
 			Request:  rt.Request,
 			Response: rt.Response,
 			Errors:   append([]string(nil), rt.Errors...),
+			Priority: rt.Priority.String(),
 		}
 		for _, q := range rt.Query {
 			info.Query = append(info.Query, [2]string{q.Name, q.Doc})
@@ -312,6 +333,16 @@ func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, http.StatusNotFound, ErrCodeNotFound, errNotFound)
 		return
 	}
+	// Admission runs after the route is known (shedding is per-route and
+	// per-priority) but before any trace or body work is spent on a
+	// request the controller will refuse.
+	release, ok := rt.c.adm.admit(cr.def.Name, cr.def.Priority)
+	if !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(rt.c.adm.retryAfterSeconds()))
+		writeAPIError(w, http.StatusTooManyRequests, ErrCodeRateLimited, errRateLimited(cr.def.Name))
+		return
+	}
+	defer release()
 	if r.Method == http.MethodPost {
 		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
 	}

@@ -61,6 +61,10 @@ type Transport struct {
 	DelayProb float64
 	// Delay is the injected latency when a delay fault fires.
 	Delay time.Duration
+	// Sleep is the wait hook for injected delays (nil means
+	// time.Sleep); tests replace it so delay faults stop burning
+	// wall-clock time.
+	Sleep func(time.Duration)
 
 	mu          sync.Mutex
 	rng         *rand.Rand
@@ -135,7 +139,11 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	if plan.delay && t.Delay > 0 {
 		t.stats.Inc("delay")
-		time.Sleep(t.Delay)
+		if t.Sleep != nil {
+			t.Sleep(t.Delay)
+		} else {
+			time.Sleep(t.Delay)
+		}
 	}
 
 	// Buffer the body so the request can be replayed for duplication.

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func newServer(t *testing.T, hits *atomic.Int64) *httptest.Server {
@@ -132,6 +133,30 @@ func TestPartitionOverridesEverything(t *testing.T) {
 		t.Fatalf("server hits = %d", hits.Load())
 	}
 	if ft.Stats()["partitioned"] != 3 {
+		t.Fatalf("stats = %v", ft.Stats())
+	}
+}
+
+func TestDelayUsesSleepHook(t *testing.T) {
+	var hits atomic.Int64
+	srv := newServer(t, &hits)
+	defer srv.Close()
+	ft := New(1)
+	ft.DelayProb = 1
+	ft.Delay = time.Hour // would hang the test if really slept
+	var slept atomic.Int64
+	ft.Sleep = func(d time.Duration) { slept.Add(int64(d)) }
+	cl := &http.Client{Transport: ft}
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if slept.Load() != int64(time.Hour) {
+		t.Fatalf("Sleep hook saw %v, want 1h", time.Duration(slept.Load()))
+	}
+	if ft.Stats()["delay"] != 1 {
 		t.Fatalf("stats = %v", ft.Stats())
 	}
 }

@@ -1,0 +1,178 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// EventKind names one class of scheduled chaos.
+type EventKind string
+
+const (
+	// EventLinkFlap degrades one probe's uplink for a window: the
+	// harness raises that probe's drop probabilities while active.
+	EventLinkFlap EventKind = "link_flap"
+	// EventPartition fully cuts one probe off from the controller for a
+	// window (SetPartitioned on its transport).
+	EventPartition EventKind = "partition"
+	// EventProbeCycle power-cycles one probe at the event's start round:
+	// the harness kills the agent (closing its spool) and restarts it,
+	// which must resume the spooled backlog.
+	EventProbeCycle EventKind = "probe_cycle"
+	// EventControllerCrash hard-crashes the controller at the event's
+	// start round and recovers it from its journal.
+	EventControllerCrash EventKind = "controller_crash"
+)
+
+// Event is one scheduled fault: Kind applied to Target (a probe ID, or
+// "" for the controller) over rounds [Start, End). Point events
+// (probe_cycle, controller_crash) fire once at Start; window events
+// (link_flap, partition) hold for the whole interval.
+type Event struct {
+	Kind   EventKind `json:"kind"`
+	Target string    `json:"target,omitempty"`
+	Start  int       `json:"start"`
+	End    int       `json:"end"`
+}
+
+func (e Event) String() string {
+	t := e.Target
+	if t == "" {
+		t = "controller"
+	}
+	return fmt.Sprintf("%s(%s)@[%d,%d)", e.Kind, t, e.Start, e.End)
+}
+
+// Schedule is a deterministic chaos timeline: a set of events over a
+// fixed number of rounds. The chaos e2e harness steps round by round,
+// asking which events start or are active each round.
+type Schedule struct {
+	Rounds int
+	Events []Event
+}
+
+// ActiveAt returns the events of the given kind whose window covers
+// round, in generation order.
+func (s Schedule) ActiveAt(round int, kind EventKind) []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if e.Kind == kind && e.Start <= round && round < e.End {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// StartingAt returns the events of the given kind that begin exactly at
+// round — how point events (crashes, power cycles) are consumed.
+func (s Schedule) StartingAt(round int, kind EventKind) []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if e.Kind == kind && e.Start == round {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (s Schedule) String() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("schedule[%d rounds]: %s", s.Rounds, strings.Join(parts, " "))
+}
+
+// ScheduleConfig parameterizes GenerateSchedule.
+type ScheduleConfig struct {
+	// Rounds is the timeline length.
+	Rounds int
+	// Probes are the probe IDs chaos may target.
+	Probes []string
+	// FlapProb / PartitionProb / CycleProb are the per-probe, per-round
+	// chances of a link flap, partition, or power cycle starting.
+	FlapProb      float64
+	PartitionProb float64
+	CycleProb     float64
+	// MaxWindow bounds the length of flap/partition windows (default 3
+	// rounds).
+	MaxWindow int
+	// ControllerCrashes is exactly how many controller crash/recover
+	// events to place, spread over the middle of the timeline so a crash
+	// always lands mid-experiment rather than before work starts or
+	// after it ends.
+	ControllerCrashes int
+}
+
+// GenerateSchedule builds a seeded random chaos timeline: same seed and
+// config, same schedule. Events are emitted sorted by (Start, Kind,
+// Target) so the timeline reads chronologically and iteration order is
+// deterministic regardless of generation order.
+func GenerateSchedule(seed int64, cfg ScheduleConfig) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	maxWin := cfg.MaxWindow
+	if maxWin <= 0 {
+		maxWin = 3
+	}
+	var events []Event
+	for round := 0; round < cfg.Rounds; round++ {
+		for _, p := range cfg.Probes {
+			// Fixed draw order per (round, probe) keeps RNG consumption
+			// constant, so tweaking one probability does not reshuffle
+			// every other event.
+			flap := rng.Float64() < cfg.FlapProb
+			part := rng.Float64() < cfg.PartitionProb
+			cycle := rng.Float64() < cfg.CycleProb
+			flapWin := 1 + rng.Intn(maxWin)
+			partWin := 1 + rng.Intn(maxWin)
+			if flap {
+				events = append(events, Event{Kind: EventLinkFlap, Target: p, Start: round, End: min(round+flapWin, cfg.Rounds)})
+			}
+			if part {
+				events = append(events, Event{Kind: EventPartition, Target: p, Start: round, End: min(round+partWin, cfg.Rounds)})
+			}
+			if cycle {
+				events = append(events, Event{Kind: EventProbeCycle, Target: p, Start: round, End: round + 1})
+			}
+		}
+	}
+	// Controller crashes are placed, not drawn: a chaos run that asserts
+	// crash recovery needs the crash to actually happen. Spread them over
+	// the middle 60% of the timeline.
+	if cfg.ControllerCrashes > 0 && cfg.Rounds > 1 {
+		lo := cfg.Rounds / 5
+		hi := cfg.Rounds - cfg.Rounds/5
+		if hi <= lo {
+			lo, hi = 0, cfg.Rounds
+		}
+		used := map[int]bool{}
+		for i := 0; i < cfg.ControllerCrashes; i++ {
+			r := lo + rng.Intn(hi-lo)
+			for used[r] {
+				r = lo + rng.Intn(hi-lo)
+			}
+			used[r] = true
+			events = append(events, Event{Kind: EventControllerCrash, Start: r, End: r + 1})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Target < b.Target
+	})
+	return Schedule{Rounds: cfg.Rounds, Events: events}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

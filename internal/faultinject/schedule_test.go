@@ -1,0 +1,93 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+func chaosCfg() ScheduleConfig {
+	return ScheduleConfig{
+		Rounds:            20,
+		Probes:            []string{"p1", "p2", "p3"},
+		FlapProb:          0.15,
+		PartitionProb:     0.1,
+		CycleProb:         0.1,
+		ControllerCrashes: 1,
+	}
+}
+
+func TestGenerateScheduleDeterministic(t *testing.T) {
+	a := GenerateSchedule(7, chaosCfg())
+	b := GenerateSchedule(7, chaosCfg())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	c := GenerateSchedule(8, chaosCfg())
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateSchedulePlacesExactCrashes(t *testing.T) {
+	cfg := chaosCfg()
+	cfg.ControllerCrashes = 2
+	s := GenerateSchedule(3, cfg)
+	crashes := 0
+	for _, e := range s.Events {
+		if e.Kind != EventControllerCrash {
+			continue
+		}
+		crashes++
+		if e.Target != "" {
+			t.Fatalf("controller crash has probe target: %v", e)
+		}
+		// Crashes land mid-experiment: inside the middle 60%.
+		if e.Start < cfg.Rounds/5 || e.Start >= cfg.Rounds-cfg.Rounds/5 {
+			t.Fatalf("crash at round %d outside middle window", e.Start)
+		}
+	}
+	if crashes != 2 {
+		t.Fatalf("placed %d crashes, want exactly 2", crashes)
+	}
+}
+
+func TestScheduleWindowsAndBounds(t *testing.T) {
+	s := GenerateSchedule(11, chaosCfg())
+	if len(s.Events) == 0 {
+		t.Fatal("degenerate schedule: no events")
+	}
+	for i, e := range s.Events {
+		if e.Start < 0 || e.End > s.Rounds || e.Start >= e.End {
+			t.Fatalf("event %v out of bounds", e)
+		}
+		if e.Kind == EventProbeCycle && e.End != e.Start+1 {
+			t.Fatalf("point event with a window: %v", e)
+		}
+		if i > 0 && s.Events[i-1].Start > e.Start {
+			t.Fatalf("events not sorted by start: %v before %v", s.Events[i-1], e)
+		}
+	}
+}
+
+func TestActiveAtAndStartingAt(t *testing.T) {
+	s := Schedule{Rounds: 10, Events: []Event{
+		{Kind: EventPartition, Target: "p1", Start: 2, End: 5},
+		{Kind: EventLinkFlap, Target: "p2", Start: 3, End: 4},
+		{Kind: EventProbeCycle, Target: "p1", Start: 4, End: 5},
+	}}
+	if got := s.ActiveAt(2, EventPartition); len(got) != 1 || got[0].Target != "p1" {
+		t.Fatalf("ActiveAt(2, partition) = %v", got)
+	}
+	if got := s.ActiveAt(5, EventPartition); got != nil {
+		t.Fatalf("window end is exclusive, got %v", got)
+	}
+	if got := s.ActiveAt(3, EventLinkFlap); len(got) != 1 {
+		t.Fatalf("ActiveAt(3, flap) = %v", got)
+	}
+	if got := s.StartingAt(4, EventProbeCycle); len(got) != 1 || got[0].Target != "p1" {
+		t.Fatalf("StartingAt(4, cycle) = %v", got)
+	}
+	if got := s.StartingAt(3, EventProbeCycle); got != nil {
+		t.Fatalf("StartingAt(3, cycle) = %v, want none", got)
+	}
+}

@@ -181,6 +181,45 @@ func (a *Agent) Execute(t Task) (Result, error) {
 	return res, nil
 }
 
+// ResultSink receives each executed result before the next task runs.
+// The durable implementation is internal/spool, which persists results
+// to disk before any upload is attempted; tests use in-memory sinks.
+// (The interface lives here, not in spool, so the dependency points
+// outward: spool imports probes for Result, never the reverse.)
+type ResultSink interface {
+	Append(Result) error
+}
+
+// RunTasks executes tasks in order, handing each result to sink before
+// moving on, so a probe killed mid-batch loses at most the task it was
+// executing — never a completed-but-unpersisted result.
+//
+// A power outage aborts the run immediately with ErrPowerOut and sinks
+// nothing for the remaining tasks: an off probe runs nothing, and the
+// controller's lease expiry requeues the work. Budget exhaustion and
+// other task-level failures are field conditions, not aborts — the
+// failed result (Error set) is sunk like any other so the controller
+// learns the task was attempted. A sink failure stops the run: when the
+// durability layer cannot accept a result, executing more tasks would
+// strand their results.
+func (a *Agent) RunTasks(tasks []Task, sink ResultSink) (int, error) {
+	done := 0
+	for _, t := range tasks {
+		res, err := a.Execute(t)
+		if err == ErrPowerOut {
+			return done, ErrPowerOut
+		}
+		if err != nil && res.Error == "" {
+			res.Error = err.Error()
+		}
+		if err := sink.Append(res); err != nil {
+			return done, fmt.Errorf("probes: sinking result for task %s: %w", t.ID, err)
+		}
+		done++
+	}
+	return done, nil
+}
+
 func (a *Agent) findSite(domain, ctry string) (content.Site, bool) {
 	if ctry != "" {
 		for _, s := range a.web.Catalog().SitesFor(ctry) {

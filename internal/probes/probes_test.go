@@ -1,6 +1,7 @@
 package probes
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -274,6 +275,107 @@ func TestScheduleEligibility(t *testing.T) {
 	out := ScheduleBudgetAware([]*Agent{a1, a2}, tasks, 0, only2)
 	if len(out) != 1 || out[0].ProbeID != "a2" {
 		t.Fatalf("eligibility ignored: %+v", out)
+	}
+}
+
+// memSink collects sunk results; failAfter > 0 makes Append fail once
+// that many results have been accepted.
+type memSink struct {
+	results   []Result
+	failAfter int
+}
+
+func (m *memSink) Append(r Result) error {
+	if m.failAfter > 0 && len(m.results) >= m.failAfter {
+		return errSinkFull
+	}
+	m.results = append(m.results, r)
+	return nil
+}
+
+var errSinkFull = fmt.Errorf("sink full")
+
+func TestRunTasksSinksEveryResult(t *testing.T) {
+	a := newTestAgent("r1", true, nil)
+	target := testNet.RouterAddr(15169, 0).String()
+	tasks := []Task{
+		{ID: "1", Kind: TaskPing, Target: target},
+		{ID: "2", Kind: TaskTraceroute, Target: target},
+	}
+	sink := &memSink{}
+	n, err := a.RunTasks(tasks, sink)
+	if err != nil || n != 2 {
+		t.Fatalf("RunTasks = (%d, %v), want (2, nil)", n, err)
+	}
+	if len(sink.results) != 2 || sink.results[0].TaskID != "1" || sink.results[1].TaskID != "2" {
+		t.Fatalf("sunk results wrong: %+v", sink.results)
+	}
+}
+
+func TestRunTasksBudgetExhaustionRecordsFailures(t *testing.T) {
+	// One bundle only: after it is spent, ErrBudgetExhausted fires and
+	// every subsequent task must still be sunk as a failed result (the
+	// controller learns the task was attempted) rather than dropped.
+	b := NewBudget(PrepaidBundle{BundleMB: 1, BundlePrice: 1}, 1.0)
+	a := newTestAgent("r2", false, b)
+	target := testNet.RouterAddr(15169, 0).String()
+	var tasks []Task
+	for i := 0; i < 400; i++ {
+		tasks = append(tasks, Task{ID: fmt.Sprintf("t%d", i), Kind: TaskTraceroute, Target: target})
+	}
+	sink := &memSink{}
+	n, err := a.RunTasks(tasks, sink)
+	if err != nil {
+		t.Fatalf("budget exhaustion must not abort the run: %v", err)
+	}
+	if n != len(tasks) || len(sink.results) != len(tasks) {
+		t.Fatalf("ran %d, sunk %d, want %d both", n, len(sink.results), len(tasks))
+	}
+	exhausted := 0
+	for _, r := range sink.results {
+		if r.Error == ErrBudgetExhausted.Error() {
+			exhausted++
+		}
+	}
+	if exhausted == 0 {
+		t.Fatal("no task recorded as budget-exhausted")
+	}
+	if last := sink.results[len(sink.results)-1]; last.Error != ErrBudgetExhausted.Error() {
+		t.Fatalf("final task should have failed on budget, got %+v", last)
+	}
+}
+
+func TestRunTasksPowerOutageAbortsWithoutExecuting(t *testing.T) {
+	pm := NewPowerModel(1, 1.0) // always out
+	a := NewAgent(Config{ID: "r3", ASN: kigali, HasWired: true, Power: pm}, testNet, testDNS, testWeb)
+	sink := &memSink{}
+	n, err := a.RunTasks([]Task{
+		{ID: "1", Kind: TaskPing, Target: "1.2.3.4"},
+		{ID: "2", Kind: TaskPing, Target: "1.2.3.4"},
+	}, sink)
+	if err != ErrPowerOut {
+		t.Fatalf("err = %v, want ErrPowerOut", err)
+	}
+	if n != 0 || len(sink.results) != 0 {
+		t.Fatalf("an off probe executed work: n=%d sunk=%d", n, len(sink.results))
+	}
+}
+
+func TestRunTasksSinkFailureStopsRun(t *testing.T) {
+	a := newTestAgent("r4", true, nil)
+	target := testNet.RouterAddr(15169, 0).String()
+	tasks := []Task{
+		{ID: "1", Kind: TaskPing, Target: target},
+		{ID: "2", Kind: TaskPing, Target: target},
+		{ID: "3", Kind: TaskPing, Target: target},
+	}
+	sink := &memSink{failAfter: 1}
+	n, err := a.RunTasks(tasks, sink)
+	if err == nil {
+		t.Fatal("sink failure must surface")
+	}
+	if n != 1 {
+		t.Fatalf("executed %d past a dead sink, want 1", n)
 	}
 }
 

@@ -1,0 +1,390 @@
+// Package spool is the probe-side durability layer: a disk-backed
+// outbox that persists completed measurement results *before* an upload
+// is attempted, so a power cut between task completion and delivery
+// cannot strand the measurement. The paper's Section 7 deployment
+// reality — probes on intermittent grid power behind flaky, metered
+// cellular uplinks — makes this the difference between re-spending a
+// probe's data budget on re-work and delivering what was already paid
+// for.
+//
+// # On-disk layout
+//
+// A spool directory holds one live file, spool.log, in the same frame
+// format as the controller's write-ahead journal (internal/journal):
+//
+//	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload
+//
+// where the payload is a JSON journal.Record. Two record kinds appear:
+//
+//	result  one executed probes.Result awaiting delivery
+//	ack     {"upto": seq} — every result frame with Seq <= upto has
+//	        been delivered (or evicted) and is no longer pending
+//
+// Append syncs before returning, so an acknowledged Append survives a
+// power cut; a crash mid-append leaves a torn tail that Open truncates
+// back to the last good frame, exactly like the journal. Acks are also
+// synced: an acked result must never be re-delivered after a restart
+// only because the ack evaporated (re-delivery is harmless — the
+// controller dedups — but it burns the cellular budget).
+//
+// # Bounds
+//
+// The pending backlog is bounded (Options.MaxPending): when a probe is
+// cut off long enough to fill the spool, the oldest undelivered results
+// are evicted first (newest data is worth the most to a measurement
+// platform) and counted in spool_evicted. The log file itself is
+// compacted — pending frames rewritten via tmp+fsync+rename — once
+// enough delivered frames accumulate, so disk use tracks the backlog,
+// not the probe's lifetime upload volume.
+package spool
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/afrinet/observatory/internal/journal"
+	"github.com/afrinet/observatory/internal/metrics"
+	"github.com/afrinet/observatory/internal/probes"
+)
+
+const (
+	logName     = "spool.log"
+	logTempName = "spool.log.tmp"
+
+	kindResult = "result"
+	kindAck    = "ack"
+)
+
+// DefaultMaxPending bounds the undelivered backlog when Options leaves
+// MaxPending zero.
+const DefaultMaxPending = 4096
+
+// DefaultCompactAfter is how many delivered (acked) frames may sit in
+// the log before a compaction rewrites it down to the pending set.
+const DefaultCompactAfter = 1024
+
+// Options configures a spool.
+type Options struct {
+	// MaxPending bounds the undelivered backlog; beyond it the oldest
+	// pending results are evicted (and counted). 0 means
+	// DefaultMaxPending; negative means unbounded.
+	MaxPending int
+	// CompactAfter is how many consumed (acked or evicted) frames may
+	// accumulate in the log before it is rewritten to only the pending
+	// set. 0 means DefaultCompactAfter.
+	CompactAfter int
+}
+
+// ackBody is the payload of an ack frame.
+type ackBody struct {
+	UpTo uint64 `json:"upto"`
+}
+
+// entry is one pending result and the frame sequence that persisted it.
+type entry struct {
+	seq uint64
+	res probes.Result
+}
+
+// Spool is an open outbox directory. Safe for concurrent use, though a
+// probe normally drives it from one goroutine.
+type Spool struct {
+	mu   sync.Mutex
+	dir  string
+	f    *os.File
+	opts Options
+
+	seq      uint64  // last frame sequence assigned
+	pending  []entry // oldest-first undelivered results
+	consumed int     // acked/evicted frames still occupying the log
+	ctr      *metrics.CounterSet
+}
+
+// Open opens (creating if needed) a spool directory, replays the log to
+// rebuild the pending backlog, truncates any torn tail, and positions
+// the file for appending. A probe killed mid-run reopens its spool and
+// finds every result it persisted but never delivered.
+func Open(dir string, opts Options) (*Spool, error) {
+	if opts.MaxPending == 0 {
+		opts.MaxPending = DefaultMaxPending
+	}
+	if opts.CompactAfter <= 0 {
+		opts.CompactAfter = DefaultCompactAfter
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	s := &Spool{dir: dir, opts: opts, ctr: metrics.NewCounterSet()}
+
+	path := filepath.Join(dir, logName)
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	recs, good, torn := journal.ReadAll(bytes.NewReader(raw))
+	for _, rec := range recs {
+		s.seq = rec.Seq
+		switch rec.Kind {
+		case kindResult:
+			var r probes.Result
+			if err := json.Unmarshal(rec.Data, &r); err != nil {
+				// An undecodable result frame passed its CRC, so this is
+				// a format skew, not corruption; skip it rather than
+				// refusing the whole backlog.
+				s.consumed++
+				continue
+			}
+			s.pending = append(s.pending, entry{seq: rec.Seq, res: r})
+		case kindAck:
+			var ab ackBody
+			if err := json.Unmarshal(rec.Data, &ab); err != nil {
+				s.consumed++
+				continue
+			}
+			s.dropThroughLocked(ab.UpTo)
+			s.consumed++ // the ack frame itself is dead weight post-replay
+		default:
+			s.consumed++
+		}
+	}
+	s.ctr.Add("spool_replayed", int64(len(recs)))
+	if torn {
+		s.ctr.Inc("spool_truncated_tail")
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	if torn {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("spool: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// dropThroughLocked removes every pending entry with seq <= upTo,
+// moving them to the consumed count.
+func (s *Spool) dropThroughLocked(upTo uint64) int {
+	i := 0
+	for i < len(s.pending) && s.pending[i].seq <= upTo {
+		i++
+	}
+	if i == 0 {
+		return 0
+	}
+	s.pending = append(s.pending[:0], s.pending[i:]...)
+	s.consumed += i
+	return i
+}
+
+// writeFrameLocked encodes and writes one frame; the caller syncs.
+func (s *Spool) writeFrameLocked(kind string, data any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	frame, err := journal.EncodeFrame(journal.Record{Seq: s.seq + 1, Kind: kind, Data: raw})
+	if err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	s.seq++
+	return nil
+}
+
+// Append persists one executed result, syncing to stable storage before
+// returning — only after Append returns may the caller attempt (or
+// defer) the upload. When the backlog bound is exceeded the oldest
+// pending results are evicted in the same durable write.
+func (s *Spool) Append(r probes.Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("spool: closed")
+	}
+	if err := s.writeFrameLocked(kindResult, r); err != nil {
+		return err
+	}
+	s.pending = append(s.pending, entry{seq: s.seq, res: r})
+	s.ctr.Inc("spool_frames_appended")
+	for s.opts.MaxPending > 0 && len(s.pending) > s.opts.MaxPending {
+		oldest := s.pending[0].seq
+		if err := s.writeFrameLocked(kindAck, ackBody{UpTo: oldest}); err != nil {
+			return err
+		}
+		s.dropThroughLocked(oldest)
+		s.consumed++ // the eviction ack frame
+		s.ctr.Inc("spool_evicted")
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	return s.maybeCompactLocked()
+}
+
+// Peek returns up to max of the oldest undelivered results (all of them
+// when max <= 0) plus the sequence to pass to Ack once that batch is
+// delivered. An empty backlog returns (nil, 0).
+func (s *Spool) Peek(max int) ([]probes.Result, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) == 0 {
+		return nil, 0
+	}
+	n := len(s.pending)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]probes.Result, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.pending[i].res
+	}
+	return out, s.pending[n-1].seq
+}
+
+// Ack durably marks every result up to and including upTo as delivered;
+// they will not be offered again, even across a restart.
+func (s *Spool) Ack(upTo uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("spool: closed")
+	}
+	dropped := 0
+	for _, e := range s.pending {
+		if e.seq <= upTo {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return nil
+	}
+	if err := s.writeFrameLocked(kindAck, ackBody{UpTo: upTo}); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("spool: %w", err)
+	}
+	s.dropThroughLocked(upTo)
+	s.consumed++ // the ack frame
+	s.ctr.Add("spool_frames_acked", int64(dropped))
+	return s.maybeCompactLocked()
+}
+
+// maybeCompactLocked rewrites the log down to the pending set once
+// enough consumed frames have accumulated. The rewrite is crash-safe:
+// tmp + fsync + rename + dir fsync, with the old log valid until the
+// rename lands.
+func (s *Spool) maybeCompactLocked() error {
+	if s.consumed < s.opts.CompactAfter {
+		return nil
+	}
+	tmp := filepath.Join(s.dir, logTempName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("spool: compacting: %w", err)
+	}
+	for _, e := range s.pending {
+		raw, err := json.Marshal(e.res)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("spool: compacting: %w", err)
+		}
+		frame, err := journal.EncodeFrame(journal.Record{Seq: e.seq, Kind: kindResult, Data: raw})
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("spool: compacting: %w", err)
+		}
+		if _, err := f.Write(frame); err != nil {
+			f.Close()
+			return fmt.Errorf("spool: compacting: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("spool: compacting: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("spool: compacting: %w", err)
+	}
+	path := filepath.Join(s.dir, logName)
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("spool: compacting: %w", err)
+	}
+	syncDir(s.dir)
+	old := s.f
+	nf, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("spool: reopening after compaction: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return fmt.Errorf("spool: %w", err)
+	}
+	old.Close()
+	s.f = nf
+	s.consumed = 0
+	s.ctr.Inc("spool_compactions")
+	return nil
+}
+
+// Len reports the undelivered backlog size.
+func (s *Spool) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Dir returns the spool directory.
+func (s *Spool) Dir() string { return s.dir }
+
+// Counters snapshots the spool's event counters plus the current
+// backlog depth as spool_frames_pending, ready for an obs.Registry
+// counter source.
+func (s *Spool) Counters() map[string]int64 {
+	out := s.ctr.Snapshot()
+	s.mu.Lock()
+	out["spool_frames_pending"] = int64(len(s.pending))
+	s.mu.Unlock()
+	return out
+}
+
+// Close closes the spool file. Pending results stay on disk for the
+// next Open — Close is how a clean shutdown (or a simulated power cut
+// in tests) parks the backlog.
+func (s *Spool) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a rename survives power loss; errors
+// are ignored like the journal's equivalent.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

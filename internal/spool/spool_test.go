@@ -1,0 +1,250 @@
+package spool
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/afrinet/observatory/internal/probes"
+)
+
+func testResult(i int) probes.Result {
+	return probes.Result{
+		TaskID:     fmt.Sprintf("t%d", i+1),
+		Experiment: "exp-1",
+		ProbeID:    "kigali-1",
+		Kind:       probes.TaskPing,
+		OK:         true,
+		RTTms:      float64(10 + i),
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Spool {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestAppendPeekAck(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+
+	for i := 0; i < 5; i++ {
+		if err := s.Append(testResult(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if got := s.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+
+	batch, upTo := s.Peek(3)
+	if len(batch) != 3 {
+		t.Fatalf("Peek(3) returned %d results", len(batch))
+	}
+	for i, r := range batch {
+		if want := fmt.Sprintf("t%d", i+1); r.TaskID != want {
+			t.Fatalf("batch[%d].TaskID = %s, want %s (oldest-first order)", i, r.TaskID, want)
+		}
+	}
+	if err := s.Ack(upTo); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len after Ack = %d, want 2", got)
+	}
+
+	rest, upTo := s.Peek(0)
+	if len(rest) != 2 || rest[0].TaskID != "t4" || rest[1].TaskID != "t5" {
+		t.Fatalf("remaining batch wrong: %+v", rest)
+	}
+	if err := s.Ack(upTo); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len after draining = %d, want 0", got)
+	}
+	if batch, _ := s.Peek(0); batch != nil {
+		t.Fatalf("Peek on empty spool returned %+v", batch)
+	}
+}
+
+func TestBacklogSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 4; i++ {
+		if err := s.Append(testResult(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// Deliver the first two; the ack must be durable too.
+	_, upTo := s.Peek(2)
+	if err := s.Ack(upTo); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	// Simulated power cut: no graceful drain, just Close.
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if got := s2.Len(); got != 2 {
+		t.Fatalf("backlog after reopen = %d, want 2", got)
+	}
+	batch, _ := s2.Peek(0)
+	if batch[0].TaskID != "t3" || batch[1].TaskID != "t4" {
+		t.Fatalf("reopened backlog wrong: %+v", batch)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Append(testResult(0)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := s.Append(testResult(1)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	s.Close()
+
+	// A crash mid-append leaves a torn frame at the tail.
+	path := filepath.Join(dir, "spool.log")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open log: %v", err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x01, 0x02}); err != nil {
+		t.Fatalf("write torn bytes: %v", err)
+	}
+	f.Close()
+	tornSize := fileSize(t, path)
+
+	s2 := mustOpen(t, dir, Options{})
+	if got := s2.Len(); got != 2 {
+		t.Fatalf("backlog after torn reopen = %d, want 2", got)
+	}
+	if s2.Counters()["spool_truncated_tail"] != 1 {
+		t.Fatalf("spool_truncated_tail not counted: %v", s2.Counters())
+	}
+	if got := fileSize(t, path); got >= tornSize {
+		t.Fatalf("torn tail not truncated: size %d >= %d", got, tornSize)
+	}
+	// Appends after truncation extend a valid stream.
+	if err := s2.Append(testResult(2)); err != nil {
+		t.Fatalf("Append after truncation: %v", err)
+	}
+	s2.Close()
+
+	s3 := mustOpen(t, dir, Options{})
+	defer s3.Close()
+	if got := s3.Len(); got != 3 {
+		t.Fatalf("backlog after third open = %d, want 3", got)
+	}
+}
+
+func TestEvictionOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MaxPending: 3})
+	for i := 0; i < 5; i++ {
+		if err := s.Append(testResult(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want bound of 3", got)
+	}
+	batch, _ := s.Peek(0)
+	if batch[0].TaskID != "t3" || batch[1].TaskID != "t4" || batch[2].TaskID != "t5" {
+		t.Fatalf("eviction did not drop oldest first: %+v", batch)
+	}
+	if got := s.Counters()["spool_evicted"]; got != 2 {
+		t.Fatalf("spool_evicted = %d, want 2", got)
+	}
+	s.Close()
+
+	// Evictions are durable: the evicted results stay gone after reopen.
+	s2 := mustOpen(t, dir, Options{MaxPending: 3})
+	defer s2.Close()
+	batch, _ = s2.Peek(0)
+	if len(batch) != 3 || batch[0].TaskID != "t3" {
+		t.Fatalf("eviction not durable: %+v", batch)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{CompactAfter: 4})
+	for i := 0; i < 8; i++ {
+		if err := s.Append(testResult(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	sizeBefore := fileSize(t, filepath.Join(dir, "spool.log"))
+	// Ack 6 of 8: consumed crosses CompactAfter, triggering a rewrite
+	// down to the two pending frames.
+	_, upTo := s.Peek(6)
+	if err := s.Ack(upTo); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	if got := s.Counters()["spool_compactions"]; got != 1 {
+		t.Fatalf("spool_compactions = %d, want 1", got)
+	}
+	if got := fileSize(t, filepath.Join(dir, "spool.log")); got >= sizeBefore {
+		t.Fatalf("compaction did not shrink log: %d >= %d", got, sizeBefore)
+	}
+	// The compacted log still appends and replays correctly.
+	if err := s.Append(testResult(8)); err != nil {
+		t.Fatalf("Append after compaction: %v", err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	batch, _ := s2.Peek(0)
+	if len(batch) != 3 || batch[0].TaskID != "t7" || batch[2].TaskID != "t9" {
+		t.Fatalf("post-compaction replay wrong: %+v", batch)
+	}
+}
+
+func TestCountersPendingDepth(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if err := s.Append(testResult(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	c := s.Counters()
+	if c["spool_frames_pending"] != 3 {
+		t.Fatalf("spool_frames_pending = %d, want 3", c["spool_frames_pending"])
+	}
+	if c["spool_frames_appended"] != 3 {
+		t.Fatalf("spool_frames_appended = %d, want 3", c["spool_frames_appended"])
+	}
+}
+
+func TestClosedSpoolRejectsWrites(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	s.Close()
+	if err := s.Append(testResult(0)); err == nil {
+		t.Fatal("Append on closed spool succeeded")
+	}
+	if err := s.Ack(1); err == nil {
+		t.Fatal("Ack with pending on closed spool succeeded")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat %s: %v", path, err)
+	}
+	return fi.Size()
+}

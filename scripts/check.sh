@@ -21,12 +21,12 @@ echo "== go build =="
 go build ./...
 
 echo "== determinism lint =="
-# The controller, journal, and results store must be
+# The controller, journal, results store, and probe spool must be
 # replay-deterministic: wall-clock reads belong in main(), never in
 # these packages. Logical time comes in via Tick / journaled ops, and
 # the store's retention clock is the controller's tick counter.
-if git grep -n 'time\.Now()' -- internal/core internal/journal internal/store; then
-    echo "determinism lint: time.Now() is forbidden in internal/core, internal/journal, and internal/store" >&2
+if git grep -n 'time\.Now()' -- internal/core internal/journal internal/store internal/spool; then
+    echo "determinism lint: time.Now() is forbidden in internal/core, internal/journal, internal/store, and internal/spool" >&2
     exit 1
 fi
 
@@ -42,6 +42,14 @@ fi
 
 echo "== go test -race =="
 go test -race -count=1 ./...
+
+echo "== chaos smoke =="
+# The test suite above already ran the chaos drill at its default seed;
+# this runs a second, fixed timeline so every check exercises two
+# schedules. The harness is fully seeded — a failure here reproduces
+# with exactly this environment.
+OBS_CHAOS_SEED=1337 OBS_CHAOS_ROUNDS=48 \
+    go test -count=1 -run '^TestChaosScheduleEndToEnd$' ./internal/core
 
 echo "== bench smoke =="
 # Every benchmark must still run (one iteration each); guards against
