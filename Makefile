@@ -27,11 +27,20 @@ fuzz:
 	go test ./internal/journal -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime 30s
 	go test ./internal/store -run '^$$' -fuzz '^FuzzSegmentReplay$$' -fuzztime 30s
 
-# Long-timeline chaos drill under the race detector: link flaps,
+# Long-timeline chaos drills under the race detector: link flaps,
 # partitions, probe power cycles, and two controller crash/recovers on
-# a seeded schedule. CHAOS_SEED / CHAOS_ROUNDS pick the timeline.
+# a seeded schedule, then federated shard kills/restarts/failovers on
+# two seeds. CHAOS_SEED / CHAOS_ROUNDS pick the controller timeline;
+# FED_CHAOS_SEED / FED_CHAOS_SEED2 / FED_CHAOS_ROUNDS the shard one.
 CHAOS_SEED ?= 42
 CHAOS_ROUNDS ?= 120
+FED_CHAOS_SEED ?= 11
+FED_CHAOS_SEED2 ?= 23
+FED_CHAOS_ROUNDS ?= 80
 chaos:
 	OBS_CHAOS_SEED=$(CHAOS_SEED) OBS_CHAOS_ROUNDS=$(CHAOS_ROUNDS) \
 	go test -race -count=1 -v -run '^TestChaosScheduleEndToEnd$$' ./internal/core
+	OBS_FED_CHAOS_SEED=$(FED_CHAOS_SEED) OBS_FED_CHAOS_ROUNDS=$(FED_CHAOS_ROUNDS) \
+	go test -race -count=1 -v -run '^TestShardChaosEndToEnd$$' ./internal/federation
+	OBS_FED_CHAOS_SEED=$(FED_CHAOS_SEED2) OBS_FED_CHAOS_ROUNDS=$(FED_CHAOS_ROUNDS) \
+	go test -race -count=1 -v -run '^TestShardChaosEndToEnd$$' ./internal/federation

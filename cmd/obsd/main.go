@@ -41,6 +41,17 @@
 // GET /api/v1/query (aggregations and filtered scans) and the paginated
 // /api/v1/experiments/{id}/results endpoint.
 //
+// With -shards N obsd runs a federated tier instead of a single
+// controller: N shard controllers (each with its own journal and store
+// under <data-dir>/shard-i) behind a coordinator that routes probes by
+// consistent hashing, fans queries out with per-shard deadlines and
+// hedged retries, and — with -shard-failover (default on) — fails a
+// dead shard over onto a replacement recovered from a shipped copy of
+// its journal. With -coordinator url1,url2 the shards are remote obsd
+// processes instead. The API surface is identical either way; analysts
+// see `degraded: true` and `shards_missing` on partial query results
+// while a shard is down.
+//
 // Probes (cmd/obsprobe) sharing the controller's world seed connect to
 // the same simulated Internet, so a controller plus a fleet of probe
 // processes forms a working distributed deployment on one machine.
@@ -55,12 +66,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"github.com/afrinet/observatory/internal/core"
+	"github.com/afrinet/observatory/internal/federation"
+	"github.com/afrinet/observatory/internal/obs"
 )
 
 // parseRouteRates parses "route=perTick:burst[,...]" into rate limits.
@@ -111,7 +125,18 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "admission control: max concurrently-executing requests; low-priority routes shed at half this bound (0 = unbounded)")
 	routeRates := flag.String("route-rates", "", "admission control: per-route token buckets as route=perTick:burst[,route=perTick:burst...], e.g. query=2:8 (empty = no rate limits)")
 	retryAfter := flag.Int("retry-after", 1, "Retry-After seconds suggested on shed (429) responses")
+	shards := flag.Int("shards", 0, "run a federated tier of N local shard controllers behind a coordinator (0 = single controller)")
+	coordinator := flag.String("coordinator", "", "run a coordinator over remote shards at these comma-separated base URLs (mutually exclusive with -shards)")
+	shardSuspect := flag.Int64("shard-suspect-after", 3, "silent ticks before a shard is suspect (federated modes)")
+	shardDead := flag.Int64("shard-dead-after", 6, "silent ticks before a shard is dead and eligible for failover (federated modes)")
+	queryDeadline := flag.Duration("query-deadline", 2*time.Second, "per-shard deadline on federated scatter-gather calls")
+	hedgeAfter := flag.Duration("hedge-after", 250*time.Millisecond, "delay before a federated call hedges a second attempt (0 = no hedging)")
+	shardFailover := flag.Bool("shard-failover", true, "fail dead local shards over by shipping journal+store to a replacement (with -shards and -data-dir)")
 	flag.Parse()
+
+	if *shards > 0 && *coordinator != "" {
+		log.Fatalf("obsd: -shards and -coordinator are mutually exclusive")
+	}
 
 	var cohort []string
 	for _, t := range strings.Split(*trusted, ",") {
@@ -132,48 +157,70 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
-	var ctrl *core.Controller
-	if *dataDir != "" {
-		log.Printf("obsd: recovering state from %s ...", *dataDir)
-		start := time.Now()
-		ctrl, err = core.Recover(*dataDir, core.DurabilityConfig{
-			Trusted:       cohort,
-			LeaseTTL:      *leaseTTL,
-			SuspectAfter:  *suspectAfter,
-			DeadAfter:     *deadAfter,
-			SnapshotEvery: *snapEvery,
-			StoreDir:      *storeDir,
-			Retention:     *retention,
-		})
-		if err != nil {
-			log.Fatalf("obsd: recover: %v", err)
-		}
-		d := ctrl.DurabilityCounters()
-		log.Printf("obsd: recovered in %s (replayed=%d truncated_tail=%d tick=%d)",
-			time.Since(start).Round(time.Millisecond),
-			d["recovery_replayed"], d["recovery_truncated_tail"], ctrl.Now())
-	} else {
-		if *storeDir != "" {
-			log.Printf("obsd: warning: -store-dir ignored without -data-dir (results stay in memory)")
-		}
-		ctrl = core.NewController(cohort...)
-		ctrl.LeaseTTL = *leaseTTL
-		ctrl.SuspectAfter = *suspectAfter
-		ctrl.DeadAfter = *deadAfter
-	}
+	var admission core.AdmissionConfig
 	if *maxInflight > 0 || *routeRates != "" {
 		rates, err := parseRouteRates(*routeRates)
 		if err != nil {
 			log.Fatalf("obsd: -route-rates: %v", err)
 		}
-		ctrl.ConfigureAdmission(core.AdmissionConfig{
+		admission = core.AdmissionConfig{
 			MaxInFlight:       *maxInflight,
 			RouteRates:        rates,
 			RetryAfterSeconds: *retryAfter,
-		})
+		}
 		log.Printf("obsd: admission control on (max-inflight=%d route-rates=%q)", *maxInflight, *routeRates)
 	}
-	gate.Ready(ctrl.Handler())
+	shardDurability := core.DurabilityConfig{
+		Trusted:       cohort,
+		LeaseTTL:      *leaseTTL,
+		SuspectAfter:  *suspectAfter,
+		DeadAfter:     *deadAfter,
+		SnapshotEvery: *snapEvery,
+		Retention:     *retention,
+	}
+	fedCfg := federation.Config{
+		SuspectAfter:  *shardSuspect,
+		DeadAfter:     *shardDead,
+		QueryDeadline: *queryDeadline,
+		HedgeAfter:    *hedgeAfter,
+		AutoFailover:  *shardFailover,
+		Admission:     admission,
+	}
+
+	var svc service
+	switch {
+	case *shards > 0:
+		svc = buildLocalFederation(*shards, *dataDir, shardDurability, fedCfg, *shardFailover)
+	case *coordinator != "":
+		svc = buildRemoteFederation(*coordinator, *dataDir, fedCfg)
+	default:
+		var ctrl *core.Controller
+		if *dataDir != "" {
+			log.Printf("obsd: recovering state from %s ...", *dataDir)
+			start := time.Now()
+			cfg := shardDurability
+			cfg.StoreDir = *storeDir
+			ctrl, err = core.Recover(*dataDir, cfg)
+			if err != nil {
+				log.Fatalf("obsd: recover: %v", err)
+			}
+			d := ctrl.DurabilityCounters()
+			log.Printf("obsd: recovered in %s (replayed=%d truncated_tail=%d tick=%d)",
+				time.Since(start).Round(time.Millisecond),
+				d["recovery_replayed"], d["recovery_truncated_tail"], ctrl.Now())
+		} else {
+			if *storeDir != "" {
+				log.Printf("obsd: warning: -store-dir ignored without -data-dir (results stay in memory)")
+			}
+			ctrl = core.NewController(cohort...)
+			ctrl.LeaseTTL = *leaseTTL
+			ctrl.SuspectAfter = *suspectAfter
+			ctrl.DeadAfter = *deadAfter
+		}
+		ctrl.ConfigureAdmission(admission)
+		svc = &singleService{ctrl: ctrl}
+	}
+	gate.Ready(svc.Handler())
 
 	if *debugAddr != "" {
 		dmux := http.NewServeMux()
@@ -184,7 +231,7 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			_ = ctrl.Observability().WritePrometheus(w)
+			_ = svc.Observability().WritePrometheus(w)
 		})
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
@@ -202,7 +249,7 @@ func main() {
 	defer stop()
 
 	go func() {
-		last := ctrl.Health()
+		last := svc.Health()
 		t := time.NewTicker(*tick)
 		defer t.Stop()
 		var ticks int64
@@ -212,13 +259,11 @@ func main() {
 				return
 			case <-t.C:
 			}
-			ctrl.Tick(1)
+			svc.Tick(1)
 			if ticks++; *compactEvery > 0 && ticks%*compactEvery == 0 {
-				if err := ctrl.CompactStore(); err != nil {
-					log.Printf("obsd: store compaction: %v", err)
-				}
+				svc.Maintain()
 			}
-			h := ctrl.Health()
+			h := svc.Health()
 			if h.Status != last.Status || h.ProbesDead != last.ProbesDead || h.ProbesSuspect != last.ProbesSuspect {
 				log.Printf("obsd: fleet %s — alive=%d suspect=%d dead=%d queued=%d leased=%d",
 					h.Status, h.ProbesAlive, h.ProbesSuspect, h.ProbesDead, h.QueuedTasks, h.OutstandingLeases)
@@ -227,8 +272,14 @@ func main() {
 		}
 	}()
 
-	log.Printf("obsd: serving control plane on http://%s (trusted cohort: %v, tick=%s lease-ttl=%d data-dir=%q)",
-		ln.Addr(), cohort, *tick, *leaseTTL, *dataDir)
+	mode := "single controller"
+	if *shards > 0 {
+		mode = fmt.Sprintf("%d local shards + coordinator", *shards)
+	} else if *coordinator != "" {
+		mode = fmt.Sprintf("coordinator over %s", *coordinator)
+	}
+	log.Printf("obsd: serving control plane on http://%s (%s, trusted cohort: %v, tick=%s lease-ttl=%d data-dir=%q)",
+		ln.Addr(), mode, cohort, *tick, *leaseTTL, *dataDir)
 
 	select {
 	case err := <-serveErr:
@@ -245,10 +296,162 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		log.Printf("obsd: http shutdown: %v", err)
 	}
-	if err := ctrl.Close(); err != nil {
+	if err := svc.Close(); err != nil {
 		log.Printf("obsd: closing journal: %v", err)
 	} else if *dataDir != "" {
 		log.Printf("obsd: final snapshot written to %s", *dataDir)
 	}
 	log.Printf("obsd: bye")
+}
+
+// service is what the serving loop needs from either topology: a single
+// controller or a federated coordinator.
+type service interface {
+	Handler() http.Handler
+	Tick(n int)
+	Health() core.HealthReport
+	Observability() *obs.Registry
+	Maintain() // periodic store maintenance sweep
+	Close() error
+}
+
+type singleService struct{ ctrl *core.Controller }
+
+func (s *singleService) Handler() http.Handler        { return s.ctrl.Handler() }
+func (s *singleService) Tick(n int)                   { s.ctrl.Tick(n) }
+func (s *singleService) Health() core.HealthReport    { return s.ctrl.Health() }
+func (s *singleService) Observability() *obs.Registry { return s.ctrl.Observability() }
+func (s *singleService) Close() error                 { return s.ctrl.Close() }
+
+func (s *singleService) Maintain() {
+	if err := s.ctrl.CompactStore(); err != nil {
+		log.Printf("obsd: store compaction: %v", err)
+	}
+}
+
+type fedService struct {
+	coord  *federation.Coordinator
+	locals map[string]*federation.LocalShard // empty in -coordinator mode
+}
+
+func (s *fedService) Handler() http.Handler        { return s.coord.Handler() }
+func (s *fedService) Tick(n int)                   { s.coord.Tick(n) }
+func (s *fedService) Health() core.HealthReport    { return s.coord.Health() }
+func (s *fedService) Observability() *obs.Registry { return s.coord.Observability() }
+
+func (s *fedService) Maintain() {
+	for id, ls := range s.locals {
+		if ctrl := ls.Controller(); ctrl != nil {
+			if err := ctrl.CompactStore(); err != nil {
+				log.Printf("obsd: %s store compaction: %v", id, err)
+			}
+		}
+	}
+}
+
+func (s *fedService) Close() error {
+	err := s.coord.Close()
+	for id, ls := range s.locals {
+		if ctrl := ls.Kill(); ctrl != nil {
+			if cerr := ctrl.Close(); cerr != nil {
+				log.Printf("obsd: closing %s: %v", id, cerr)
+			}
+		}
+	}
+	return err
+}
+
+// buildLocalFederation boots N shard controllers (durable under
+// <data-dir>/shard-i when -data-dir is set) behind a coordinator whose
+// own shard map journals under <data-dir>/coordinator. With failover
+// enabled and a data dir, a dead shard's journal and store are shipped
+// to <data-dir>/shard-i-epochN and recovered there.
+func buildLocalFederation(n int, dataDir string, shardCfg core.DurabilityConfig, fedCfg federation.Config, failover bool) service {
+	coordDir := ""
+	if dataDir != "" {
+		coordDir = filepath.Join(dataDir, "coordinator")
+	}
+	coord, err := federation.New(coordDir, fedCfg)
+	if err != nil {
+		log.Fatalf("obsd: coordinator: %v", err)
+	}
+	locals := make(map[string]*federation.LocalShard, n)
+	dirOf := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("shard-%d", i)
+		var ctrl *core.Controller
+		if dataDir != "" {
+			dirOf[id] = filepath.Join(dataDir, id)
+			start := time.Now()
+			ctrl, err = core.Recover(dirOf[id], shardCfg)
+			if err != nil {
+				log.Fatalf("obsd: recover %s: %v", id, err)
+			}
+			d := ctrl.DurabilityCounters()
+			log.Printf("obsd: %s recovered in %s (replayed=%d tick=%d)",
+				id, time.Since(start).Round(time.Millisecond), d["recovery_replayed"], ctrl.Now())
+		} else {
+			ctrl = core.NewController(shardCfg.Trusted...)
+			ctrl.LeaseTTL = shardCfg.LeaseTTL
+			ctrl.SuspectAfter = shardCfg.SuspectAfter
+			ctrl.DeadAfter = shardCfg.DeadAfter
+		}
+		locals[id] = federation.NewLocalShard(ctrl)
+		if err := coord.AddShard(id, locals[id]); err != nil {
+			log.Fatalf("obsd: add %s: %v", id, err)
+		}
+	}
+	if failover && dataDir != "" {
+		coord.Failover = func(id string, epoch int) (federation.Shard, error) {
+			ls, ok := locals[id]
+			if !ok {
+				return nil, fmt.Errorf("unknown shard %s", id)
+			}
+			dst := filepath.Join(dataDir, fmt.Sprintf("%s-epoch%d", id, epoch))
+			log.Printf("obsd: failing %s over: shipping %s -> %s", id, dirOf[id], dst)
+			if err := federation.ShipState(dirOf[id], dst, "", ""); err != nil {
+				return nil, err
+			}
+			ctrl, err := core.Recover(dst, shardCfg)
+			if err != nil {
+				return nil, err
+			}
+			dirOf[id] = dst
+			ls.Revive(ctrl)
+			log.Printf("obsd: %s failed over to epoch %d", id, epoch)
+			return ls, nil
+		}
+	} else if failover {
+		log.Printf("obsd: warning: -shard-failover needs -data-dir to ship state; dead shards will 503 until restart")
+	}
+	return &fedService{coord: coord, locals: locals}
+}
+
+// buildRemoteFederation runs a coordinator over remote obsd shard
+// processes; each base URL is the shard's id, so the shard map is
+// stable across coordinator restarts as long as the fleet's addresses
+// are.
+func buildRemoteFederation(urls, dataDir string, fedCfg federation.Config) service {
+	coordDir := ""
+	if dataDir != "" {
+		coordDir = filepath.Join(dataDir, "coordinator")
+	}
+	coord, err := federation.New(coordDir, fedCfg)
+	if err != nil {
+		log.Fatalf("obsd: coordinator: %v", err)
+	}
+	added := 0
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u == "" {
+			continue
+		}
+		if err := coord.AddShard(u, federation.NewHTTPShard(core.NewClient(u))); err != nil {
+			log.Fatalf("obsd: add shard %s: %v", u, err)
+		}
+		added++
+	}
+	if added == 0 {
+		log.Fatalf("obsd: -coordinator needs at least one shard URL")
+	}
+	return &fedService{coord: coord, locals: map[string]*federation.LocalShard{}}
 }

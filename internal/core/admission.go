@@ -187,6 +187,43 @@ func (c *Controller) ConfigureAdmission(cfg AdmissionConfig) {
 	c.adm.configure(cfg)
 }
 
+// AdmissionGate is a standalone admission controller for front ends
+// that sit outside a core.Controller — the federation coordinator in
+// internal/federation runs one in front of its scatter-gather router.
+// Same semantics as the controller's built-in gate: priority-aware
+// in-flight bound plus per-route token buckets refilled from a logical
+// tick, never from wall time.
+type AdmissionGate struct {
+	a *admission
+}
+
+// NewAdmissionGate builds a gate with the given limits; the zero config
+// admits everything.
+func NewAdmissionGate(cfg AdmissionConfig) *AdmissionGate {
+	g := &AdmissionGate{a: newAdmission()}
+	g.a.configure(cfg)
+	return g
+}
+
+// Admit evaluates one request: ok means run it and call release when
+// done; !ok means shed it with 429 + Retry-After.
+func (g *AdmissionGate) Admit(route string, pri RoutePriority) (release func(), ok bool) {
+	return g.a.admit(route, pri)
+}
+
+// Refill adds n logical ticks' worth of tokens to every bucket.
+func (g *AdmissionGate) Refill(n int) { g.a.refill(n) }
+
+// RetryAfterSeconds is the delay to suggest on shed responses.
+func (g *AdmissionGate) RetryAfterSeconds() int { return g.a.retryAfterSeconds() }
+
+// Snapshot returns the gate's shed counters.
+func (g *AdmissionGate) Snapshot() map[string]int64 { return g.a.snapshot() }
+
+// ErrRateLimited is the envelope message for shed requests, shared with
+// sibling front ends.
+func ErrRateLimited(route string) error { return errRateLimited(route) }
+
 // errRateLimited is the envelope message for shed requests.
 func errRateLimited(route string) error {
 	return fmt.Errorf("core: controller over capacity, %s request shed; honor Retry-After", route)

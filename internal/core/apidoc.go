@@ -31,7 +31,11 @@ endpoint:
   ` + "`unavailable`" + ` (503 while the controller replays its journal after a
   restart — retry after the ` + "`Retry-After`" + ` delay), and ` + "`rate_limited`" + `
   (429 when admission control sheds the request under load, also with a
-  ` + "`Retry-After`" + ` delay; low-priority routes shed first). Per-route codes
+  ` + "`Retry-After`" + ` delay; low-priority routes shed first). Behind a
+  federation coordinator (obsd ` + "`-shards`/`-coordinator`" + `) one more code
+  appears: ` + "`shard_unavailable`" + ` (503 when the single shard owning the
+  request's keyspace is down and not yet failed over — honor
+  ` + "`Retry-After`" + `; every other shard keeps serving). Per-route codes
   are listed below.
 - **Pagination.** List responses are ` + "`" + `{"items": [...], "next_cursor": "..."}` + "`" + `;
   ` + "`next_cursor`" + ` is omitted on the last page and is otherwise passed back

@@ -32,6 +32,11 @@ type APIError struct {
 	Code      string // machine code (ErrCode* constants)
 	Message   string
 	RequestID string
+	// RetryAfter is the server's Retry-After delay in seconds (0 when
+	// the header was absent): set on 429s from admission control and on
+	// 503s from the recovery gate or a federation coordinator whose
+	// owning shard is down.
+	RetryAfter int
 }
 
 func (e *APIError) Error() string {
@@ -304,7 +309,11 @@ func (c *Client) do(name, method, path string, body []byte, out interface{}, ret
 			serverDelay, haveServerDelay = retryAfter(resp.Header)
 			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
-			lastErr = decodeAPIError(resp.StatusCode, b)
+			apiErr := decodeAPIError(resp.StatusCode, b)
+			if haveServerDelay {
+				apiErr.RetryAfter = int(serverDelay / time.Second)
+			}
+			lastErr = apiErr
 			continue
 		}
 		err = decodeResponse(resp, out)
@@ -329,7 +338,11 @@ func (c *Client) get(name, path string, out interface{}) error {
 func decodeResponse(resp *http.Response, out interface{}) error {
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return decodeAPIError(resp.StatusCode, b)
+		apiErr := decodeAPIError(resp.StatusCode, b)
+		if d, ok := retryAfter(resp.Header); ok {
+			apiErr.RetryAfter = int(d / time.Second)
+		}
+		return apiErr
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body) //nolint:errcheck
@@ -411,6 +424,20 @@ func (c *Client) Submit(owner, description string, as []probes.Assignment) (*Exp
 	return &out, nil
 }
 
+// SubmitWithID posts an experiment under a caller-chosen experiment id
+// and idempotency key. The federation coordinator uses it to create the
+// same federated experiment id on every owning shard: the per-shard
+// requestID makes a re-pushed partition a dedup hit instead of a
+// duplicate workload.
+func (c *Client) SubmitWithID(requestID, expID, owner, description string, as []probes.Assignment) (*Experiment, error) {
+	var out Experiment
+	req := submitRequest{RequestID: requestID, ID: expID, Owner: owner, Description: description, Assignments: as}
+	if err := c.post("experiment_submit", "/api/v1/experiments", req, &out, true); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // newRequestID mints a submission idempotency key: unique per call, and
 // stable across the retries of that call. IDs are drawn from crypto/rand
 // (they are opaque dedup keys — uniqueness matters, reproducibility does
@@ -435,6 +462,15 @@ func (c *Client) newRequestID() string {
 	seq := c.reqSeq
 	c.mu.Unlock()
 	return fmt.Sprintf("req-%s-%04d", hex.EncodeToString(buf[:]), seq)
+}
+
+// Experiment fetches one experiment's vetting status and assignments.
+func (c *Client) Experiment(expID string) (*Experiment, error) {
+	var out Experiment
+	if err := c.get("experiment_get", fmt.Sprintf("/api/v1/experiments/%s", expID), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Approve approves a pending experiment (idempotent: retried).
@@ -513,6 +549,72 @@ func (c *Client) QueryScan(f store.Filter, limit int, cursor string) ([]store.Re
 	var out []store.Record
 	next, err := c.getPage("query", "/api/v1/query?"+q.Encode(), &out)
 	return out, next, err
+}
+
+// QueryMeta is the federation degradation annotation on query
+// responses: Degraded true means the shards in ShardsMissing did not
+// answer before their deadline and the data is correct but partial. A
+// single (non-federated) controller never sets it.
+type QueryMeta struct {
+	Degraded      bool     `json:"degraded,omitempty"`
+	ShardsMissing []string `json:"shards_missing,omitempty"`
+}
+
+// QueryAggregateMeta is QueryAggregate surfacing the federation
+// degradation annotation, for analysts who must distinguish "complete
+// answer" from "partial answer while a shard is down".
+func (c *Client) QueryAggregateMeta(f store.Filter, groupBy string) (store.AggReport, QueryMeta, error) {
+	q := queryParams(f)
+	q.Set("op", "aggregate")
+	if groupBy != "" {
+		q.Set("group_by", groupBy)
+	}
+	var out struct {
+		store.AggReport
+		QueryMeta
+	}
+	err := c.get("query", "/api/v1/query?"+q.Encode(), &out)
+	return out.AggReport, out.QueryMeta, err
+}
+
+// QueryScanMeta is QueryScan surfacing the federation degradation
+// annotation carried on the page envelope.
+func (c *Client) QueryScanMeta(f store.Filter, limit int, cursor string) ([]store.Record, string, QueryMeta, error) {
+	q := queryParams(f)
+	q.Set("op", "scan")
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	var pg struct {
+		Items      []store.Record `json:"items"`
+		NextCursor string         `json:"next_cursor"`
+		QueryMeta
+	}
+	err := c.get("query", "/api/v1/query?"+q.Encode(), &pg)
+	return pg.Items, pg.NextCursor, pg.QueryMeta, err
+}
+
+// ShardInfo is one entry of a federation coordinator's shard map
+// (GET /api/v1/shards): the shard id, its failover epoch (bumped every
+// time the keyspace moves to a replacement backend), and its health as
+// seen by the coordinator's tick-driven detector.
+type ShardInfo struct {
+	ID     string `json:"id"`
+	Epoch  int    `json:"epoch"`
+	Health string `json:"health"`
+}
+
+// ShardMap fetches a federation coordinator's shard map. A plain
+// single-node controller answers 404 (not_found) — callers treat that
+// as "not federated". Clients use the map to size retry patience: a
+// suspect/dead owning shard means 503s are expected until failover.
+func (c *Client) ShardMap() ([]ShardInfo, error) {
+	var out []ShardInfo
+	_, err := c.getPage("shards", "/api/v1/shards", &out)
+	return out, err
 }
 
 // Probes lists the registered probes.

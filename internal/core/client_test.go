@@ -192,6 +192,59 @@ func TestClientBreakerResetByAnyResponse(t *testing.T) {
 	}
 }
 
+func TestClient503StormDoesNotFeedBreaker(t *testing.T) {
+	// A federation coordinator answering every call 503 shard_unavailable
+	// + Retry-After (one shard dead, failover pending) must never open
+	// the breaker, even on a hair trigger: the uplink is fine, the
+	// service is telling us when to come back. Each retry honors the
+	// server's delay.
+	steps := make([]scriptStep, 12)
+	for i := range steps {
+		steps[i] = scriptStep{status: http.StatusServiceUnavailable, retryAfter: "2"}
+	}
+	cl, st, sleeps := scriptedClient(steps)
+	cl.MaxAttempts = 3
+	cl.BreakerThreshold = 1
+	for i := 0; i < 4; i++ {
+		if err := cl.Heartbeat("p1"); err == nil && st.calls <= len(steps) {
+			t.Fatalf("call %d: scripted 503 did not surface", i)
+		}
+	}
+	ctrs := cl.ResilienceCounters()
+	if ctrs["breaker_open_total"] != 0 || ctrs["breaker_fastfail"] != 0 {
+		t.Fatalf("503 storm fed the breaker: %v", ctrs)
+	}
+	if ctrs["retry_after_honored"] == 0 {
+		t.Fatalf("no Retry-After honored during the storm: %v", ctrs)
+	}
+	for _, d := range *sleeps {
+		if d != 2*time.Second {
+			t.Fatalf("sleep %v, want the server's 2s on every retry", d)
+		}
+	}
+}
+
+func TestClientSurfacesRetryAfterOnFinalError(t *testing.T) {
+	// When attempts run out, the APIError handed to the caller carries
+	// the last Retry-After so outer layers (spool drain, coordinator
+	// fan-out) can schedule their own retry.
+	cl, _, _ := scriptedClient([]scriptStep{
+		{status: http.StatusServiceUnavailable, retryAfter: "7"},
+	})
+	cl.MaxAttempts = 1
+	err := cl.Heartbeat("p1")
+	if err == nil {
+		t.Fatal("exhausted attempts did not surface an error")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("final error %v is not an APIError", err)
+	}
+	if apiErr.Status != http.StatusServiceUnavailable || apiErr.RetryAfter != 7 {
+		t.Fatalf("final APIError = status %d retryAfter %d, want 503/7", apiErr.Status, apiErr.RetryAfter)
+	}
+}
+
 func TestClientBreakerDisabledByDefault(t *testing.T) {
 	connRefused := fmt.Errorf("dial tcp: connection refused")
 	steps := make([]scriptStep, 20)

@@ -497,10 +497,20 @@ func (c *Controller) SubmitExperiment(owner, description string, assignments []p
 // This is what makes the HTTP client's Submit retryable — a duplicated
 // delivery cannot double the workload.
 func (c *Controller) SubmitExperimentIdem(requestID, owner, description string, assignments []probes.Assignment) (*Experiment, error) {
-	return c.submitExperimentIdemCtx(context.Background(), requestID, owner, description, assignments)
+	return c.submitExperimentIdemCtx(context.Background(), requestID, "", owner, description, assignments)
 }
 
-func (c *Controller) submitExperimentIdemCtx(ctx context.Context, requestID, owner, description string, assignments []probes.Assignment) (*Experiment, error) {
+// SubmitExperimentWithID is SubmitExperimentIdem with a caller-chosen
+// experiment id instead of a minted exp-%04d one. The federation
+// coordinator uses it to create the same federated experiment id on
+// every shard owning a slice of the assignments, so cross-shard results
+// merge under one id. Resubmitting an existing id with a fresh request
+// id is rejected; the idempotent path is the request id, as for Submit.
+func (c *Controller) SubmitExperimentWithID(requestID, expID, owner, description string, assignments []probes.Assignment) (*Experiment, error) {
+	return c.submitExperimentIdemCtx(context.Background(), requestID, expID, owner, description, assignments)
+}
+
+func (c *Controller) submitExperimentIdemCtx(ctx context.Context, requestID, expID, owner, description string, assignments []probes.Assignment) (*Experiment, error) {
 	if len(assignments) == 0 {
 		return nil, fmt.Errorf("core: experiment has no assignments")
 	}
@@ -508,12 +518,17 @@ func (c *Controller) submitExperimentIdemCtx(ctx context.Context, requestID, own
 	defer c.mu.Unlock()
 	defer c.setSpanLocked(obs.SpanFrom(ctx))()
 	if requestID != "" {
-		if expID, ok := c.submitIDs[requestID]; ok {
+		if prevID, ok := c.submitIDs[requestID]; ok {
 			c.dur.Inc("submits_deduped")
-			return cloneExp(c.experiments[expID]), nil
+			return cloneExp(c.experiments[prevID]), nil
 		}
 	}
-	op := submitOp{RequestID: requestID, Owner: owner, Description: description, Assignments: assignments}
+	if expID != "" {
+		if _, exists := c.experiments[expID]; exists {
+			return nil, fmt.Errorf("core: experiment id %s already exists", expID)
+		}
+	}
+	op := submitOp{RequestID: requestID, Owner: owner, Description: description, Assignments: assignments, ExpID: expID}
 	var exp *Experiment
 	if err := c.mutateLocked(opSubmit, op, func() { exp = c.applySubmitLocked(op) }); err != nil {
 		return nil, err
@@ -522,9 +537,13 @@ func (c *Controller) submitExperimentIdemCtx(ctx context.Context, requestID, own
 }
 
 func (c *Controller) applySubmitLocked(op submitOp) *Experiment {
-	c.nextExpID++
+	id := op.ExpID
+	if id == "" {
+		c.nextExpID++
+		id = fmt.Sprintf("exp-%04d", c.nextExpID)
+	}
 	exp := &Experiment{
-		ID:          fmt.Sprintf("exp-%04d", c.nextExpID),
+		ID:          id,
 		Owner:       op.Owner,
 		Description: op.Description,
 		Status:      StatusPending,

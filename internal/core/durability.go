@@ -39,6 +39,12 @@ type submitOp struct {
 	Owner       string              `json:"owner"`
 	Description string              `json:"description"`
 	Assignments []probes.Assignment `json:"assignments"`
+	// ExpID pins the experiment id instead of minting exp-%04d. The
+	// federation coordinator uses it to create the same federated
+	// experiment id on every shard that owns a slice of the
+	// assignments. Empty (every pre-federation journal) keeps the
+	// minting path, so old WALs replay unchanged.
+	ExpID string `json:"exp_id,omitempty"`
 }
 
 type expOp struct {

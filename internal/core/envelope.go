@@ -23,6 +23,12 @@ const (
 	ErrCodeBodyTooLarge     = "body_too_large"
 	ErrCodeUnavailable      = "unavailable"
 	ErrCodeRateLimited      = "rate_limited"
+	// ErrCodeShardUnavailable is returned by the federation coordinator
+	// when the single shard that owns a request's keyspace is down and
+	// has not yet failed over: unlike "unavailable" (whole controller
+	// replaying), only one shard's keys are affected and the client
+	// should honor Retry-After, not trip its breaker.
+	ErrCodeShardUnavailable = "shard_unavailable"
 )
 
 // RequestIDHeader carries the request id: clients may send one (any
@@ -76,6 +82,23 @@ func ensureRequestID(w http.ResponseWriter, r *http.Request) string {
 	}
 	w.Header().Set(RequestIDHeader, id)
 	return id
+}
+
+// WriteJSON, WriteAPIError, and EnsureRequestID expose the envelope
+// writers to sibling front ends — the federation coordinator in
+// internal/federation serves the same v1 surface and must speak
+// byte-identical envelopes. internal/core itself keeps using the
+// unexported forms so the envelope lint stays meaningful.
+func WriteJSON(w http.ResponseWriter, code int, v interface{}) { writeJSON(w, code, v) }
+
+// WriteAPIError writes the uniform error envelope (see writeAPIError).
+func WriteAPIError(w http.ResponseWriter, status int, code string, err error) {
+	writeAPIError(w, status, code, err)
+}
+
+// EnsureRequestID echoes or mints the request id (see ensureRequestID).
+func EnsureRequestID(w http.ResponseWriter, r *http.Request) string {
+	return ensureRequestID(w, r)
 }
 
 // mintRequestID generates an opaque server-side request id.

@@ -211,6 +211,10 @@ type submitRequest struct {
 	Owner       string              `json:"owner"`
 	Description string              `json:"description"`
 	Assignments []probes.Assignment `json:"assignments"`
+	// ID optionally pins the experiment id (federation coordinators
+	// submitting per-shard slices of one federated experiment); empty
+	// mints the usual exp-%04d id.
+	ID string `json:"id,omitempty"`
 }
 
 func (c *Controller) handleSubmit(w http.ResponseWriter, r *http.Request, _ pathParams) {
@@ -218,7 +222,12 @@ func (c *Controller) handleSubmit(w http.ResponseWriter, r *http.Request, _ path
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	exp, err := c.submitExperimentIdemCtx(r.Context(), req.RequestID, req.Owner, req.Description, req.Assignments)
+	if len(req.ID) > 128 {
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest,
+			fmt.Errorf("experiment id longer than 128 bytes"))
+		return
+	}
+	exp, err := c.submitExperimentIdemCtx(r.Context(), req.RequestID, req.ID, req.Owner, req.Description, req.Assignments)
 	if err != nil {
 		writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 		return

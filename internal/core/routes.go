@@ -107,7 +107,7 @@ var apiRoutes = []routeDef{
 	{
 		Name: "experiment_submit", Method: http.MethodPost, Pattern: "/api/v1/experiments",
 		Summary:  "Submit an experiment for vetting. Idempotent per request_id; trusted owners are auto-approved.",
-		Request:  `{"request_id"?, "owner", "description", "assignments": [Assignment]}`,
+		Request:  `{"request_id"?, "id"?, "owner", "description", "assignments": [Assignment]} — id pins the experiment id (federation coordinators); omitted mints exp-NNNN`,
 		Response: "Experiment",
 		Errors:   []string{ErrCodeBadRequest, ErrCodeBodyTooLarge},
 		Priority: PriorityHigh,
@@ -150,7 +150,7 @@ var apiRoutes = []routeDef{
 			{Name: "group_by", Doc: "aggregate only: none, country, asn, country_asn"},
 			{Name: "limit / cursor", Doc: "scan only: pagination"},
 		},
-		Response: "op=aggregate: AggReport; op=scan: page of Record",
+		Response: `op=aggregate: AggReport; op=scan: page of Record. Served by a federation coordinator, both carry "degraded": true plus "shards_missing": [shard ids] when shards timed out or were down — the data is correct but partial, never silently wrong`,
 		Errors:   []string{ErrCodeBadRequest},
 		Priority: PriorityLow,
 		handle:   (*Controller).handleQuery,

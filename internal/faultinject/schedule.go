@@ -24,6 +24,13 @@ const (
 	// EventControllerCrash hard-crashes the controller at the event's
 	// start round and recovers it from its journal.
 	EventControllerCrash EventKind = "controller_crash"
+	// EventShardKill hard-kills one federation shard (Target is the
+	// shard ID) at the event's start round. The coordinator must keep
+	// answering — degraded — until the paired restart or a failover.
+	EventShardKill EventKind = "shard_kill"
+	// EventShardRestart recovers a previously killed shard from its
+	// journal at the event's start round.
+	EventShardRestart EventKind = "shard_restart"
 )
 
 // Event is one scheduled fault: Kind applied to Target (a probe ID, or
@@ -104,6 +111,18 @@ type ScheduleConfig struct {
 	// always lands mid-experiment rather than before work starts or
 	// after it ends.
 	ControllerCrashes int
+	// Shards are the federation shard IDs chaos may kill. Empty means
+	// no shard events, and — because shard draws happen strictly after
+	// every other draw — a config without shards consumes exactly the
+	// RNG stream it did before shard chaos existed, so old seeds
+	// reproduce byte-identical schedules.
+	Shards []string
+	// ShardKills is exactly how many shard_kill events to place,
+	// round-robin across Shards, each in the middle 60% of the timeline
+	// and each paired with a shard_restart 1..MaxWindow rounds later
+	// (restarts past the last round are dropped: that shard stays dead,
+	// which is what failover drills want).
+	ShardKills int
 }
 
 // GenerateSchedule builds a seeded random chaos timeline: same seed and
@@ -155,6 +174,31 @@ func GenerateSchedule(seed int64, cfg ScheduleConfig) Schedule {
 			}
 			used[r] = true
 			events = append(events, Event{Kind: EventControllerCrash, Start: r, End: r + 1})
+		}
+	}
+	// Shard kills are placed like controller crashes — and drawn last,
+	// after every pre-existing draw, so adding shard chaos to a config
+	// never reshuffles the flap/partition/cycle/crash stream of an
+	// established seed.
+	if cfg.ShardKills > 0 && len(cfg.Shards) > 0 && cfg.Rounds > 1 {
+		lo := cfg.Rounds / 5
+		hi := cfg.Rounds - cfg.Rounds/5
+		if hi <= lo {
+			lo, hi = 0, cfg.Rounds
+		}
+		used := map[string]bool{}
+		for i := 0; i < cfg.ShardKills; i++ {
+			shard := cfg.Shards[i%len(cfg.Shards)]
+			r := lo + rng.Intn(hi-lo)
+			for used[fmt.Sprintf("%s@%d", shard, r)] {
+				r = lo + rng.Intn(hi-lo)
+			}
+			used[fmt.Sprintf("%s@%d", shard, r)] = true
+			events = append(events, Event{Kind: EventShardKill, Target: shard, Start: r, End: r + 1})
+			restart := r + 1 + rng.Intn(maxWin)
+			if restart < cfg.Rounds {
+				events = append(events, Event{Kind: EventShardRestart, Target: shard, Start: restart, End: restart + 1})
+			}
 		}
 	}
 	sort.SliceStable(events, func(i, j int) bool {

@@ -69,6 +69,82 @@ func TestScheduleWindowsAndBounds(t *testing.T) {
 	}
 }
 
+func TestShardEventsDeterministicAndPlaced(t *testing.T) {
+	cfg := chaosCfg()
+	cfg.Shards = []string{"shard-0", "shard-1"}
+	cfg.ShardKills = 3
+	a := GenerateSchedule(7, cfg)
+	b := GenerateSchedule(7, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different shard schedules:\n%v\n%v", a, b)
+	}
+
+	kills, restarts := 0, 0
+	killRound := map[string]int{}
+	for _, e := range a.Events {
+		switch e.Kind {
+		case EventShardKill:
+			kills++
+			killRound[e.Target+"@"] = e.Start
+			if e.Target != "shard-0" && e.Target != "shard-1" {
+				t.Fatalf("shard kill targets unknown shard: %v", e)
+			}
+			if e.End != e.Start+1 {
+				t.Fatalf("shard kill is a point event, got window: %v", e)
+			}
+			// Kills land mid-experiment: inside the middle 60%.
+			if e.Start < cfg.Rounds/5 || e.Start >= cfg.Rounds-cfg.Rounds/5 {
+				t.Fatalf("shard kill at round %d outside middle window", e.Start)
+			}
+		case EventShardRestart:
+			restarts++
+			if e.Start >= cfg.Rounds || e.End != e.Start+1 {
+				t.Fatalf("shard restart out of bounds: %v", e)
+			}
+		}
+	}
+	if kills != 3 {
+		t.Fatalf("placed %d shard kills, want exactly 3", kills)
+	}
+	if restarts > kills {
+		t.Fatalf("%d restarts for %d kills", restarts, kills)
+	}
+	// Round-robin targeting: 3 kills over 2 shards hits shard-0 twice.
+	perShard := map[string]int{}
+	for _, e := range a.Events {
+		if e.Kind == EventShardKill {
+			perShard[e.Target]++
+		}
+	}
+	if perShard["shard-0"] != 2 || perShard["shard-1"] != 1 {
+		t.Fatalf("kills not round-robin: %v", perShard)
+	}
+}
+
+func TestShardConfigPreservesExistingSeeds(t *testing.T) {
+	// Shard draws happen after every pre-existing draw, so turning shard
+	// chaos on must leave the flap/partition/cycle/crash events of an
+	// established seed byte-identical.
+	base := GenerateSchedule(42, chaosCfg())
+	cfg := chaosCfg()
+	cfg.Shards = []string{"shard-0", "shard-1", "shard-2"}
+	cfg.ShardKills = 2
+	withShards := GenerateSchedule(42, cfg)
+
+	strip := func(s Schedule) []Event {
+		var out []Event
+		for _, e := range s.Events {
+			if e.Kind != EventShardKill && e.Kind != EventShardRestart {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(base.Events, strip(withShards)) {
+		t.Fatalf("shard config reshuffled pre-existing events:\nbase: %v\nwith: %v", base.Events, strip(withShards))
+	}
+}
+
 func TestActiveAtAndStartingAt(t *testing.T) {
 	s := Schedule{Rounds: 10, Events: []Event{
 		{Kind: EventPartition, Target: "p1", Start: 2, End: 5},

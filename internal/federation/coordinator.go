@@ -1,0 +1,887 @@
+package federation
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/afrinet/observatory/internal/core"
+	"github.com/afrinet/observatory/internal/journal"
+	"github.com/afrinet/observatory/internal/metrics"
+	"github.com/afrinet/observatory/internal/obs"
+	"github.com/afrinet/observatory/internal/probes"
+)
+
+// ErrNoShards is returned for key routing against an empty shard map.
+var ErrNoShards = errors.New("federation: no shards in the map")
+
+// ErrUnknownExperiment marks a federated-experiment id the coordinator
+// never minted; the HTTP layer maps it to 404.
+var ErrUnknownExperiment = errors.New("federation: unknown experiment")
+
+// FailoverFunc builds a replacement backend for a dead shard. It runs
+// outside the coordinator lock and typically ships the dead shard's
+// durable state to a fresh directory (ShipState) and recovers a new
+// controller there (core.Recover). epoch is the incarnation the
+// replacement will serve as — useful for naming the destination dir.
+type FailoverFunc func(id string, epoch int) (Shard, error)
+
+// Config tunes the coordinator. The zero value gets the documented
+// defaults.
+type Config struct {
+	// Vnodes per shard on the consistent-hash ring (DefaultVnodes).
+	Vnodes int
+	// SuspectAfter / DeadAfter are how many silent coordinator ticks
+	// move a shard to suspect / dead — the probe-liveness state machine
+	// reapplied one level up (defaults 3 / 6).
+	SuspectAfter int64
+	DeadAfter    int64
+	// QueryDeadline bounds each per-shard call in a fan-out; a shard
+	// that blows it is treated as missing for that query (default 2s).
+	QueryDeadline time.Duration
+	// HedgeAfter launches a second attempt against the same shard if
+	// the first hasn't answered yet — tail-latency insurance for
+	// idempotent calls (default 250ms; <= 0 disables hedging).
+	HedgeAfter time.Duration
+	// RetryAfterSeconds is the delay suggested on shard_unavailable
+	// responses (default 2).
+	RetryAfterSeconds int
+	// AutoFailover lets Tick fail a dead shard over through the
+	// Failover hook as soon as it is declared dead.
+	AutoFailover bool
+	// Admission bounds the coordinator front end; zero admits all.
+	Admission core.AdmissionConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = 2 * c.SuspectAfter
+	}
+	if c.QueryDeadline <= 0 {
+		c.QueryDeadline = 2 * time.Second
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = 2
+	}
+	return c
+}
+
+// Journaled coordinator mutations. Shard membership and federated
+// submissions are the coordinator's durable truth — a restarted
+// coordinator must re-route the same keys to the same shard IDs and
+// dedup retried submissions — while shard *health* is run-scoped
+// observation, rebuilt by probing, and deliberately not journaled.
+type shardAddOp struct {
+	ID string `json:"id"`
+}
+
+type shardFailoverOp struct {
+	ID    string `json:"id"`
+	Epoch int    `json:"epoch"`
+}
+
+type fedSubmitOp struct {
+	FedID       string   `json:"fed_id"`
+	RequestID   string   `json:"request_id"`
+	Owner       string   `json:"owner"`
+	Description string   `json:"description"`
+	Shards      []string `json:"shards"`
+}
+
+// fedExperiment is the coordinator's book on one federated experiment:
+// which shards hold its partitions.
+type fedExperiment struct {
+	ID     string
+	Owner  string
+	Shards []string
+}
+
+// shardState is the coordinator's book on one shard.
+type shardState struct {
+	id      string
+	epoch   int
+	backend Shard // nil until attached (recovered coordinator)
+	health  core.ProbeHealth
+	// lastSeen is the coordinator tick of the last successful health
+	// probe (or attach), driving the alive→suspect→dead machine.
+	lastSeen int64
+	hist     *obs.Histogram
+}
+
+// ShardStatus is one shard's externally-visible state, served by
+// GET /api/v1/shards.
+type ShardStatus struct {
+	ID     string           `json:"id"`
+	Epoch  int              `json:"epoch"`
+	Health core.ProbeHealth `json:"health"`
+}
+
+// Coordinator fronts N shards with the v1 API: probe traffic routes to
+// the owning shard by consistent hashing, experiments fan out to every
+// owning shard, and queries scatter-gather with per-shard deadlines,
+// hedged retries, and partial-result degradation. Membership and
+// federated submissions are journaled (append-then-apply, like the
+// controller) so a coordinator restart preserves routing and submission
+// idempotency.
+type Coordinator struct {
+	mu        sync.Mutex
+	cfg       Config
+	shards    map[string]*shardState
+	order     []string // sorted shard IDs — the deterministic fan-out order
+	ring      *ring
+	submitIDs map[string]string // client requestID → federated experiment id
+	fedExps   map[string]*fedExperiment
+	nextFedID int
+	tick      int64
+	log       *journal.Log // nil for in-memory coordinators
+
+	reg  *obs.Registry
+	ctr  *metrics.CounterSet
+	gate *core.AdmissionGate
+
+	// Failover builds replacement backends for dead shards; nil
+	// disables failover even when cfg.AutoFailover is set.
+	Failover FailoverFunc
+}
+
+// New opens (or creates) a coordinator journaled at dir and replays its
+// shard map and submission book. dir == "" runs in-memory (tests).
+// Backends are not part of the journal: after a recovery the shards
+// exist with nil backends and health dead until AddShard re-attaches
+// them.
+func New(dir string, cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:       cfg,
+		shards:    make(map[string]*shardState),
+		ring:      newRing(nil, cfg.Vnodes),
+		submitIDs: make(map[string]string),
+		fedExps:   make(map[string]*fedExperiment),
+		reg:       obs.NewRegistry(),
+		ctr:       metrics.NewCounterSet(),
+		gate:      core.NewAdmissionGate(cfg.Admission),
+	}
+	c.reg.AddCounters("obs_fed_events_total", c.ctr.Snapshot)
+	c.reg.AddCounters("obs_admission_events_total", c.gate.Snapshot)
+	if dir == "" {
+		return c, nil
+	}
+	log, err := journal.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("federation: %w", err)
+	}
+	for _, rec := range log.Records {
+		if err := c.applyRecord(rec); err != nil {
+			log.Close()
+			return nil, err
+		}
+	}
+	if log.TornTail {
+		c.ctr.Inc("fed_recovery_truncated_tail")
+	}
+	c.ctr.Add("fed_recovery_replayed", int64(len(log.Records)))
+	c.log = log
+	return c, nil
+}
+
+// Close releases the coordinator journal. Shard backends are owned by
+// the caller.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log == nil {
+		return nil
+	}
+	err := c.log.Close()
+	c.log = nil
+	return err
+}
+
+// Observability returns the coordinator's metrics registry (the /metrics
+// payload).
+func (c *Coordinator) Observability() *obs.Registry { return c.reg }
+
+// Counters snapshots the coordinator's event counters.
+func (c *Coordinator) Counters() map[string]int64 { return c.ctr.Snapshot() }
+
+// Gate exposes the coordinator's admission gate to the HTTP front end.
+func (c *Coordinator) Gate() *core.AdmissionGate { return c.gate }
+
+func (c *Coordinator) applyRecord(rec journal.Record) error {
+	switch rec.Kind {
+	case "shard_add":
+		var op shardAddOp
+		if err := decodeOp(rec, &op); err != nil {
+			return err
+		}
+		c.applyShardAddLocked(op)
+	case "shard_failover":
+		var op shardFailoverOp
+		if err := decodeOp(rec, &op); err != nil {
+			return err
+		}
+		c.applyShardFailoverLocked(op, nil)
+	case "fed_submit":
+		var op fedSubmitOp
+		if err := decodeOp(rec, &op); err != nil {
+			return err
+		}
+		c.applyFedSubmitLocked(op)
+	default:
+		return fmt.Errorf("federation: unknown journal record kind %q", rec.Kind)
+	}
+	return nil
+}
+
+func decodeOp(rec journal.Record, v any) error {
+	if err := json.Unmarshal(rec.Data, v); err != nil {
+		return fmt.Errorf("federation: decoding %s: %w", rec.Kind, err)
+	}
+	return nil
+}
+
+// appendLocked journals one coordinator mutation; nil log = in-memory.
+func (c *Coordinator) appendLocked(kind string, v any) error {
+	if c.log == nil {
+		return nil
+	}
+	if _, err := c.log.Append(kind, v); err != nil {
+		return fmt.Errorf("federation: %w", err)
+	}
+	return nil
+}
+
+func (c *Coordinator) applyShardAddLocked(op shardAddOp) {
+	if _, ok := c.shards[op.ID]; ok {
+		return
+	}
+	c.shards[op.ID] = &shardState{
+		id:     op.ID,
+		health: core.ProbeDead, // dead until a backend attaches
+		hist:   c.reg.Hist("obs_fed_shard_seconds", "shard", op.ID),
+	}
+	c.order = append(c.order, op.ID)
+	sort.Strings(c.order)
+	c.ring = newRing(c.order, c.cfg.Vnodes)
+}
+
+func (c *Coordinator) applyShardFailoverLocked(op shardFailoverOp, replacement Shard) {
+	st, ok := c.shards[op.ID]
+	if !ok {
+		// A failover record for a shard the snapshot-less journal never
+		// added cannot happen (failover journals after add); tolerate it
+		// by materializing the shard.
+		c.applyShardAddLocked(shardAddOp{ID: op.ID})
+		st = c.shards[op.ID]
+	}
+	st.epoch = op.Epoch
+	if replacement != nil {
+		st.backend = replacement
+		st.health = core.ProbeAlive
+		st.lastSeen = c.tick
+	} else {
+		st.backend = nil
+		st.health = core.ProbeDead
+	}
+}
+
+func (c *Coordinator) applyFedSubmitLocked(op fedSubmitOp) {
+	if _, ok := c.fedExps[op.FedID]; !ok {
+		c.fedExps[op.FedID] = &fedExperiment{ID: op.FedID, Owner: op.Owner, Shards: op.Shards}
+	}
+	if op.RequestID != "" {
+		c.submitIDs[op.RequestID] = op.FedID
+	}
+	var n int
+	if _, err := fmt.Sscanf(op.FedID, "fexp-%04d", &n); err == nil && n > c.nextFedID {
+		c.nextFedID = n
+	}
+}
+
+// AddShard adds a shard to the journaled map (idempotent by ID) and
+// attaches its backend. Re-attaching after a coordinator restart hits
+// the replayed entry and only installs the backend — no duplicate
+// journal record.
+func (c *Coordinator) AddShard(id string, backend Shard) error {
+	if id == "" {
+		return errors.New("federation: empty shard id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.shards[id]; !ok {
+		op := shardAddOp{ID: id}
+		if err := c.appendLocked("shard_add", op); err != nil {
+			return err
+		}
+		c.applyShardAddLocked(op)
+	}
+	st := c.shards[id]
+	st.backend = backend
+	if backend != nil {
+		st.health = core.ProbeAlive
+		st.lastSeen = c.tick
+	}
+	return nil
+}
+
+// FailoverShard replaces a shard's backend through the Failover hook,
+// bumping its journaled epoch. The hook runs outside the lock (it ships
+// state and replays a journal); the swap is journaled before it is
+// applied, like every other mutation.
+func (c *Coordinator) FailoverShard(id string) error {
+	c.mu.Lock()
+	st, ok := c.shards[id]
+	hook := c.Failover
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("federation: unknown shard %q", id)
+	}
+	if hook == nil {
+		c.mu.Unlock()
+		return errors.New("federation: no failover hook configured")
+	}
+	epoch := st.epoch + 1
+	c.mu.Unlock()
+
+	replacement, err := hook(id, epoch)
+	if err != nil {
+		c.ctr.Inc("fed_failover_errors")
+		return fmt.Errorf("federation: failover of %s: %w", id, err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur := c.shards[id]; cur == nil || cur.epoch >= epoch {
+		// Lost a race with a concurrent failover; drop our replacement.
+		c.ctr.Inc("fed_failover_races")
+		return nil
+	}
+	op := shardFailoverOp{ID: id, Epoch: epoch}
+	if err := c.appendLocked("shard_failover", op); err != nil {
+		return err
+	}
+	c.applyShardFailoverLocked(op, replacement)
+	c.ctr.Inc("fed_failovers")
+	return nil
+}
+
+// ShardStatuses reports every shard's id, epoch, and health, sorted by
+// id.
+func (c *Coordinator) ShardStatuses() []ShardStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ShardStatus, 0, len(c.order))
+	for _, id := range c.order {
+		st := c.shards[id]
+		out = append(out, ShardStatus{ID: st.id, Epoch: st.epoch, Health: st.health})
+	}
+	return out
+}
+
+// ShardEpoch returns a shard's current incarnation (0, false for an
+// unknown id). Chaos harnesses use it to detect that a failover won the
+// race against a planned restart.
+func (c *Coordinator) ShardEpoch(id string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.shards[id]
+	if !ok {
+		return 0, false
+	}
+	return st.epoch, true
+}
+
+// Tick advances the coordinator's logical clock by n: admission buckets
+// refill, every live backend's own clock advances, and each shard is
+// health-probed, driving the alive→suspect→dead machine. A shard that
+// reaches dead is failed over when AutoFailover and the hook are set.
+func (c *Coordinator) Tick(n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.tick += int64(n)
+	now := c.tick
+	type probeTarget struct {
+		st      *shardState
+		backend Shard
+	}
+	targets := make([]probeTarget, 0, len(c.order))
+	for _, id := range c.order {
+		st := c.shards[id]
+		targets = append(targets, probeTarget{st: st, backend: st.backend})
+	}
+	c.mu.Unlock()
+
+	c.gate.Refill(n)
+
+	// Advance + probe in parallel: a hung shard must not stall the
+	// other shards' clocks past its own deadline.
+	var wg sync.WaitGroup
+	alive := make([]bool, len(targets))
+	for i, t := range targets {
+		if t.backend == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, t probeTarget) {
+			defer wg.Done()
+			_, err := scatterCall(c, t.st, t.backend, false, func(s Shard) (struct{}, error) {
+				if err := s.Tick(n); err != nil {
+					return struct{}{}, err
+				}
+				_, err := s.Health()
+				return struct{}{}, err
+			})
+			alive[i] = err == nil
+		}(i, t)
+	}
+	wg.Wait()
+
+	var failover []string
+	c.mu.Lock()
+	for i, t := range targets {
+		st := t.st
+		if alive[i] {
+			st.lastSeen = now
+			if st.health != core.ProbeAlive {
+				c.ctr.Inc("fed_shard_recovered")
+			}
+			st.health = core.ProbeAlive
+			continue
+		}
+		silent := now - st.lastSeen
+		switch {
+		case silent >= c.cfg.DeadAfter:
+			if st.health != core.ProbeDead {
+				c.ctr.Inc("fed_shard_dead")
+			}
+			st.health = core.ProbeDead
+			if c.cfg.AutoFailover && c.Failover != nil {
+				failover = append(failover, st.id)
+			}
+		case silent >= c.cfg.SuspectAfter:
+			if st.health == core.ProbeAlive {
+				c.ctr.Inc("fed_shard_suspect")
+			}
+			if st.health != core.ProbeDead {
+				st.health = core.ProbeSuspect
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	for _, id := range failover {
+		if err := c.FailoverShard(id); err != nil {
+			c.ctr.Inc("fed_autofailover_deferred")
+		}
+	}
+}
+
+// shardFor routes a key (a probe ID) to its owning shard.
+func (c *Coordinator) shardFor(key string) (*shardState, Shard, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.ring.owner(key)
+	if id == "" {
+		return nil, nil, ErrNoShards
+	}
+	st := c.shards[id]
+	return st, st.backend, nil
+}
+
+// attemptResult carries one attempt's outcome through a channel —
+// hedged attempts must never write captured variables.
+type attemptResult[T any] struct {
+	v   T
+	err error
+}
+
+// scatterCall runs op against one shard under the per-shard deadline,
+// optionally hedging a second attempt after HedgeAfter (or immediately
+// on a retryable error). allowHedge must be false for non-idempotent
+// ops (LeaseTasks — a hedge could double-lease).
+func scatterCall[T any](c *Coordinator, st *shardState, backend Shard, allowHedge bool, op func(Shard) (T, error)) (T, error) {
+	var zero T
+	if backend == nil {
+		return zero, ErrShardDown
+	}
+	ch := make(chan attemptResult[T], 2)
+	attempt := func() {
+		t := obs.StartTimer()
+		v, err := op(backend)
+		st.hist.Observe(t.Elapsed())
+		ch <- attemptResult[T]{v: v, err: err}
+	}
+	go attempt()
+
+	var hedgeC <-chan time.Time
+	if allowHedge && c.cfg.HedgeAfter > 0 {
+		ht := time.NewTimer(c.cfg.HedgeAfter)
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+	dl := time.NewTimer(c.cfg.QueryDeadline)
+	defer dl.Stop()
+
+	hedged := false
+	inflight := 1
+	var lastErr error
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				return r.v, nil
+			}
+			lastErr = r.err
+			c.ctr.Inc("fed_shard_errors")
+			if errors.Is(r.err, ErrShardDown) {
+				return zero, r.err // definitive: hedging a dead slot is pointless
+			}
+			if allowHedge && !hedged {
+				hedged = true
+				inflight++
+				c.ctr.Inc("fed_hedges")
+				go attempt()
+				continue
+			}
+			if inflight == 0 {
+				return zero, lastErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if !hedged {
+				hedged = true
+				inflight++
+				c.ctr.Inc("fed_hedges")
+				go attempt()
+			}
+		case <-dl.C:
+			// Leaked attempts finish into the buffered channel.
+			c.ctr.Inc("fed_shard_timeouts")
+			return zero, ErrShardTimeout
+		}
+	}
+}
+
+// Register routes a probe registration to its owning shard.
+func (c *Coordinator) Register(p core.ProbeInfo) error {
+	st, backend, err := c.shardFor(p.ID)
+	if err != nil {
+		return err
+	}
+	_, err = scatterCall(c, st, backend, true, func(s Shard) (struct{}, error) {
+		return struct{}{}, s.Register(p)
+	})
+	return err
+}
+
+// Heartbeat routes a probe heartbeat to its owning shard.
+func (c *Coordinator) Heartbeat(probeID string) error {
+	st, backend, err := c.shardFor(probeID)
+	if err != nil {
+		return err
+	}
+	_, err = scatterCall(c, st, backend, true, func(s Shard) (struct{}, error) {
+		return struct{}{}, s.Heartbeat(probeID)
+	})
+	return err
+}
+
+// LeaseTasks routes a lease request to the probe's owning shard. Never
+// hedged: two racing lease attempts would both consume leases.
+func (c *Coordinator) LeaseTasks(probeID string, max int) ([]probes.Task, error) {
+	st, backend, err := c.shardFor(probeID)
+	if err != nil {
+		return nil, err
+	}
+	return scatterCall(c, st, backend, false, func(s Shard) ([]probes.Task, error) {
+		return s.LeaseTasks(probeID, max)
+	})
+}
+
+// SubmitResults routes a result batch to the probe's owning shard.
+// Hedging is safe: the shard dedups by (experiment, task).
+func (c *Coordinator) SubmitResults(probeID string, rs []probes.Result) (int, error) {
+	st, backend, err := c.shardFor(probeID)
+	if err != nil {
+		return 0, err
+	}
+	return scatterCall(c, st, backend, true, func(s Shard) (int, error) {
+		return s.SubmitResults(probeID, rs)
+	})
+}
+
+// Submit partitions an experiment's assignments by probe owner and
+// creates the same federated experiment id on every owning shard. The
+// (requestID → fedID) binding is journaled before any shard sees the
+// push, so a coordinator crash cannot mint two ids for one client
+// retry; the per-shard push is idempotent (per-shard request ids), so a
+// retry after a partial failure re-pushes only what is missing.
+func (c *Coordinator) Submit(requestID, owner, description string, as []probes.Assignment) (*core.Experiment, error) {
+	c.mu.Lock()
+	if len(c.order) == 0 {
+		c.mu.Unlock()
+		return nil, ErrNoShards
+	}
+	// Partition by assignment index: routing is pure ring math over the
+	// probe id.
+	partIdx := make(map[string][]int)
+	for i, a := range as {
+		id := c.ring.owner(a.ProbeID)
+		partIdx[id] = append(partIdx[id], i)
+	}
+	owners := make([]string, 0, len(partIdx))
+	for id := range partIdx {
+		owners = append(owners, id)
+	}
+	sort.Strings(owners)
+
+	var fedID string
+	var replay bool
+	if requestID != "" {
+		fedID, replay = c.submitIDs[requestID]
+	}
+	if !replay {
+		op := fedSubmitOp{
+			FedID:       fmt.Sprintf("fexp-%04d", c.nextFedID+1),
+			RequestID:   requestID,
+			Owner:       owner,
+			Description: description,
+			Shards:      owners,
+		}
+		if err := c.appendLocked("fed_submit", op); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.applyFedSubmitLocked(op)
+		fedID = op.FedID
+		c.ctr.Inc("fed_submits")
+	} else {
+		c.ctr.Inc("fed_submit_dedup")
+	}
+	targets := make(map[string]shardTarget, len(owners))
+	for _, id := range owners {
+		st := c.shards[id]
+		targets[id] = shardTarget{st: st, backend: st.backend}
+	}
+	c.mu.Unlock()
+
+	// Fill empty task ids centrally, by position in the federated
+	// submission: letting each shard auto-mint would collide across
+	// shards (every shard would mint fedID-t0000), corrupting the
+	// global (experiment, task) dedup identity. A client retry carries
+	// the same assignments in the same order, so the fill is stable.
+	filled := append([]probes.Assignment(nil), as...)
+	for i := range filled {
+		if filled[i].Task.ID == "" {
+			filled[i].Task.ID = fmt.Sprintf("%s-t%04d", fedID, i)
+		}
+	}
+
+	// Push partitions in deterministic order. Hedging is safe: the
+	// per-shard request id makes redelivery a dedup hit.
+	subs := make([]*core.Experiment, 0, len(owners))
+	for _, id := range owners {
+		t := targets[id]
+		part := make([]probes.Assignment, 0, len(partIdx[id]))
+		for _, i := range partIdx[id] {
+			part = append(part, filled[i])
+		}
+		sub, err := scatterCall(c, t.st, t.backend, true, func(s Shard) (*core.Experiment, error) {
+			return s.SubmitWithID("fed:"+fedID+":"+id, fedID, owner, description, part)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("federation: pushing %s to shard %s: %w", fedID, id, err)
+		}
+		subs = append(subs, sub)
+	}
+	return mergeExperiments(fedID, owner, description, subs), nil
+}
+
+// Approve fans an experiment approval out to every owning shard.
+func (c *Coordinator) Approve(fedID string) error {
+	fed, targets, err := c.experimentTargets(fedID)
+	if err != nil {
+		return err
+	}
+	for i, t := range targets {
+		_, err := scatterCall(c, t.st, t.backend, true, func(s Shard) (struct{}, error) {
+			return struct{}{}, s.Approve(fedID)
+		})
+		if err != nil {
+			return fmt.Errorf("federation: approving %s on shard %s: %w", fedID, fed.Shards[i], err)
+		}
+	}
+	return nil
+}
+
+// Experiment gathers a federated experiment's partitions from its
+// owning shards and merges them. A shard that lost the push (crash
+// between journal and push, before any client retry) contributes
+// nothing; a shard that cannot answer fails the read — experiment state
+// must never be silently partial, unlike result queries.
+func (c *Coordinator) Experiment(fedID string) (*core.Experiment, error) {
+	fed, targets, err := c.experimentTargets(fedID)
+	if err != nil {
+		return nil, err
+	}
+	subs := make([]*core.Experiment, 0, len(targets))
+	for i, t := range targets {
+		sub, err := scatterCall(c, t.st, t.backend, true, func(s Shard) (*core.Experiment, error) {
+			return s.Experiment(fedID)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("federation: reading %s from shard %s: %w", fedID, fed.Shards[i], err)
+		}
+		if sub != nil {
+			subs = append(subs, sub)
+		}
+	}
+	return mergeExperiments(fedID, fed.Owner, "", subs), nil
+}
+
+type shardTarget struct {
+	st      *shardState
+	backend Shard
+}
+
+func (c *Coordinator) experimentTargets(fedID string) (*fedExperiment, []shardTarget, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fed, ok := c.fedExps[fedID]
+	if !ok {
+		return nil, nil, ErrUnknownExperiment
+	}
+	targets := make([]shardTarget, 0, len(fed.Shards))
+	for _, id := range fed.Shards {
+		st := c.shards[id]
+		if st == nil {
+			return nil, nil, fmt.Errorf("federation: experiment %s references unknown shard %s", fedID, id)
+		}
+		targets = append(targets, shardTarget{st: st, backend: st.backend})
+	}
+	return fed, targets, nil
+}
+
+// mergeExperiments folds per-shard sub-experiments into the federated
+// view: assignments concatenated in shard order, status pending if any
+// partition is pending, rejected if any is rejected, else approved.
+func mergeExperiments(fedID, owner, description string, subs []*core.Experiment) *core.Experiment {
+	out := &core.Experiment{ID: fedID, Owner: owner, Description: description, Status: core.StatusApproved}
+	anyPending, anyRejected := false, false
+	for _, sub := range subs {
+		if sub == nil {
+			continue
+		}
+		if out.Description == "" {
+			out.Description = sub.Description
+		}
+		out.Assignments = append(out.Assignments, sub.Assignments...)
+		switch sub.Status {
+		case core.StatusPending:
+			anyPending = true
+		case core.StatusRejected:
+			anyRejected = true
+		}
+	}
+	switch {
+	case anyRejected:
+		out.Status = core.StatusRejected
+	case anyPending:
+		out.Status = core.StatusPending
+	}
+	return out
+}
+
+// Health aggregates every responsive shard's health report. Status is
+// "degraded" when any shard is unresponsive or degraded.
+func (c *Coordinator) Health() core.HealthReport {
+	targets, _ := c.allTargets()
+	out := core.HealthReport{Status: "ok"}
+	c.mu.Lock()
+	out.Tick = c.tick
+	c.mu.Unlock()
+	for _, t := range targets {
+		rep, err := scatterCall(c, t.st, t.backend, true, func(s Shard) (core.HealthReport, error) {
+			return s.Health()
+		})
+		if err != nil {
+			out.Status = "degraded"
+			continue
+		}
+		if rep.Status != "ok" {
+			out.Status = "degraded"
+		}
+		out.ProbesAlive += rep.ProbesAlive
+		out.ProbesSuspect += rep.ProbesSuspect
+		out.ProbesDead += rep.ProbesDead
+		out.QueuedTasks += rep.QueuedTasks
+		out.OutstandingLeases += rep.OutstandingLeases
+	}
+	return out
+}
+
+// FedStats is the coordinator's /api/v1/stats payload: its own event
+// and admission counters plus each responsive shard's StatsReport.
+type FedStats struct {
+	Tick        int64                       `json:"tick"`
+	Coordinator map[string]int64            `json:"coordinator"`
+	Admission   map[string]int64            `json:"admission,omitempty"`
+	Shards      map[string]core.StatsReport `json:"shards"`
+	ShardsDown  []string                    `json:"shards_down,omitempty"`
+}
+
+// Stats gathers per-shard stats; unresponsive shards are listed in
+// ShardsDown rather than failing the read.
+func (c *Coordinator) Stats() FedStats {
+	targets, ids := c.allTargets()
+	out := FedStats{
+		Coordinator: c.ctr.Snapshot(),
+		Admission:   c.gate.Snapshot(),
+		Shards:      make(map[string]core.StatsReport, len(targets)),
+	}
+	c.mu.Lock()
+	out.Tick = c.tick
+	c.mu.Unlock()
+	for i, t := range targets {
+		rep, err := scatterCall(c, t.st, t.backend, true, func(s Shard) (core.StatsReport, error) {
+			return s.Stats()
+		})
+		if err != nil {
+			out.ShardsDown = append(out.ShardsDown, ids[i])
+			continue
+		}
+		out.Shards[ids[i]] = rep
+	}
+	return out
+}
+
+// allTargets snapshots every shard's state and backend in sorted-id
+// order.
+func (c *Coordinator) allTargets() ([]shardTarget, []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	targets := make([]shardTarget, 0, len(c.order))
+	ids := make([]string, 0, len(c.order))
+	for _, id := range c.order {
+		st := c.shards[id]
+		targets = append(targets, shardTarget{st: st, backend: st.backend})
+		ids = append(ids, id)
+	}
+	return targets, ids
+}
+
+// RetryAfterSeconds is the delay suggested on shard_unavailable
+// responses.
+func (c *Coordinator) RetryAfterSeconds() int { return c.cfg.RetryAfterSeconds }

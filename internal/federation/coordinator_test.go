@@ -1,0 +1,687 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/afrinet/observatory/internal/core"
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/store"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+const testOwner = "lab"
+
+func testConfig() Config {
+	return Config{
+		SuspectAfter:  2,
+		DeadAfter:     4,
+		QueryDeadline: 5 * time.Second,
+		HedgeAfter:    20 * time.Millisecond,
+	}
+}
+
+// newHarness builds a coordinator over n in-memory controller shards.
+func newHarness(t *testing.T, n int, dir string, cfg Config) (*Coordinator, []*LocalShard) {
+	t.Helper()
+	c, err := New(dir, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	shards := make([]*LocalShard, n)
+	for i := 0; i < n; i++ {
+		shards[i] = NewLocalShard(core.NewController(testOwner))
+		if err := c.AddShard(fmt.Sprintf("shard-%d", i), shards[i]); err != nil {
+			t.Fatalf("AddShard: %v", err)
+		}
+	}
+	return c, shards
+}
+
+func testProbes(n int) []core.ProbeInfo {
+	out := make([]core.ProbeInfo, n)
+	for i := range out {
+		out[i] = core.ProbeInfo{
+			ID:       fmt.Sprintf("probe-%02d", i),
+			ASN:      topology.ASN(64500 + i%4),
+			Country:  []string{"KE", "NG", "ZA", "SN"}[i%4],
+			HasWired: i%2 == 0,
+		}
+	}
+	return out
+}
+
+func testAssignments(ps []core.ProbeInfo, perProbe int) []probes.Assignment {
+	var as []probes.Assignment
+	for _, p := range ps {
+		for j := 0; j < perProbe; j++ {
+			as = append(as, probes.Assignment{
+				ProbeID: p.ID,
+				Task:    probes.Task{Kind: probes.TaskPing, Target: "10.0.0.1"},
+			})
+		}
+	}
+	return as
+}
+
+// pumpResults registers the probes, submits an experiment, and drives
+// every probe through lease → result through the coordinator. Returns
+// the federated experiment and how many results were accepted.
+func pumpResults(t *testing.T, c *Coordinator, ps []core.ProbeInfo, perProbe int) (*core.Experiment, int) {
+	t.Helper()
+	for _, p := range ps {
+		if err := c.Register(p); err != nil {
+			t.Fatalf("Register(%s): %v", p.ID, err)
+		}
+	}
+	exp, err := c.Submit("req-1", testOwner, "fed workload", testAssignments(ps, perProbe))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if exp.Status != core.StatusApproved {
+		t.Fatalf("trusted owner not auto-approved: %s", exp.Status)
+	}
+	accepted := 0
+	for _, p := range ps {
+		for {
+			tasks, err := c.LeaseTasks(p.ID, 8)
+			if err != nil {
+				t.Fatalf("LeaseTasks(%s): %v", p.ID, err)
+			}
+			if len(tasks) == 0 {
+				break
+			}
+			rs := make([]probes.Result, 0, len(tasks))
+			for _, task := range tasks {
+				rs = append(rs, probes.Result{
+					TaskID:     task.ID,
+					Experiment: task.Experiment,
+					ProbeID:    p.ID,
+					Kind:       task.Kind,
+					OK:         true,
+					RTTms:      float64(10 + len(task.ID)%7),
+				})
+			}
+			n, err := c.SubmitResults(p.ID, rs)
+			if err != nil {
+				t.Fatalf("SubmitResults(%s): %v", p.ID, err)
+			}
+			accepted += n
+		}
+	}
+	return exp, accepted
+}
+
+func TestRingDeterministicAndCovering(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	r1 := newRing(ids, 0)
+	r2 := newRing(ids, 0)
+	hits := map[string]int{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("probe-%03d", i)
+		o1, o2 := r1.owner(k), r2.owner(k)
+		if o1 != o2 {
+			t.Fatalf("ring not deterministic for %s: %s vs %s", k, o1, o2)
+		}
+		hits[o1]++
+	}
+	for _, id := range ids {
+		if hits[id] == 0 {
+			t.Fatalf("shard %s owns no keys: %v", id, hits)
+		}
+	}
+	if got := (&ring{}).owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+}
+
+func TestRoutingSpreadsProbesAndMergesResults(t *testing.T) {
+	c, shards := newHarness(t, 3, "", testConfig())
+	ps := testProbes(12)
+	exp, accepted := pumpResults(t, c, ps, 2)
+	if want := len(ps) * 2; accepted != want {
+		t.Fatalf("accepted %d results, want %d", accepted, want)
+	}
+	// Each shard holds only its partition; together they hold everything
+	// exactly once.
+	perShard := 0
+	for i, ls := range shards {
+		recs, _, err := ls.ScanPage(store.Filter{Experiment: exp.ID}, 0, "")
+		if err != nil {
+			t.Fatalf("shard %d scan: %v", i, err)
+		}
+		perShard += len(recs)
+	}
+	if perShard != accepted {
+		t.Fatalf("shards hold %d records, want %d", perShard, accepted)
+	}
+	recs, next, meta, err := c.ScanPage(store.Filter{Experiment: exp.ID}, 0, "")
+	if err != nil {
+		t.Fatalf("fed scan: %v", err)
+	}
+	if meta.Degraded || next != "" {
+		t.Fatalf("healthy full scan: degraded=%v next=%q", meta.Degraded, next)
+	}
+	if len(recs) != accepted {
+		t.Fatalf("fed scan returned %d records, want %d", len(recs), accepted)
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if seen[r.Key()] {
+			t.Fatalf("duplicate key %s in federated scan", r.Key())
+		}
+		seen[r.Key()] = true
+	}
+	// Federated aggregate == the fold over the federated scan.
+	rep, meta, err := c.Aggregate(store.AggQuery{GroupBy: store.GroupCountry})
+	if err != nil || meta.Degraded {
+		t.Fatalf("fed aggregate: err=%v degraded=%v", err, meta.Degraded)
+	}
+	want, err := store.AggregateRecords(recs, store.GroupCountry)
+	if err != nil {
+		t.Fatalf("oracle fold: %v", err)
+	}
+	if !reflect.DeepEqual(rep, want) {
+		t.Fatalf("fed aggregate diverges from fold over fed scan:\n got %+v\nwant %+v", rep, want)
+	}
+}
+
+func TestSubmitIdempotentAcrossRetries(t *testing.T) {
+	c, _ := newHarness(t, 3, "", testConfig())
+	ps := testProbes(6)
+	for _, p := range ps {
+		if err := c.Register(p); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	as := testAssignments(ps, 1)
+	exp1, err := c.Submit("req-idem", testOwner, "d", as)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	exp2, err := c.Submit("req-idem", testOwner, "d", as)
+	if err != nil {
+		t.Fatalf("Submit retry: %v", err)
+	}
+	if exp1.ID != exp2.ID {
+		t.Fatalf("retry minted a second experiment: %s vs %s", exp1.ID, exp2.ID)
+	}
+	if len(exp2.Assignments) != len(as) {
+		t.Fatalf("retry has %d assignments, want %d", len(exp2.Assignments), len(as))
+	}
+	// A different request id is a different experiment.
+	exp3, err := c.Submit("req-other", testOwner, "d", as)
+	if err != nil {
+		t.Fatalf("Submit other: %v", err)
+	}
+	if exp3.ID == exp1.ID {
+		t.Fatalf("distinct request ids shared experiment id %s", exp1.ID)
+	}
+}
+
+func TestSubmitRetryRepairsPartialPush(t *testing.T) {
+	c, shards := newHarness(t, 2, "", testConfig())
+	ps := testProbes(8)
+	for _, p := range ps {
+		if err := c.Register(p); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	as := testAssignments(ps, 1)
+	// Kill one shard: the push reaches the surviving shard only.
+	killed := shards[1].Kill()
+	if _, err := c.Submit("req-partial", testOwner, "d", as); err == nil {
+		t.Fatal("Submit with a dead shard should fail")
+	}
+	shards[1].Revive(killed)
+	exp, err := c.Submit("req-partial", testOwner, "d", as)
+	if err != nil {
+		t.Fatalf("Submit retry after revive: %v", err)
+	}
+	if len(exp.Assignments) != len(as) {
+		t.Fatalf("repaired experiment has %d assignments, want %d", len(exp.Assignments), len(as))
+	}
+	// The surviving shard's partition was not duplicated by the retry.
+	got, err := c.Experiment(exp.ID)
+	if err != nil {
+		t.Fatalf("Experiment: %v", err)
+	}
+	if len(got.Assignments) != len(as) {
+		t.Fatalf("gathered experiment has %d assignments, want %d", len(got.Assignments), len(as))
+	}
+}
+
+func TestCoordinatorJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	c1, shards := newHarness(t, 3, dir, cfg)
+	ps := testProbes(9)
+	exp, accepted := pumpResults(t, c1, ps, 1)
+	routes1 := map[string]string{}
+	for _, p := range ps {
+		c1.mu.Lock()
+		routes1[p.ID] = c1.ring.owner(p.ID)
+		c1.mu.Unlock()
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c2, err := New(dir, cfg)
+	if err != nil {
+		t.Fatalf("New (recover): %v", err)
+	}
+	defer c2.Close()
+	// Shard map replayed: same ids, backends detached (dead).
+	sts := c2.ShardStatuses()
+	if len(sts) != 3 {
+		t.Fatalf("recovered %d shards, want 3", len(sts))
+	}
+	for _, st := range sts {
+		if st.Health != core.ProbeDead {
+			t.Fatalf("detached shard %s health %s, want dead", st.ID, st.Health)
+		}
+	}
+	// Re-attach and verify routing and the submission book survived.
+	for i, ls := range shards {
+		if err := c2.AddShard(fmt.Sprintf("shard-%d", i), ls); err != nil {
+			t.Fatalf("re-AddShard: %v", err)
+		}
+	}
+	for _, p := range ps {
+		c2.mu.Lock()
+		got := c2.ring.owner(p.ID)
+		c2.mu.Unlock()
+		if got != routes1[p.ID] {
+			t.Fatalf("probe %s re-routed from %s to %s across coordinator restart", p.ID, routes1[p.ID], got)
+		}
+	}
+	dup, err := c2.Submit("req-1", testOwner, "fed workload", testAssignments(ps, 1))
+	if err != nil {
+		t.Fatalf("replayed Submit: %v", err)
+	}
+	if dup.ID != exp.ID {
+		t.Fatalf("recovered coordinator re-minted %s for request req-1 (was %s)", dup.ID, exp.ID)
+	}
+	recs, _, meta, err := c2.ScanPage(store.Filter{Experiment: exp.ID}, 0, "")
+	if err != nil || meta.Degraded {
+		t.Fatalf("post-recovery scan: err=%v degraded=%v", err, meta.Degraded)
+	}
+	if len(recs) != accepted {
+		t.Fatalf("post-recovery scan has %d records, want %d", len(recs), accepted)
+	}
+}
+
+func TestShardHealthStateMachine(t *testing.T) {
+	cfg := testConfig()
+	c, shards := newHarness(t, 2, "", cfg)
+	c.Tick(1)
+	if sts := c.ShardStatuses(); sts[0].Health != core.ProbeAlive || sts[1].Health != core.ProbeAlive {
+		t.Fatalf("expected both alive after tick: %+v", sts)
+	}
+	killed := shards[1].Kill()
+	c.Tick(int(cfg.SuspectAfter))
+	if got := c.ShardStatuses()[1].Health; got != core.ProbeSuspect {
+		t.Fatalf("after %d silent ticks health = %s, want suspect", cfg.SuspectAfter, got)
+	}
+	c.Tick(int(cfg.DeadAfter - cfg.SuspectAfter))
+	if got := c.ShardStatuses()[1].Health; got != core.ProbeDead {
+		t.Fatalf("after %d silent ticks health = %s, want dead", cfg.DeadAfter, got)
+	}
+	if got := c.ShardStatuses()[0].Health; got != core.ProbeAlive {
+		t.Fatalf("healthy shard marked %s", got)
+	}
+	shards[1].Revive(killed)
+	c.Tick(1)
+	if got := c.ShardStatuses()[1].Health; got != core.ProbeAlive {
+		t.Fatalf("revived shard health = %s, want alive", got)
+	}
+	if c.Counters()["fed_shard_recovered"] == 0 {
+		t.Fatal("fed_shard_recovered not counted")
+	}
+}
+
+func TestDeadShardFailoverPreservesState(t *testing.T) {
+	cfg := testConfig()
+	cfg.AutoFailover = true
+	base := t.TempDir()
+	c, err := New("", cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+
+	// Durable shards so state can be shipped.
+	dcfg := core.DurabilityConfig{Trusted: []string{testOwner}, StoreFlushEvery: 4}
+	shards := make([]*LocalShard, 2)
+	dirs := make([]string, 2)
+	for i := range shards {
+		dirs[i] = fmt.Sprintf("%s/shard-%d", base, i)
+		ctrl, err := core.Recover(dirs[i], dcfg)
+		if err != nil {
+			t.Fatalf("Recover shard %d: %v", i, err)
+		}
+		shards[i] = NewLocalShard(ctrl)
+		if err := c.AddShard(fmt.Sprintf("shard-%d", i), shards[i]); err != nil {
+			t.Fatalf("AddShard: %v", err)
+		}
+	}
+	c.Failover = func(id string, epoch int) (Shard, error) {
+		var src string
+		var ls *LocalShard
+		switch id {
+		case "shard-0":
+			src, ls = dirs[0], shards[0]
+		case "shard-1":
+			src, ls = dirs[1], shards[1]
+		default:
+			return nil, fmt.Errorf("unknown shard %s", id)
+		}
+		dst := fmt.Sprintf("%s/%s-epoch%d", base, id, epoch)
+		if err := ShipState(src, dst, "", ""); err != nil {
+			return nil, err
+		}
+		ctrl, err := core.Recover(dst, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		ls.Revive(ctrl)
+		return ls, nil
+	}
+
+	ps := testProbes(10)
+	exp, accepted := pumpResults(t, c, ps, 2)
+
+	// Crash shard-1 without closing it (a real crash leaves no goodbye);
+	// its journal is already durable because appends sync before ack.
+	dead := shards[1].Kill()
+	_ = dead
+	c.Tick(int(cfg.DeadAfter))
+	if c.Counters()["fed_failovers"] != 1 {
+		t.Fatalf("fed_failovers = %d, want 1 (counters: %v)", c.Counters()["fed_failovers"], c.Counters())
+	}
+	epoch, ok := c.ShardEpoch("shard-1")
+	if !ok || epoch != 1 {
+		t.Fatalf("shard-1 epoch = %d/%v, want 1", epoch, ok)
+	}
+	if got := c.ShardStatuses()[1].Health; got != core.ProbeAlive {
+		t.Fatalf("failed-over shard health = %s, want alive", got)
+	}
+
+	// Exactly-once across the handoff: everything acknowledged before
+	// the crash is present exactly once in the merged scan.
+	recs, _, meta, err := c.ScanPage(store.Filter{Experiment: exp.ID}, 0, "")
+	if err != nil || meta.Degraded {
+		t.Fatalf("post-failover scan: err=%v degraded=%v", err, meta.Degraded)
+	}
+	if len(recs) != accepted {
+		t.Fatalf("post-failover scan has %d records, want %d", len(recs), accepted)
+	}
+	keys := map[string]int{}
+	for _, r := range recs {
+		keys[r.Key()]++
+	}
+	for k, n := range keys {
+		if n != 1 {
+			t.Fatalf("key %s appears %d times after failover", k, n)
+		}
+	}
+	// The replacement still serves its keyspace: new leases drain empty
+	// (everything completed) rather than erroring.
+	for _, p := range ps {
+		if _, err := c.LeaseTasks(p.ID, 4); err != nil {
+			t.Fatalf("post-failover lease for %s: %v", p.ID, err)
+		}
+	}
+}
+
+func TestScanDegradesAroundDeadShardAndRecovers(t *testing.T) {
+	c, shards := newHarness(t, 3, "", testConfig())
+	ps := testProbes(12)
+	exp, accepted := pumpResults(t, c, ps, 1)
+
+	killed := shards[2].Kill()
+	recs, next, meta, err := c.ScanPage(store.Filter{Experiment: exp.ID}, 0, "")
+	if err != nil {
+		t.Fatalf("degraded scan errored: %v", err)
+	}
+	if !meta.Degraded || !reflect.DeepEqual(meta.ShardsMissing, []string{"shard-2"}) {
+		t.Fatalf("meta = %+v, want degraded with shard-2 missing", meta)
+	}
+	if len(recs) >= accepted {
+		t.Fatalf("degraded scan returned %d records, expected fewer than %d", len(recs), accepted)
+	}
+	// The degraded response carries a cursor that retries the missing
+	// shard: after revival the remainder is reachable through it.
+	shards[2].Revive(killed)
+	rest, _, meta2, err := c.ScanPage(store.Filter{Experiment: exp.ID}, 0, next)
+	if err != nil || meta2.Degraded {
+		t.Fatalf("follow-up scan: err=%v meta=%+v", err, meta2)
+	}
+	got := map[string]bool{}
+	for _, r := range append(recs, rest...) {
+		if got[r.Key()] {
+			t.Fatalf("duplicate key %s across degraded + follow-up pages", r.Key())
+		}
+		got[r.Key()] = true
+	}
+	if len(got) != accepted {
+		t.Fatalf("degraded + follow-up pages cover %d keys, want %d", len(got), accepted)
+	}
+
+	// All shards down is an error, not an empty 200.
+	for _, ls := range shards {
+		ls.Kill()
+	}
+	if _, _, _, err := c.ScanPage(store.Filter{}, 0, ""); err == nil {
+		t.Fatal("scan with every shard dead should error")
+	}
+	if _, _, err := c.Aggregate(store.AggQuery{}); err == nil {
+		t.Fatal("aggregate with every shard dead should error")
+	}
+}
+
+func TestScanPagination(t *testing.T) {
+	c, _ := newHarness(t, 3, "", testConfig())
+	ps := testProbes(9)
+	exp, accepted := pumpResults(t, c, ps, 2)
+	var walked []store.Record
+	cursor := ""
+	pages := 0
+	for {
+		recs, next, meta, err := c.ScanPage(store.Filter{Experiment: exp.ID}, 5, cursor)
+		if err != nil || meta.Degraded {
+			t.Fatalf("page %d: err=%v degraded=%v", pages, err, meta.Degraded)
+		}
+		walked = append(walked, recs...)
+		pages++
+		if next == "" {
+			break
+		}
+		cursor = next
+		if pages > accepted {
+			t.Fatal("pagination does not terminate")
+		}
+	}
+	full, _, _, err := c.ScanPage(store.Filter{Experiment: exp.ID}, 0, "")
+	if err != nil {
+		t.Fatalf("full scan: %v", err)
+	}
+	if len(walked) != len(full) {
+		t.Fatalf("page walk found %d records, full scan %d", len(walked), len(full))
+	}
+	for i := range walked {
+		if walked[i].Key() != full[i].Key() || walked[i].Seq != full[i].Seq {
+			t.Fatalf("page walk diverges from full scan at %d: %+v vs %+v", i, walked[i], full[i])
+		}
+	}
+}
+
+// flakyShard fails its first n calls of each kind, then delegates.
+type flakyShard struct {
+	*LocalShard
+	failFirst int
+	calls     int
+}
+
+func (f *flakyShard) Health() (core.HealthReport, error) {
+	f.calls++
+	if f.calls <= f.failFirst {
+		return core.HealthReport{}, errors.New("transient shard fault")
+	}
+	return f.LocalShard.Health()
+}
+
+func TestScatterCallHedgesTransientFaults(t *testing.T) {
+	cfg := testConfig()
+	c, err := New("", cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	fs := &flakyShard{LocalShard: NewLocalShard(core.NewController(testOwner)), failFirst: 1}
+	if err := c.AddShard("flaky", fs); err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	st, backend, err := c.shardFor("any-key")
+	if err != nil {
+		t.Fatalf("shardFor: %v", err)
+	}
+	if _, err := scatterCall(c, st, backend, true, func(s Shard) (core.HealthReport, error) {
+		return s.Health()
+	}); err != nil {
+		t.Fatalf("hedged call failed despite transient fault: %v", err)
+	}
+	if c.Counters()["fed_hedges"] == 0 {
+		t.Fatal("fed_hedges not counted")
+	}
+	if c.Counters()["fed_shard_errors"] == 0 {
+		t.Fatal("fed_shard_errors not counted")
+	}
+}
+
+func TestScatterCallDeadline(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueryDeadline = 30 * time.Millisecond
+	cfg.HedgeAfter = 5 * time.Millisecond
+	c, err := New("", cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	hang := &hangShard{LocalShard: NewLocalShard(core.NewController(testOwner))}
+	if err := c.AddShard("hang", hang); err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	st, backend, err := c.shardFor("any-key")
+	if err != nil {
+		t.Fatalf("shardFor: %v", err)
+	}
+	_, err = scatterCall(c, st, backend, true, func(s Shard) (core.HealthReport, error) {
+		return s.Health()
+	})
+	if !errors.Is(err, ErrShardTimeout) {
+		t.Fatalf("err = %v, want ErrShardTimeout", err)
+	}
+	if c.Counters()["fed_shard_timeouts"] == 0 {
+		t.Fatal("fed_shard_timeouts not counted")
+	}
+}
+
+// hangShard blocks Health until the test deadline.
+type hangShard struct {
+	*LocalShard
+}
+
+func (h *hangShard) Health() (core.HealthReport, error) {
+	time.Sleep(10 * time.Second)
+	return core.HealthReport{}, nil
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	pos := map[string]string{
+		"shard-0":              "17",
+		"http://host:8600/a=b": "3",
+		"shard-2":              "",
+	}
+	enc := encodeFedCursor(pos)
+	got, err := parseFedCursor(enc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := map[string]string{"shard-0": "17", "http://host:8600/a=b": "3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: got %v want %v", got, want)
+	}
+	if _, err := parseFedCursor("garbage"); err == nil {
+		t.Fatal("garbage cursor should not parse")
+	}
+	if enc := encodeFedCursor(nil); enc != "" {
+		t.Fatalf("empty cursor encodes to %q", enc)
+	}
+}
+
+func TestMergeExperimentStatus(t *testing.T) {
+	mk := func(status core.ExperimentStatus) *core.Experiment {
+		return &core.Experiment{ID: "fexp-0001", Status: status}
+	}
+	cases := []struct {
+		subs []*core.Experiment
+		want core.ExperimentStatus
+	}{
+		{[]*core.Experiment{mk(core.StatusApproved), mk(core.StatusApproved)}, core.StatusApproved},
+		{[]*core.Experiment{mk(core.StatusApproved), mk(core.StatusPending)}, core.StatusPending},
+		{[]*core.Experiment{mk(core.StatusPending), mk(core.StatusRejected)}, core.StatusRejected},
+		{[]*core.Experiment{nil, mk(core.StatusApproved)}, core.StatusApproved},
+	}
+	for i, tc := range cases {
+		if got := mergeExperiments("fexp-0001", "o", "d", tc.subs).Status; got != tc.want {
+			t.Fatalf("case %d: status %s, want %s", i, got, tc.want)
+		}
+	}
+}
+
+func TestShardStatusesSorted(t *testing.T) {
+	c, _ := newHarness(t, 3, "", testConfig())
+	sts := c.ShardStatuses()
+	ids := make([]string, len(sts))
+	for i, st := range sts {
+		ids[i] = st.ID
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Fatalf("shard statuses not sorted: %v", ids)
+	}
+}
+
+// A remote shard that can't be reached at all (transport error after
+// the client's retries) and one answering 503 (recovery gate,
+// admission shed) are both DOWN to the routing layer — the coordinator
+// must answer 503 shard_unavailable, not relabel the outage a 400. A
+// real API verdict from a live shard passes through untouched.
+func TestRemoteErrClassifiesShardDown(t *testing.T) {
+	if remoteErr(nil) != nil {
+		t.Fatal("nil error must stay nil")
+	}
+	transport := fmt.Errorf("core: POST /x failed after 4 attempts: dial tcp: connection refused")
+	if !errors.Is(remoteErr(transport), ErrShardDown) {
+		t.Fatalf("transport error not classified down: %v", remoteErr(transport))
+	}
+	gate := &core.APIError{Status: 503, Code: core.ErrCodeUnavailable, Message: "recovering"}
+	if !errors.Is(remoteErr(gate), ErrShardDown) {
+		t.Fatalf("remote 503 not classified down: %v", remoteErr(gate))
+	}
+	notFound := &core.APIError{Status: 404, Code: core.ErrCodeNotFound, Message: "no such experiment"}
+	got := remoteErr(notFound)
+	if errors.Is(got, ErrShardDown) {
+		t.Fatalf("API verdict 404 must pass through, got shard-down: %v", got)
+	}
+	var apiErr *core.APIError
+	if !errors.As(got, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("404 verdict mangled: %v", got)
+	}
+}

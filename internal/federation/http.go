@@ -1,0 +1,406 @@
+package federation
+
+// http.go is the coordinator's front end: the v1 API surface re-served
+// over the shard tier. Envelopes, request ids, page shapes, and body
+// caps are byte-identical to a single controller's (internal/core's
+// exported envelope writers), so probes and analysts cannot tell a
+// coordinator from a controller — until a shard dies, when they see
+// 503 shard_unavailable on that shard's keys and degraded-but-correct
+// partial query results instead of a dead platform.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/afrinet/observatory/internal/core"
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/store"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// fedRoute is one coordinator endpoint.
+type fedRoute struct {
+	name     string
+	method   string
+	segs     []string
+	priority core.RoutePriority
+	handle   func(*Coordinator, http.ResponseWriter, *http.Request, map[string]string)
+}
+
+var fedRoutes = []fedRoute{
+	{"probe_register", http.MethodPost, segsOf("/api/v1/probes/register"), core.PriorityHigh, (*Coordinator).handleRegister},
+	{"probe_tasks", http.MethodGet, segsOf("/api/v1/probes/{id}/tasks"), core.PriorityHigh, (*Coordinator).handleProbeTasks},
+	{"probe_results", http.MethodPost, segsOf("/api/v1/probes/{id}/results"), core.PriorityHigh, (*Coordinator).handleProbeResults},
+	{"probe_heartbeat", http.MethodPost, segsOf("/api/v1/probes/{id}/heartbeat"), core.PriorityHigh, (*Coordinator).handleProbeHeartbeat},
+	{"experiment_submit", http.MethodPost, segsOf("/api/v1/experiments"), core.PriorityHigh, (*Coordinator).handleSubmit},
+	{"experiment_get", http.MethodGet, segsOf("/api/v1/experiments/{id}"), core.PriorityLow, (*Coordinator).handleExperimentGet},
+	{"experiment_approve", http.MethodPost, segsOf("/api/v1/experiments/{id}/approve"), core.PriorityHigh, (*Coordinator).handleExperimentApprove},
+	{"experiment_results", http.MethodGet, segsOf("/api/v1/experiments/{id}/results"), core.PriorityLow, (*Coordinator).handleExperimentResults},
+	{"query", http.MethodGet, segsOf("/api/v1/query"), core.PriorityLow, (*Coordinator).handleQuery},
+	{"health", http.MethodGet, segsOf("/api/v1/health"), core.PriorityHigh, (*Coordinator).handleHealth},
+	{"stats", http.MethodGet, segsOf("/api/v1/stats"), core.PriorityLow, (*Coordinator).handleStats},
+	{"shards", http.MethodGet, segsOf("/api/v1/shards"), core.PriorityLow, (*Coordinator).handleShards},
+	{"metrics", http.MethodGet, segsOf("/metrics"), core.PriorityHigh, (*Coordinator).handleMetrics},
+}
+
+func segsOf(pattern string) []string {
+	return strings.Split(strings.TrimPrefix(pattern, "/"), "/")
+}
+
+// page mirrors the v1 list-response shape, extended with the federated
+// degradation annotation (absent on complete responses).
+type page struct {
+	Items      interface{} `json:"items"`
+	NextCursor string      `json:"next_cursor,omitempty"`
+	QueryMeta
+}
+
+// Handler serves the coordinator's v1 surface. Route admission runs
+// through the coordinator's gate (refilled by Tick) with the same
+// priorities as a controller: probe traffic sheds last.
+func (c *Coordinator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		core.EnsureRequestID(w, r)
+		segs := strings.Split(strings.TrimPrefix(r.URL.Path, "/"), "/")
+		var allowed []string
+		for i := range fedRoutes {
+			rt := &fedRoutes[i]
+			params, ok := matchSegs(rt.segs, segs)
+			if !ok {
+				continue
+			}
+			if rt.method != r.Method {
+				allowed = append(allowed, rt.method)
+				continue
+			}
+			release, ok := c.gate.Admit(rt.name, rt.priority)
+			if !ok {
+				w.Header().Set("Retry-After", strconv.Itoa(c.gate.RetryAfterSeconds()))
+				core.WriteAPIError(w, http.StatusTooManyRequests, core.ErrCodeRateLimited,
+					core.ErrRateLimited(rt.name))
+				return
+			}
+			defer release()
+			if r.Method == http.MethodPost {
+				r.Body = http.MaxBytesReader(w, r.Body, core.MaxBodyBytes)
+			}
+			rt.handle(c, w, r, params)
+			return
+		}
+		if len(allowed) > 0 {
+			sort.Strings(allowed)
+			w.Header().Set("Allow", strings.Join(allowed, ", "))
+			core.WriteAPIError(w, http.StatusMethodNotAllowed, core.ErrCodeMethodNotAllowed,
+				fmt.Errorf("method not allowed (allowed: %s)", strings.Join(allowed, ", ")))
+			return
+		}
+		core.WriteAPIError(w, http.StatusNotFound, core.ErrCodeNotFound, errors.New("not found"))
+	})
+}
+
+// matchSegs matches concrete path segments against a pattern; {name}
+// captures any non-empty segment.
+func matchSegs(pattern, segs []string) (map[string]string, bool) {
+	if len(pattern) != len(segs) {
+		return nil, false
+	}
+	var params map[string]string
+	for i, p := range pattern {
+		if strings.HasPrefix(p, "{") && strings.HasSuffix(p, "}") {
+			if segs[i] == "" {
+				return nil, false
+			}
+			if params == nil {
+				params = make(map[string]string, 2)
+			}
+			params[p[1:len(p)-1]] = segs[i]
+			continue
+		}
+		if p != segs[i] {
+			return nil, false
+		}
+	}
+	return params, true
+}
+
+// writeShardErr maps routing-layer failures onto the v1 envelope: a
+// down or deadline-blown shard is 503 shard_unavailable with a
+// Retry-After (the client retries without tripping its breaker), a
+// remote shard's own API error passes through status and code intact,
+// and anything else is the shard rejecting the request (400).
+func (c *Coordinator) writeShardErr(w http.ResponseWriter, err error) {
+	var apiErr *core.APIError
+	switch {
+	case errors.Is(err, ErrUnknownExperiment):
+		core.WriteAPIError(w, http.StatusNotFound, core.ErrCodeNotFound, err)
+	case errors.Is(err, ErrShardDown), errors.Is(err, ErrShardTimeout), errors.Is(err, ErrNoShards):
+		w.Header().Set("Retry-After", strconv.Itoa(c.cfg.RetryAfterSeconds))
+		core.WriteAPIError(w, http.StatusServiceUnavailable, core.ErrCodeShardUnavailable, err)
+	case errors.As(err, &apiErr):
+		if apiErr.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(apiErr.RetryAfter))
+		}
+		code := apiErr.Code
+		if code == "" {
+			code = core.ErrCodeUnavailable
+		}
+		core.WriteAPIError(w, apiErr.Status, code, err)
+	default:
+		core.WriteAPIError(w, http.StatusBadRequest, core.ErrCodeBadRequest, err)
+	}
+}
+
+// decodeBody decodes the bounded JSON request body, writing the
+// envelope itself (413 oversized, 400 otherwise).
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			core.WriteAPIError(w, http.StatusRequestEntityTooLarge, core.ErrCodeBodyTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		core.WriteAPIError(w, http.StatusBadRequest, core.ErrCodeBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request, _ map[string]string) {
+	var p core.ProbeInfo
+	if !decodeBody(w, r, &p) {
+		return
+	}
+	if err := c.Register(p); err != nil {
+		c.writeShardErr(w, err)
+		return
+	}
+	core.WriteJSON(w, http.StatusOK, map[string]string{"id": p.ID})
+}
+
+func (c *Coordinator) handleProbeTasks(w http.ResponseWriter, r *http.Request, p map[string]string) {
+	max := 32
+	if s := r.URL.Query().Get("max"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			core.WriteAPIError(w, http.StatusBadRequest, core.ErrCodeBadRequest,
+				fmt.Errorf("max must be a non-negative integer, got %q", s))
+			return
+		}
+		if n > 0 {
+			max = n
+		}
+	}
+	tasks, err := c.LeaseTasks(p["id"], max)
+	if err != nil {
+		c.writeShardErr(w, err)
+		return
+	}
+	if tasks == nil {
+		tasks = []probes.Task{}
+	}
+	core.WriteJSON(w, http.StatusOK, tasks)
+}
+
+func (c *Coordinator) handleProbeResults(w http.ResponseWriter, r *http.Request, p map[string]string) {
+	var rs []probes.Result
+	if !decodeBody(w, r, &rs) {
+		return
+	}
+	accepted, err := c.SubmitResults(p["id"], rs)
+	if err != nil {
+		c.writeShardErr(w, err)
+		return
+	}
+	core.WriteJSON(w, http.StatusOK, map[string]int{"accepted": accepted, "received": len(rs)})
+}
+
+func (c *Coordinator) handleProbeHeartbeat(w http.ResponseWriter, r *http.Request, p map[string]string) {
+	if err := c.Heartbeat(p["id"]); err != nil {
+		if errors.Is(err, ErrShardDown) || errors.Is(err, ErrShardTimeout) || errors.Is(err, ErrNoShards) {
+			c.writeShardErr(w, err)
+			return
+		}
+		core.WriteAPIError(w, http.StatusNotFound, core.ErrCodeNotFound, err)
+		return
+	}
+	core.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// fedSubmitRequest mirrors the controller's submission body (the "id"
+// field is not accepted here — federated ids are coordinator-minted).
+type fedSubmitRequest struct {
+	RequestID   string              `json:"request_id,omitempty"`
+	Owner       string              `json:"owner"`
+	Description string              `json:"description"`
+	Assignments []probes.Assignment `json:"assignments"`
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request, _ map[string]string) {
+	var req fedSubmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	exp, err := c.Submit(req.RequestID, req.Owner, req.Description, req.Assignments)
+	if err != nil {
+		c.writeShardErr(w, err)
+		return
+	}
+	core.WriteJSON(w, http.StatusOK, exp)
+}
+
+func (c *Coordinator) handleExperimentGet(w http.ResponseWriter, r *http.Request, p map[string]string) {
+	exp, err := c.Experiment(p["id"])
+	if err != nil {
+		c.writeShardErr(w, err)
+		return
+	}
+	core.WriteJSON(w, http.StatusOK, exp)
+}
+
+func (c *Coordinator) handleExperimentApprove(w http.ResponseWriter, r *http.Request, p map[string]string) {
+	if err := c.Approve(p["id"]); err != nil {
+		c.writeShardErr(w, err)
+		return
+	}
+	core.WriteJSON(w, http.StatusOK, map[string]string{"status": string(core.StatusApproved)})
+}
+
+func (c *Coordinator) handleExperimentResults(w http.ResponseWriter, r *http.Request, p map[string]string) {
+	q := r.URL.Query()
+	limit, ok := parseLimit(w, q.Get("limit"))
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	_, known := c.fedExps[p["id"]]
+	c.mu.Unlock()
+	if !known {
+		c.writeShardErr(w, ErrUnknownExperiment)
+		return
+	}
+	recs, next, meta, err := c.ScanPage(store.Filter{Experiment: p["id"]}, limit, q.Get("cursor"))
+	if err != nil {
+		c.writeShardErr(w, err)
+		return
+	}
+	rs := make([]probes.Result, 0, len(recs))
+	for _, rec := range recs {
+		rs = append(rs, rec.Result)
+	}
+	core.WriteJSON(w, http.StatusOK, page{Items: rs, NextCursor: next, QueryMeta: meta})
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request, _ map[string]string) {
+	q := r.URL.Query()
+	f, ok := parseFilter(w, q)
+	if !ok {
+		return
+	}
+	switch op := q.Get("op"); op {
+	case "", "aggregate":
+		rep, meta, err := c.Aggregate(store.AggQuery{Filter: f, GroupBy: q.Get("group_by")})
+		if err != nil {
+			c.writeShardErr(w, err)
+			return
+		}
+		core.WriteJSON(w, http.StatusOK, struct {
+			store.AggReport
+			QueryMeta
+		}{rep, meta})
+	case "scan":
+		limit, ok := parseLimit(w, q.Get("limit"))
+		if !ok {
+			return
+		}
+		recs, next, meta, err := c.ScanPage(f, limit, q.Get("cursor"))
+		if err != nil {
+			c.writeShardErr(w, err)
+			return
+		}
+		if recs == nil {
+			recs = []store.Record{}
+		}
+		core.WriteJSON(w, http.StatusOK, page{Items: recs, NextCursor: next, QueryMeta: meta})
+	default:
+		core.WriteAPIError(w, http.StatusBadRequest, core.ErrCodeBadRequest,
+			fmt.Errorf("unknown op %q (want aggregate or scan)", op))
+	}
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request, _ map[string]string) {
+	core.WriteJSON(w, http.StatusOK, c.Health())
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request, _ map[string]string) {
+	core.WriteJSON(w, http.StatusOK, c.Stats())
+}
+
+func (c *Coordinator) handleShards(w http.ResponseWriter, r *http.Request, _ map[string]string) {
+	core.WriteJSON(w, http.StatusOK, page{Items: c.ShardStatuses()})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request, _ map[string]string) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = c.reg.WritePrometheus(w)
+}
+
+// parseLimit parses a ?limit= value ("" means no limit), writing the
+// 400 itself.
+func parseLimit(w http.ResponseWriter, s string) (int, bool) {
+	if s == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		core.WriteAPIError(w, http.StatusBadRequest, core.ErrCodeBadRequest,
+			fmt.Errorf("limit must be a non-negative integer, got %q", s))
+		return 0, false
+	}
+	return n, true
+}
+
+// parseFilter builds a store.Filter from query parameters, writing the
+// 400 itself.
+func parseFilter(w http.ResponseWriter, q map[string][]string) (store.Filter, bool) {
+	get := func(k string) string {
+		if vs := q[k]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	f := store.Filter{
+		Experiment: get("experiment"),
+		Country:    get("country"),
+		Kind:       get("kind"),
+	}
+	if s := get("asn"); s != "" {
+		n, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			core.WriteAPIError(w, http.StatusBadRequest, core.ErrCodeBadRequest,
+				fmt.Errorf("asn must be an integer, got %q", s))
+			return f, false
+		}
+		f.ASN = topology.ASN(n)
+	}
+	for _, tk := range []struct {
+		name string
+		dst  *int64
+	}{{"from_tick", &f.FromTick}, {"to_tick", &f.ToTick}} {
+		if s := get(tk.name); s != "" {
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				core.WriteAPIError(w, http.StatusBadRequest, core.ErrCodeBadRequest,
+					fmt.Errorf("%s must be an integer, got %q", tk.name, s))
+				return f, false
+			}
+			*tk.dst = n
+		}
+	}
+	return f, true
+}

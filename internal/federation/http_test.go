@@ -1,0 +1,268 @@
+package federation
+
+import (
+	"errors"
+
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/afrinet/observatory/internal/core"
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/store"
+)
+
+// The coordinator's HTTP surface must be indistinguishable from a
+// single controller's to the existing client — until a shard dies,
+// when clients see 503 shard_unavailable (with Retry-After, without
+// tripping their breaker) on that shard's keys and degraded partial
+// query results elsewhere.
+
+func newHTTPHarness(t *testing.T, n int) (*core.Client, *Coordinator, []*LocalShard) {
+	t.Helper()
+	c, shards := newHarness(t, n, "", testConfig())
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	cl := core.NewClientSeeded(srv.URL, 7)
+	cl.Sleep = func(time.Duration) {} // no real sleeping in retries
+	return cl, c, shards
+}
+
+func TestHTTPEndToEndFlow(t *testing.T) {
+	cl, _, _ := newHTTPHarness(t, 3)
+	ps := testProbes(8)
+	for _, p := range ps {
+		if err := cl.Register(p); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	exp, err := cl.Submit(testOwner, "http flow", testAssignments(ps, 1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if exp.Status != core.StatusApproved {
+		t.Fatalf("status %s, want approved", exp.Status)
+	}
+	done := 0
+	for _, p := range ps {
+		for {
+			tasks, err := cl.LeaseTasks(p.ID, 4)
+			if err != nil {
+				t.Fatalf("LeaseTasks: %v", err)
+			}
+			if len(tasks) == 0 {
+				break
+			}
+			rs := make([]probes.Result, 0, len(tasks))
+			for _, task := range tasks {
+				rs = append(rs, probes.Result{
+					TaskID: task.ID, Experiment: task.Experiment,
+					ProbeID: p.ID, Kind: task.Kind, OK: true, RTTms: 12,
+				})
+			}
+			if err := cl.SubmitResults(p.ID, rs); err != nil {
+				t.Fatalf("SubmitResults: %v", err)
+			}
+			done += len(rs)
+			if err := cl.Heartbeat(p.ID); err != nil {
+				t.Fatalf("Heartbeat: %v", err)
+			}
+		}
+	}
+	if done != len(ps) {
+		t.Fatalf("completed %d tasks, want %d", done, len(ps))
+	}
+	// Query surface: scan + aggregate with clean (non-degraded) meta.
+	recs, _, meta, err := cl.QueryScanMeta(store.Filter{Experiment: exp.ID}, 0, "")
+	if err != nil {
+		t.Fatalf("QueryScanMeta: %v", err)
+	}
+	if meta.Degraded || len(recs) != done {
+		t.Fatalf("scan: degraded=%v len=%d want %d", meta.Degraded, len(recs), done)
+	}
+	rep, meta, err := cl.QueryAggregateMeta(store.Filter{}, store.GroupCountry)
+	if err != nil || meta.Degraded {
+		t.Fatalf("QueryAggregateMeta: err=%v degraded=%v", err, meta.Degraded)
+	}
+	if rep.Matched != int64(done) {
+		t.Fatalf("aggregate matched %d, want %d", rep.Matched, done)
+	}
+	// Experiment results page maps records to bare results.
+	rs, err := cl.Results(exp.ID)
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	if len(rs) != done {
+		t.Fatalf("experiment results %d, want %d", len(rs), done)
+	}
+	// Shard map reports three live shards at epoch 0.
+	infos, err := cl.ShardMap()
+	if err != nil {
+		t.Fatalf("ShardMap: %v", err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("shard map has %d entries, want 3", len(infos))
+	}
+	for _, si := range infos {
+		if si.Epoch != 0 || si.Health != string(core.ProbeAlive) {
+			t.Fatalf("shard %+v, want epoch 0 alive", si)
+		}
+	}
+	if _, err := cl.Health(); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if _, err := cl.Stats(); err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+}
+
+func TestHTTPDeadShardIs503NotBreakerFood(t *testing.T) {
+	cl, _, shards := newHTTPHarness(t, 2)
+	cl.BreakerThreshold = 1 // hair trigger: any transport failure would open it
+	ps := testProbes(8)
+	for _, p := range ps {
+		if err := cl.Register(p); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	for _, ls := range shards {
+		ls.Kill()
+	}
+	var apiErr *core.APIError
+	for _, p := range ps {
+		_, err := cl.LeaseTasks(p.ID, 4)
+		if err == nil {
+			t.Fatalf("lease for %s succeeded with every shard dead", p.ID)
+		}
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("lease error %v is not an APIError", err)
+		}
+		if apiErr.Status != http.StatusServiceUnavailable || apiErr.Code != core.ErrCodeShardUnavailable {
+			t.Fatalf("got %d %s, want 503 %s", apiErr.Status, apiErr.Code, core.ErrCodeShardUnavailable)
+		}
+		if apiErr.RetryAfter <= 0 {
+			t.Fatalf("503 carried RetryAfter %d, want > 0", apiErr.RetryAfter)
+		}
+	}
+	ctrs := cl.ResilienceCounters()
+	if ctrs["breaker_open_total"] != 0 {
+		t.Fatalf("server-side 503s opened the client breaker: %v", ctrs)
+	}
+	if ctrs["retry_after_honored"] == 0 {
+		t.Fatalf("client never honored the coordinator's Retry-After: %v", ctrs)
+	}
+}
+
+func TestHTTPDegradedQueryAnnotation(t *testing.T) {
+	cl, c, shards := newHTTPHarness(t, 3)
+	ps := testProbes(12)
+	exp, accepted := pumpResults(t, c, ps, 1)
+	shards[1].Kill()
+	recs, _, meta, err := cl.QueryScanMeta(store.Filter{Experiment: exp.ID}, 0, "")
+	if err != nil {
+		t.Fatalf("degraded scan must be 200, got %v", err)
+	}
+	if !meta.Degraded || len(meta.ShardsMissing) != 1 || meta.ShardsMissing[0] != "shard-1" {
+		t.Fatalf("meta = %+v, want degraded with shard-1 missing", meta)
+	}
+	if len(recs) >= accepted {
+		t.Fatalf("degraded scan returned %d records, want < %d", len(recs), accepted)
+	}
+	if _, meta, err := cl.QueryAggregateMeta(store.Filter{}, store.GroupNone); err != nil || !meta.Degraded {
+		t.Fatalf("degraded aggregate: err=%v meta=%+v", err, meta)
+	}
+	// Health degrades but stays 200.
+	h, err := cl.Health()
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Status == "ok" {
+		t.Fatal("health reports ok with a dead shard")
+	}
+}
+
+func TestHTTPErrorSurface(t *testing.T) {
+	cl, _, _ := newHTTPHarness(t, 2)
+	var apiErr *core.APIError
+	// Unknown federated experiment is a 404.
+	if _, err := cl.Experiment("fexp-9999"); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown experiment: %v", err)
+	}
+	if _, err := cl.Results("fexp-9999"); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown experiment results: %v", err)
+	}
+	// Wrong method gets 405 + Allow; bad op and bad params get 400.
+	srv := httptest.NewServer(newHarnessHandler(t))
+	defer srv.Close()
+	for _, tc := range []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{http.MethodDelete, "/api/v1/experiments", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/api/v1/query?op=frobnicate", http.StatusBadRequest},
+		{http.MethodGet, "/api/v1/query?op=scan&limit=-2", http.StatusBadRequest},
+		{http.MethodGet, "/api/v1/query?op=scan&asn=xyz", http.StatusBadRequest},
+		{http.MethodGet, "/api/v1/query?op=scan&cursor=garbage", http.StatusBadRequest},
+		{http.MethodGet, "/api/v1/nope", http.StatusNotFound},
+	} {
+		req, _ := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+		if tc.wantStatus == http.StatusMethodNotAllowed && resp.Header.Get("Allow") == "" {
+			t.Fatalf("%s %s: 405 without Allow header", tc.method, tc.path)
+		}
+		if resp.Header.Get("X-Request-ID") == "" {
+			t.Fatalf("%s %s: response without request id", tc.method, tc.path)
+		}
+	}
+}
+
+func newHarnessHandler(t *testing.T) http.Handler {
+	t.Helper()
+	c, _ := newHarness(t, 2, "", testConfig())
+	return c.Handler()
+}
+
+func TestHTTPAdmissionSheds(t *testing.T) {
+	cfg := testConfig()
+	cfg.Admission = core.AdmissionConfig{
+		RouteRates: map[string]core.RateLimit{"stats": {PerTick: 1, Burst: 2}},
+	}
+	c, _ := newHarness(t, 2, "", cfg)
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	shed := 0
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(srv.URL + "/api/v1/stats")
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatal("admission gate never shed low-priority traffic")
+	}
+	// Tick refills the gate.
+	c.Tick(1)
+	resp, err := http.Get(srv.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatalf("stats after refill: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-refill stats status %d, want 200", resp.StatusCode)
+	}
+}

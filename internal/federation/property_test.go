@@ -1,0 +1,225 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/afrinet/observatory/internal/core"
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/store"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// The federation property: for any workload, a federated query must
+// answer exactly what a single store holding the union of every
+// responsive shard's records would answer. The oracle below IS that
+// single store — shard scans merged in (seq, shard) order, deduplicated
+// by key, replayed into one store.NewMemory — and the federated
+// ScanPage walk and Aggregate are compared against it, including the
+// degraded case where one shard is permanently dead.
+
+func randomWorkload(t *testing.T, rng *rand.Rand, c *Coordinator) []core.ProbeInfo {
+	t.Helper()
+	countries := []string{"KE", "NG", "ZA", "SN", "EG"}
+	nProbes := 6 + rng.Intn(8)
+	ps := make([]core.ProbeInfo, nProbes)
+	for i := range ps {
+		ps[i] = core.ProbeInfo{
+			ID:       fmt.Sprintf("p%02d", i),
+			ASN:      topology.ASN(64500 + rng.Intn(5)),
+			Country:  countries[rng.Intn(len(countries))],
+			HasWired: rng.Intn(2) == 0,
+		}
+		if err := c.Register(ps[i]); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	nExps := 1 + rng.Intn(3)
+	for e := 0; e < nExps; e++ {
+		var as []probes.Assignment
+		for _, p := range ps {
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				kind := probes.TaskPing
+				if rng.Intn(3) == 0 {
+					kind = probes.TaskDNS
+				}
+				as = append(as, probes.Assignment{
+					ProbeID: p.ID,
+					Task:    probes.Task{Kind: kind, Target: "198.51.100.7", Domain: "example.org"},
+				})
+			}
+		}
+		if _, err := c.Submit(fmt.Sprintf("prop-req-%d", e), testOwner, "prop", as); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	for _, p := range ps {
+		for {
+			tasks, err := c.LeaseTasks(p.ID, 1+rng.Intn(6))
+			if err != nil {
+				t.Fatalf("LeaseTasks: %v", err)
+			}
+			if len(tasks) == 0 {
+				break
+			}
+			rs := make([]probes.Result, 0, len(tasks))
+			for _, task := range tasks {
+				rs = append(rs, probes.Result{
+					TaskID:     task.ID,
+					Experiment: task.Experiment,
+					ProbeID:    p.ID,
+					Kind:       task.Kind,
+					OK:         rng.Intn(10) != 0,
+					RTTms:      10 + rng.Float64()*200,
+				})
+			}
+			if _, err := c.SubmitResults(p.ID, rs); err != nil {
+				t.Fatalf("SubmitResults: %v", err)
+			}
+		}
+	}
+	return ps
+}
+
+// buildOracle replays the union of the given shards' records, in the
+// same (seq, shard) merge order the coordinator uses, into one store.
+func buildOracle(t *testing.T, shards map[string]*LocalShard) *store.Store {
+	t.Helper()
+	var merged []taggedRecord
+	for id, ls := range shards {
+		recs, _, err := ls.ScanPage(store.Filter{}, 0, "")
+		if err != nil {
+			t.Fatalf("oracle scan of %s: %v", id, err)
+		}
+		for _, r := range recs {
+			merged = append(merged, taggedRecord{rec: r, shard: id})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].rec.Seq != merged[j].rec.Seq {
+			return merged[i].rec.Seq < merged[j].rec.Seq
+		}
+		return merged[i].shard < merged[j].shard
+	})
+	oracle := store.NewMemory(store.Options{})
+	seen := map[string]bool{}
+	for _, tr := range merged {
+		if seen[tr.rec.Key()] {
+			continue
+		}
+		seen[tr.rec.Key()] = true
+		r := tr.rec
+		r.Seq = 0 // the oracle assigns its own
+		if err := oracle.Append(r); err != nil {
+			t.Fatalf("oracle append: %v", err)
+		}
+	}
+	return oracle
+}
+
+func stripSeq(recs []store.Record) []store.Record {
+	out := make([]store.Record, len(recs))
+	for i, r := range recs {
+		r.Seq = 0
+		out[i] = r
+	}
+	return out
+}
+
+func randomFilters(rng *rand.Rand) []store.Filter {
+	return []store.Filter{
+		{},
+		{Experiment: fmt.Sprintf("fexp-%04d", 1+rng.Intn(3))},
+		{Country: []string{"KE", "NG", "ZA", "SN", "EG"}[rng.Intn(5)]},
+		{ASN: topology.ASN(64500 + rng.Intn(5))},
+		{Kind: string(probes.TaskPing)},
+	}
+}
+
+func checkAgainstOracle(t *testing.T, rng *rand.Rand, c *Coordinator, oracle *store.Store, wantDegraded bool) {
+	t.Helper()
+	groupBys := []string{store.GroupNone, store.GroupCountry, store.GroupASN, store.GroupCountryASN}
+	for fi, f := range randomFilters(rng) {
+		// Scan: walk federated pages with a random page size; the
+		// concatenation must equal the oracle's full scan, minus seq.
+		limit := 1 + rng.Intn(20)
+		var fed []store.Record
+		cursor := ""
+		for {
+			recs, next, meta, err := c.ScanPage(f, limit, cursor)
+			if err != nil {
+				t.Fatalf("filter %d: fed scan: %v", fi, err)
+			}
+			if meta.Degraded != wantDegraded {
+				t.Fatalf("filter %d: degraded=%v, want %v", fi, meta.Degraded, wantDegraded)
+			}
+			fed = append(fed, recs...)
+			// A dead shard's position is carried forward verbatim so a
+			// later page can retry it; a client that doesn't want to wait
+			// stops when a page makes no progress.
+			if next == "" || next == cursor {
+				break
+			}
+			cursor = next
+		}
+		want, _, err := oracle.ScanPage(f, 0, "")
+		if err != nil {
+			t.Fatalf("filter %d: oracle scan: %v", fi, err)
+		}
+		if !reflect.DeepEqual(stripSeq(fed), stripSeq(want)) {
+			t.Fatalf("filter %d (%+v): federated scan diverges from oracle:\n fed  %d records\n want %d records",
+				fi, f, len(fed), len(want))
+		}
+		// Aggregate: the federated fold must equal the oracle's.
+		gb := groupBys[rng.Intn(len(groupBys))]
+		fedRep, meta, err := c.Aggregate(store.AggQuery{Filter: f, GroupBy: gb})
+		if err != nil {
+			t.Fatalf("filter %d: fed aggregate: %v", fi, err)
+		}
+		if meta.Degraded != wantDegraded {
+			t.Fatalf("filter %d: aggregate degraded=%v, want %v", fi, meta.Degraded, wantDegraded)
+		}
+		wantRep, err := oracle.Aggregate(store.AggQuery{Filter: f, GroupBy: gb})
+		if err != nil {
+			t.Fatalf("filter %d: oracle aggregate: %v", fi, err)
+		}
+		if !reflect.DeepEqual(fedRep, wantRep) {
+			t.Fatalf("filter %d (%+v, group %s): federated aggregate diverges:\n fed  %+v\n want %+v",
+				fi, f, gb, fedRep, wantRep)
+		}
+	}
+}
+
+func TestFederatedQueryMatchesOracle(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			c, shardList := newHarness(t, 3, "", testConfig())
+			randomWorkload(t, rng, c)
+
+			all := map[string]*LocalShard{}
+			for i, ls := range shardList {
+				all[fmt.Sprintf("shard-%d", i)] = ls
+			}
+			checkAgainstOracle(t, rng, c, buildOracle(t, all), false)
+
+			// One shard dies permanently: every query degrades, and the
+			// answers must equal the oracle over the survivors only.
+			deadIdx := rng.Intn(len(shardList))
+			deadID := fmt.Sprintf("shard-%d", deadIdx)
+			survivors := map[string]*LocalShard{}
+			for id, ls := range all {
+				if id != deadID {
+					survivors[id] = ls
+				}
+			}
+			oracle := buildOracle(t, survivors) // before the kill: scans need the shard
+			shardList[deadIdx].Kill()
+			checkAgainstOracle(t, rng, c, oracle, true)
+		})
+	}
+}

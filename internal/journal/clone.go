@@ -1,0 +1,54 @@
+package journal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Clone copies a journal directory's durable state — snapshot.json and
+// journal.log, whichever exist — into dstDir, fsyncing each file and
+// the destination directory. This is the "snapshot ship" half of a
+// federation shard failover: the coordinator clones a dead shard's
+// journal dir to the peer's dir, then Recover replays it there. The
+// source must be quiescent (the dead shard's writer is gone); a torn
+// tail in the source is fine — Recover truncates it like any crash.
+func Clone(srcDir, dstDir string) error {
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return fmt.Errorf("journal: clone: %w", err)
+	}
+	for _, name := range []string{snapName, logName} {
+		if err := copyFileSync(filepath.Join(srcDir, name), filepath.Join(dstDir, name)); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return fmt.Errorf("journal: clone %s: %w", name, err)
+		}
+	}
+	syncDir(dstDir)
+	return nil
+}
+
+// copyFileSync copies src to dst and fsyncs dst. A missing src returns
+// the raw os.IsNotExist error for the caller to skip.
+func copyFileSync(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -121,6 +121,16 @@ func Open(dir string, opts Options) (*Spool, error) {
 	}
 	s := &Spool{dir: dir, opts: opts, ctr: metrics.NewCounterSet()}
 
+	// A crash between writing the compaction temp file and the rename
+	// leaves spool.log.tmp behind; the live log is still authoritative
+	// (the rename never landed), so the stale temp is deleted rather
+	// than trusted.
+	if err := os.Remove(filepath.Join(dir, logTempName)); err == nil {
+		s.ctr.Inc("spool_tmp_removed")
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("spool: %w", err)
+	}
+
 	path := filepath.Join(dir, logName)
 	raw, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {

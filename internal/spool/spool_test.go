@@ -212,6 +212,50 @@ func TestCompaction(t *testing.T) {
 	}
 }
 
+func TestCrashDuringCompactionRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 4; i++ {
+		if err := s.Append(testResult(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// Deliver the first two so the pending set after the "crash" is a
+	// strict subset of the log.
+	_, upTo := s.Peek(2)
+	if err := s.Ack(upTo); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	s.Close()
+
+	// Simulate a crash after the compaction rewrote the temp file but
+	// before the rename: a stale (possibly garbage) spool.log.tmp sits
+	// next to the still-authoritative log.
+	tmp := filepath.Join(dir, "spool.log.tmp")
+	if err := os.WriteFile(tmp, []byte("half-written compaction"), 0o644); err != nil {
+		t.Fatalf("write stale tmp: %v", err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale compaction temp survived Open: stat err = %v", err)
+	}
+	if got := s2.Counters()["spool_tmp_removed"]; got != 1 {
+		t.Fatalf("spool_tmp_removed = %d, want 1", got)
+	}
+	// The pending set replayed from the live log is intact.
+	batch, _ := s2.Peek(0)
+	if len(batch) != 2 || batch[0].TaskID != "t3" || batch[1].TaskID != "t4" {
+		t.Fatalf("pending set damaged by tmp cleanup: %+v", batch)
+	}
+	// A compaction after the cleanup reuses the temp path without issue.
+	_, upTo = s2.Peek(1)
+	if err := s2.Ack(upTo); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+}
+
 func TestCountersPendingDepth(t *testing.T) {
 	s := mustOpen(t, t.TempDir(), Options{})
 	defer s.Close()

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Clone copies every sealed segment file from srcDir into dstDir,
+// fsyncing each copy and the destination directory — the results-store
+// half of a federation shard failover's snapshot ship. Compaction temp
+// files are skipped (Open would discard them anyway), and the memtable
+// is not part of a clone by construction: anything that only lived in
+// the dead shard's memtable is rebuilt by journal replay + the
+// controller's store reconciliation, exactly like a crash restart.
+func Clone(srcDir, dstDir string) error {
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return fmt.Errorf("store: clone: %w", err)
+	}
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // no store dir yet: nothing flushed, nothing to ship
+		}
+		return fmt.Errorf("store: clone: %w", err)
+	}
+	for _, e := range entries {
+		var id uint64
+		if n, err := fmt.Sscanf(e.Name(), "seg-%016x.seg", &id); n != 1 || err != nil {
+			continue
+		}
+		if err := cloneFileSync(filepath.Join(srcDir, e.Name()), filepath.Join(dstDir, e.Name())); err != nil {
+			return fmt.Errorf("store: clone %s: %w", e.Name(), err)
+		}
+	}
+	syncDir(dstDir)
+	return nil
+}
+
+// cloneFileSync copies src to dst and fsyncs dst.
+func cloneFileSync(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

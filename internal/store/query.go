@@ -190,17 +190,36 @@ type AggReport struct {
 func (s *Store) Aggregate(q AggQuery) (AggReport, error) {
 	t := obs.StartTimer()
 	defer func() { s.hAggregate.Observe(t.Elapsed()) }()
-	switch q.GroupBy {
-	case "", GroupNone, GroupCountry, GroupASN, GroupCountryASN:
-	default:
-		return AggReport{}, fmt.Errorf("store: unknown group_by %q", q.GroupBy)
+	if err := ValidGroupBy(q.GroupBy); err != nil {
+		return AggReport{}, err
 	}
 	recs, err := s.collect(q.Filter)
 	if err != nil {
 		return AggReport{}, err
 	}
 	s.ctr.Inc("queries_served")
+	return AggregateRecords(recs, q.GroupBy)
+}
 
+// ValidGroupBy rejects unknown aggregation group-by modes.
+func ValidGroupBy(groupBy string) error {
+	switch groupBy {
+	case "", GroupNone, GroupCountry, GroupASN, GroupCountryASN:
+		return nil
+	default:
+		return fmt.Errorf("store: unknown group_by %q", groupBy)
+	}
+}
+
+// AggregateRecords folds an already-collected, deduplicated record set
+// into an AggReport. Split out of Store.Aggregate so a federation
+// coordinator can merge matching records from every shard and fold them
+// centrally — percentiles do not compose across shards, but the fold
+// over the merged set is exactly what a single store would compute.
+func AggregateRecords(recs []Record, groupBy string) (AggReport, error) {
+	if err := ValidGroupBy(groupBy); err != nil {
+		return AggReport{}, err
+	}
 	type bucket struct {
 		g    AggGroup
 		rtts []float64
@@ -210,7 +229,7 @@ func (s *Store) Aggregate(q AggQuery) (AggReport, error) {
 	for _, r := range recs {
 		var key string
 		g := AggGroup{}
-		switch q.GroupBy {
+		switch groupBy {
 		case GroupCountry:
 			key, g.Country = r.Country, r.Country
 		case GroupASN:

@@ -21,12 +21,14 @@ echo "== go build =="
 go build ./...
 
 echo "== determinism lint =="
-# The controller, journal, results store, and probe spool must be
-# replay-deterministic: wall-clock reads belong in main(), never in
-# these packages. Logical time comes in via Tick / journaled ops, and
-# the store's retention clock is the controller's tick counter.
-if git grep -n 'time\.Now()' -- internal/core internal/journal internal/store internal/spool; then
-    echo "determinism lint: time.Now() is forbidden in internal/core, internal/journal, internal/store, and internal/spool" >&2
+# The controller, journal, results store, probe spool, and federation
+# tier must be replay-deterministic: wall-clock reads belong in main(),
+# never in these packages. Logical time comes in via Tick / journaled
+# ops, and the store's retention clock is the controller's tick counter.
+# (Federation's hedge/deadline timers use time.NewTimer on durations,
+# which is allowed: they never read the wall clock into state.)
+if git grep -n 'time\.Now()' -- internal/core internal/journal internal/store internal/spool internal/federation; then
+    echo "determinism lint: time.Now() is forbidden in internal/core, internal/journal, internal/store, internal/spool, and internal/federation" >&2
     exit 1
 fi
 
@@ -35,21 +37,26 @@ echo "== envelope lint =="
 # (writeJSON / writeAPIError), so every non-2xx body carries the uniform
 # {"error": {code, message, request_id}} envelope. A stray http.Error or
 # naked WriteHeader elsewhere in the package bypasses it.
-if git grep -n 'http\.Error(\|WriteHeader(' -- internal/core ':!internal/core/envelope.go'; then
-    echo "envelope lint: http.Error / WriteHeader are forbidden in internal/core outside envelope.go" >&2
+if git grep -n 'http\.Error(\|WriteHeader(' -- internal/core internal/federation ':!internal/core/envelope.go'; then
+    echo "envelope lint: http.Error / WriteHeader are forbidden in internal/core (outside envelope.go) and internal/federation" >&2
     exit 1
 fi
 
 echo "== go test -race =="
-go test -race -count=1 ./...
+# -shuffle=on randomizes test order within each package: tests that
+# secretly depend on a sibling's side effects fail here instead of in a
+# future refactor. The shuffle seed is printed on failure for replay.
+go test -race -count=1 -shuffle=on ./...
 
 echo "== chaos smoke =="
-# The test suite above already ran the chaos drill at its default seed;
-# this runs a second, fixed timeline so every check exercises two
-# schedules. The harness is fully seeded — a failure here reproduces
-# with exactly this environment.
+# The test suite above already ran the chaos drills at their default
+# seeds; these run second, fixed timelines so every check exercises two
+# schedules of each. The harnesses are fully seeded — a failure here
+# reproduces with exactly this environment.
 OBS_CHAOS_SEED=1337 OBS_CHAOS_ROUNDS=48 \
     go test -count=1 -run '^TestChaosScheduleEndToEnd$' ./internal/core
+OBS_FED_CHAOS_SEED=1337 OBS_FED_CHAOS_ROUNDS=40 \
+    go test -count=1 -run '^TestShardChaosEndToEnd$' ./internal/federation
 
 echo "== bench smoke =="
 # Every benchmark must still run (one iteration each); guards against
