@@ -1,6 +1,6 @@
 # Tier-1 verification: formatting, vet, build, and the full test suite
 # under the race detector. CI and pre-merge both run `make check`.
-.PHONY: check test build fmt fuzz bench chaos
+.PHONY: check test build fmt fuzz bench chaos fleetsim-smoke
 
 check:
 	./scripts/check.sh
@@ -14,11 +14,19 @@ test:
 fmt:
 	gofmt -w .
 
-# Run the root benchmark suite and fold min ns/op per benchmark into
-# BENCH_PR4.json ("after" section; `scripts/bench.sh before` records the
-# baseline). BENCH_COUNT / BENCH_TIME tune repetitions and benchtime.
+# Run the benchmark suites (root experiments + controller hot path) and
+# fold min ns/op per benchmark into BENCH_PR8.json ("after" section;
+# `scripts/bench.sh before` records the baseline), then the fleetsim
+# load and bias runs. BENCH_COUNT / BENCH_TIME tune repetitions and
+# benchtime; FLEET_PROBES / FLEET_DURATION scale the load run.
 bench:
 	./scripts/bench.sh
+
+# Small fleet through both wire protocols under the race detector; the
+# run asserts exactly-once completion and exits non-zero on violation.
+# Also part of `make check`.
+fleetsim-smoke:
+	go run -race ./cmd/fleetsim -probes 1000 -duration 30s -tasks-per-probe 4 -workers 16
 
 # 30s smoke runs of the replay fuzzers: random record streams,
 # truncations, and bit flips must never panic the journal recovery path

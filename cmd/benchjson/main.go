@@ -38,6 +38,10 @@ type File struct {
 	Before  map[string]Result  `json:"before,omitempty"`
 	After   map[string]Result  `json:"after,omitempty"`
 	Speedup map[string]float64 `json:"speedup,omitempty"`
+	// Fleetsim and Bias are written by cmd/fleetsim into the same file;
+	// carried through verbatim so a benchjson rewrite doesn't drop them.
+	Fleetsim json.RawMessage `json:"fleetsim,omitempty"`
+	Bias     json.RawMessage `json:"bias,omitempty"`
 }
 
 // benchLine matches one `go test -bench` result line, e.g.

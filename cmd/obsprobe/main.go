@@ -8,7 +8,7 @@
 //	obsprobe -controller http://127.0.0.1:8600 -id kgl-01 -asn 36924 \
 //	         [-seed 42] [-wired] [-budget 5.0] [-bundle-mb 20] [-poll 1]
 //	         [-spool-dir /var/lib/obsprobe] [-spool-max 4096]
-//	         [-breaker-threshold 0]
+//	         [-breaker-threshold 0] [-sync] [-wait 5s]
 //
 // Without -wired the probe is cellular-only and meters every task
 // against a prepaid bundle budget, failing tasks once the budget is
@@ -21,6 +21,12 @@
 // first. -breaker-threshold N trips a circuit breaker after N
 // consecutive transport failures so a dead uplink fails fast instead of
 // burning the retry budget (0 disables).
+//
+// With -sync (requires -spool-dir) the probe uses the batched
+// POST /probes/sync hot path: each round-trip carries the heartbeat,
+// the next spooled result frame, and the lease request together, and
+// idle rounds long-poll server-side for up to -wait so fresh work is
+// delivered the moment it is enqueued instead of on the next -poll.
 //
 // On SIGINT/SIGTERM the probe shuts down gracefully: it finishes the
 // task batch it is executing, attempts one final upload of any results
@@ -66,10 +72,15 @@ func main() {
 	spoolDir := flag.String("spool-dir", "", "durable result outbox directory (empty = hold results in memory only)")
 	spoolMax := flag.Int("spool-max", 0, "max undelivered results spooled before oldest are evicted (0 = default 4096, negative = unbounded)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive transport failures before the uplink circuit breaker trips (0 = disabled)")
+	syncMode := flag.Bool("sync", false, "use the batched /probes/sync hot path (requires -spool-dir)")
+	wait := flag.Duration("wait", 0, "long-poll duration for idle sync rounds (0 = return immediately; only with -sync)")
 	flag.Parse()
 
 	if *id == "" || *asn == 0 {
 		log.Fatal("obsprobe: -id and -asn are required")
+	}
+	if *syncMode && *spoolDir == "" {
+		log.Fatal("obsprobe: -sync requires -spool-dir (the sync path delivers from the durable outbox)")
 	}
 
 	log.Printf("obsprobe %s: generating world (seed=%d year=%d)...", *id, *seed, *year)
@@ -165,7 +176,12 @@ func main() {
 		// rounds.
 		var n int
 		var err error
-		if sp != nil {
+		if *syncMode {
+			// One round-trip per round: heartbeat + spooled results +
+			// lease ask travel together, and idle rounds park server-side
+			// for up to -wait instead of returning empty.
+			n, err = core.DrainWithSync(cl, agent, sp, *wait)
+		} else if sp != nil {
 			n, err = core.DrainWithSpool(cl, agent, sp)
 		} else {
 			var leftover []probes.Result

@@ -389,12 +389,37 @@ func (c *Client) Register(p ProbeInfo) error {
 	return c.post("probe_register", "/api/v1/probes/register", p, nil, true)
 }
 
-// LeaseTasks fetches up to max queued tasks for the probe. A lost
-// response simply leaves the tasks leased; the controller requeues
-// them when the lease expires, so retrying is safe.
+// LeaseTasks fetches up to max queued tasks for the probe; max <= 0
+// asks for the server default (the max parameter is omitted — sending
+// a literal max=0 used to reach servers that read it as "default"
+// only by accident of their parsing, and older ones as "zero tasks").
+// A lost response simply leaves the tasks leased; the controller
+// requeues them when the lease expires, so retrying is safe.
 func (c *Client) LeaseTasks(probeID string, max int) ([]probes.Task, error) {
+	path := fmt.Sprintf("/api/v1/probes/%s/tasks", probeID)
+	if max > 0 {
+		path += fmt.Sprintf("?max=%d", max)
+	}
 	var out []probes.Task
-	err := c.get("probe_tasks", fmt.Sprintf("/api/v1/probes/%s/tasks?max=%d", probeID, max), &out)
+	err := c.get("probe_tasks", path, &out)
+	return out, err
+}
+
+// Sync performs one batched probe round-trip: heartbeat + spooled
+// results + task-lease ask in a single POST (see SyncRequest for the
+// max semantics). wait > 0 long-polls the controller for up to that
+// duration when it has no tasks to grant; keep it comfortably below
+// the HTTP client timeout (DefaultHTTPTimeout) or the transport will
+// cut the park short. Retrying is safe end to end: results dedup by
+// (experiment, task) and a lost lease response expires back into the
+// queue like any abandoned lease.
+func (c *Client) Sync(req SyncRequest, wait time.Duration) (SyncResponse, error) {
+	path := "/api/v1/probes/sync"
+	if wait > 0 {
+		path += "?wait=" + url.QueryEscape(wait.String())
+	}
+	var out SyncResponse
+	err := c.post("probe_sync", path, req, &out, true)
 	return out, err
 }
 
@@ -682,14 +707,18 @@ func DrainOnce(cl *Client, agent *probes.Agent) (int, []probes.Result, error) {
 	}
 }
 
-// ResultSpool is the durable-outbox contract DrainWithSpool and
-// FlushSpool need, implemented by internal/spool.Spool: results are
-// persisted (Append) before any upload is attempted, offered back
-// oldest-first (Peek), and durably retired once delivered (Ack).
+// ResultSpool is the durable-outbox contract DrainWithSpool,
+// FlushSpool, and DrainWithSync need, implemented by
+// internal/spool.Spool: results are persisted (Append) before any
+// upload is attempted, offered back oldest-first in frames
+// (DrainBatch; Peek is its single-frame legacy alias), and durably
+// retired in bulk once delivered (AckBatch / Ack).
 type ResultSpool interface {
 	probes.ResultSink
 	Peek(max int) ([]probes.Result, uint64)
 	Ack(upTo uint64) error
+	DrainBatch(max int) ([]probes.Result, uint64)
+	AckBatch(upTo uint64) error
 	Len() int
 }
 
@@ -754,6 +783,59 @@ func DrainWithSpool(cl *Client, agent *probes.Agent, sp ResultSpool) (int, error
 			_, ferr := FlushSpool(cl, agent.ID(), sp, 64)
 			if ferr != nil {
 				return total, fmt.Errorf("%v (and flushing spool: %w)", err, ferr)
+			}
+			return total, err
+		}
+	}
+}
+
+// DrainWithSync is the batched successor to DrainWithSpool: each
+// controller round-trip is one Sync call carrying the spool's next
+// backlog frame, doubling as the heartbeat, and asking for the next
+// lease — so a full execute/deliver/lease round costs one request and,
+// controller-side, one journal fsync instead of three. Durability is
+// unchanged: results are spooled before upload and acked only after
+// the controller accepted the batch, so a crash or failed round leaves
+// everything undelivered safely on disk. wait > 0 long-polls on the
+// final (empty-queue, empty-spool) round so new work is delivered the
+// moment it is enqueued; while a backlog remains, rounds don't park.
+// Returns the number of tasks executed this call.
+func DrainWithSync(cl *Client, agent *probes.Agent, sp ResultSpool, wait time.Duration) (int, error) {
+	total := 0
+	for {
+		rs, upTo := sp.DrainBatch(64)
+		w := wait
+		if len(rs) > 0 || sp.Len() > len(rs) {
+			w = 0 // backlog to deliver: don't park
+		}
+		resp, err := cl.Sync(SyncRequest{ProbeID: agent.ID(), Results: rs, Max: 64}, w)
+		if err != nil {
+			return total, err
+		}
+		if len(rs) > 0 {
+			if err := sp.AckBatch(upTo); err != nil {
+				return total, err
+			}
+		}
+		if len(resp.Tasks) == 0 {
+			if sp.Len() == 0 {
+				return total, nil
+			}
+			continue // more spooled frames to deliver
+		}
+		n, err := agent.RunTasks(resp.Tasks, sp)
+		total += n
+		if err != nil {
+			// ErrPowerOut or a spool write failure: whatever was sunk is
+			// safe on disk; deliver it (no lease ask) before reporting
+			// the fault.
+			if rs, upTo := sp.DrainBatch(64); len(rs) > 0 {
+				if _, serr := cl.Sync(SyncRequest{ProbeID: agent.ID(), Results: rs, Max: -1}, 0); serr != nil {
+					return total, fmt.Errorf("%v (and flushing spool: %w)", err, serr)
+				}
+				if aerr := sp.AckBatch(upTo); aerr != nil {
+					return total, fmt.Errorf("%v (and acking spool: %w)", err, aerr)
+				}
 			}
 			return total, err
 		}

@@ -1,0 +1,186 @@
+package core
+
+// client_sync_test.go pins the client side of the batched hot path:
+// the wire encoding of lease and sync calls (including the max=0
+// regression from the original LeaseTasks) and the DrainWithSync round
+// loop — one request per round, spool acked only after acceptance,
+// long-poll only when idle.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/spool"
+)
+
+// queryRecorder wraps a handler and keeps each request's op-relevant
+// URL parts in arrival order.
+type queryRecorder struct {
+	http.Handler
+	mu   sync.Mutex
+	seen []url.URL
+}
+
+func (q *queryRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q.mu.Lock()
+	q.seen = append(q.seen, *r.URL)
+	q.mu.Unlock()
+	q.Handler.ServeHTTP(w, r)
+}
+
+func (q *queryRecorder) urls() []url.URL {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]url.URL(nil), q.seen...)
+}
+
+// TestClientLeaseTasksMaxEncoding: max <= 0 means "server default" and
+// must not appear on the wire. The original client sent a literal
+// max=0, which the server clamps to zero tasks — every default-ask
+// poll came back empty.
+func TestClientLeaseTasksMaxEncoding(t *testing.T) {
+	c := NewController()
+	mustRegister(t, c, "cl-01", 36924, "RW")
+	rec := &queryRecorder{Handler: c.Handler()}
+	srv := httptest.NewServer(rec)
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+
+	if _, err := cl.LeaseTasks("cl-01", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.LeaseTasks("cl-01", 7); err != nil {
+		t.Fatal(err)
+	}
+	urls := rec.urls()
+	if len(urls) != 2 {
+		t.Fatalf("%d requests, want 2", len(urls))
+	}
+	if _, has := urls[0].Query()["max"]; has {
+		t.Fatalf("max=0 leaked onto the wire: %s", urls[0].RequestURI())
+	}
+	if got := urls[1].Query().Get("max"); got != "7" {
+		t.Fatalf("explicit ask encoded as max=%q, want 7", got)
+	}
+}
+
+// TestClientSyncWaitEncoding: wait=0 sends no query; a positive wait
+// rides as a Go duration string.
+func TestClientSyncWaitEncoding(t *testing.T) {
+	c := NewController()
+	mustRegister(t, c, "cl-01", 36924, "RW")
+	rec := &queryRecorder{Handler: c.Handler()}
+	srv := httptest.NewServer(rec)
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+
+	if _, err := cl.Sync(SyncRequest{ProbeID: "cl-01"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Sync(SyncRequest{ProbeID: "cl-01"}, 1500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	urls := rec.urls()
+	if len(urls) != 2 {
+		t.Fatalf("%d requests, want 2", len(urls))
+	}
+	if urls[0].RawQuery != "" {
+		t.Fatalf("wait=0 sent query %q, want none", urls[0].RawQuery)
+	}
+	if got := urls[1].Query().Get("wait"); got != "1.5s" {
+		t.Fatalf("wait encoded as %q, want 1.5s", got)
+	}
+}
+
+// TestDrainWithSyncRoundTrips runs a full probe drain over the batched
+// path and counts requests: 5 queued tasks cost exactly two sync
+// round-trips (lease round + deliver round), every result lands
+// recorded, and the spool ends empty — nothing stranded, nothing
+// double-delivered.
+func TestDrainWithSyncRoundTrips(t *testing.T) {
+	ctrl := NewController("owner")
+	mustRegister(t, ctrl, "kgl-01", 36924, "RW")
+	if _, err := ctrl.SubmitExperiment("owner", "drain", pingAssignments("kgl-01", 5)); err != nil {
+		t.Fatal(err)
+	}
+	rec := &queryRecorder{Handler: ctrl.Handler()}
+	srv := httptest.NewServer(rec)
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+	sp, err := spool.Open(t.TempDir(), spool.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	agent := probes.NewAgent(probes.Config{ID: "kgl-01", ASN: 36924, HasWired: true},
+		testNet, testDNS, testWeb)
+
+	n, err := DrainWithSync(cl, agent, sp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("executed %d tasks, want 5", n)
+	}
+	if got := len(rec.urls()); got != 2 {
+		t.Fatalf("drain cost %d round-trips, want 2 (lease, then deliver+empty-lease)", got)
+	}
+	if sp.Len() != 0 {
+		t.Fatalf("%d results stranded in the spool", sp.Len())
+	}
+	st := ctrl.Stats()
+	if st.Counters["results_recorded"] != 5 || st.OutstandingLeases != 0 {
+		t.Fatalf("recorded=%d outstanding=%d, want 5/0",
+			st.Counters["results_recorded"], st.OutstandingLeases)
+	}
+	// Heartbeat rode along: the probe was touched without a single
+	// heartbeat call.
+	if st.Counters["syncs"] != 2 || st.Counters["heartbeats"] != 0 {
+		t.Fatalf("syncs=%d heartbeats=%d, want 2/0",
+			st.Counters["syncs"], st.Counters["heartbeats"])
+	}
+}
+
+// TestDrainWithSyncParksOnlyWhenIdle: rounds with an empty spool offer
+// the long-poll wait (the server answers immediately when work is
+// queued), while delivery rounds — results in hand — must not park.
+func TestDrainWithSyncParksOnlyWhenIdle(t *testing.T) {
+	ctrl := NewController("owner")
+	mustRegister(t, ctrl, "kgl-01", 36924, "RW")
+	if _, err := ctrl.SubmitExperiment("owner", "drain", pingAssignments("kgl-01", 3)); err != nil {
+		t.Fatal(err)
+	}
+	rec := &queryRecorder{Handler: ctrl.Handler()}
+	srv := httptest.NewServer(rec)
+	defer srv.Close()
+	cl := NewClient(srv.URL)
+	sp, err := spool.Open(t.TempDir(), spool.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	agent := probes.NewAgent(probes.Config{ID: "kgl-01", ASN: 36924, HasWired: true},
+		testNet, testDNS, testWeb)
+
+	if _, err := DrainWithSync(cl, agent, sp, 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	urls := rec.urls()
+	if len(urls) != 2 {
+		t.Fatalf("%d requests, want 2", len(urls))
+	}
+	// Round 1: spool empty, so the wait rides along (the queued tasks
+	// make the server answer at once).
+	if got := urls[0].Query().Get("wait"); got != "30ms" {
+		t.Fatalf("idle round sent wait=%q, want 30ms", got)
+	}
+	// Round 2: three results in hand — delivering must not park.
+	if got := urls[1].Query().Get("wait"); got != "" {
+		t.Fatalf("delivery round parked: wait=%q, want none", got)
+	}
+}

@@ -178,6 +178,20 @@ type Controller struct {
 	// experiment instead of creating a duplicate.
 	submitIDs map[string]string
 
+	// waiters holds the long-poll parking lot (sync.go): per-probe
+	// channels closed when tasks land on that probe's queue. Run-scoped
+	// request state — never journaled, always empty during replay.
+	waiters map[string][]chan struct{}
+
+	// Bias-aware scheduler state (scheduler.go): coverage is the target
+	// share per country/ASN (config, like LeaseTTL), the served* tallies
+	// count granted tasks per dimension. The tallies are updated inside
+	// the journaled lease apply, so they are snapshot state.
+	coverage      CoverageTargets
+	servedCountry map[string]int64
+	servedASN     map[string]int64
+	servedTotal   int64
+
 	// Durability (see durability.go): log is the attached write-ahead
 	// journal (nil for in-memory controllers and during replay), dur
 	// counts journal-layer events, and snapEvery/sinceSnap drive
@@ -232,20 +246,23 @@ type Controller struct {
 // experimenter cohort.
 func NewController(trusted ...string) *Controller {
 	c := &Controller{
-		probes:       make(map[string]*probeState),
-		experiments:  make(map[string]*Experiment),
-		queues:       make(map[string][]probes.Task),
-		taskIDs:      make(map[string]map[string]bool),
-		recorded:     make(map[string]map[string]bool),
-		leases:       make(map[string]*leaseRec),
-		trusted:      make(map[string]bool),
-		stats:        metrics.NewCounterSet(),
-		submitIDs:    make(map[string]string),
-		dur:          metrics.NewCounterSet(),
-		adm:          newAdmission(),
-		LeaseTTL:     3,
-		SuspectAfter: 2,
-		DeadAfter:    5,
+		probes:        make(map[string]*probeState),
+		experiments:   make(map[string]*Experiment),
+		queues:        make(map[string][]probes.Task),
+		taskIDs:       make(map[string]map[string]bool),
+		recorded:      make(map[string]map[string]bool),
+		leases:        make(map[string]*leaseRec),
+		trusted:       make(map[string]bool),
+		stats:         metrics.NewCounterSet(),
+		submitIDs:     make(map[string]string),
+		waiters:       make(map[string][]chan struct{}),
+		servedCountry: make(map[string]int64),
+		servedASN:     make(map[string]int64),
+		dur:           metrics.NewCounterSet(),
+		adm:           newAdmission(),
+		LeaseTTL:      3,
+		SuspectAfter:  2,
+		DeadAfter:     5,
 	}
 	c.initObs()
 	c.store = store.NewMemory(store.Options{Obs: c.reg})
@@ -426,6 +443,7 @@ func (c *Controller) reassignQueueLocked(deadID string) {
 	c.queues[peer] = append(c.queues[peer], q...)
 	c.queues[deadID] = nil
 	c.stats.Add("tasks_reassigned", int64(len(q)))
+	c.notifyWaitersLocked(peer)
 }
 
 // pickPeerLocked returns the best reassignment target (other than
@@ -482,6 +500,7 @@ func (c *Controller) reapLocked() {
 		}
 		c.queues[target] = append(c.queues[target], l.task)
 		c.stats.Inc("tasks_requeued")
+		c.notifyWaitersLocked(target)
 	}
 }
 
@@ -624,6 +643,7 @@ func (c *Controller) approveLocked(exp *Experiment) {
 	exp.Status = StatusApproved
 	for _, a := range exp.Assignments {
 		c.queues[a.ProbeID] = append(c.queues[a.ProbeID], a.Task)
+		c.notifyWaitersLocked(a.ProbeID)
 	}
 }
 
@@ -672,9 +692,22 @@ func (c *Controller) applyLeaseLocked(probeID string, max int) []probes.Task {
 	if st, ok := c.probes[probeID]; ok {
 		c.touchLocked(st)
 	}
+	return c.grantLocked(probeID, max)
+}
+
+// grantLocked is the queue-pop half of a lease, shared by the plain
+// lease apply and the batched sync apply: pop up to max tasks (after
+// the coverage allowance in scheduler.go trims the ask for
+// overrepresented vantage points), drop copies that completed
+// elsewhere, and record the grant in the lease table and the
+// served-coverage tallies.
+func (c *Controller) grantLocked(probeID string, max int) []probes.Task {
 	q := c.queues[probeID]
 	if max <= 0 || max > len(q) {
 		max = len(q)
+	}
+	if st, ok := c.probes[probeID]; ok {
+		max = c.allowanceLocked(st.info, max)
 	}
 	lease := make([]probes.Task, 0, max)
 	taken := 0
@@ -692,6 +725,11 @@ func (c *Controller) applyLeaseLocked(probeID string, max int) []probes.Task {
 	}
 	c.queues[probeID] = q[taken:]
 	c.stats.Add("tasks_leased", int64(len(lease)))
+	if len(lease) > 0 {
+		if st, ok := c.probes[probeID]; ok {
+			c.recordServedLocked(st.info, len(lease))
+		}
+	}
 	return lease
 }
 
@@ -792,6 +830,12 @@ func (c *Controller) applyResultsLocked(probeID string, refs []resultRef) int {
 	if st, ok := c.probes[probeID]; ok {
 		c.touchLocked(st)
 	}
+	return c.recordRefsLocked(refs)
+}
+
+// recordRefsLocked is the dedup/lease-clearing half of a result batch,
+// shared by the plain results apply and the batched sync apply.
+func (c *Controller) recordRefsLocked(refs []resultRef) int {
 	accepted := 0
 	for _, ref := range refs {
 		if c.recorded[ref.Experiment] == nil || c.recorded[ref.Experiment][ref.TaskID] {

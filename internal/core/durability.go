@@ -27,6 +27,7 @@ const (
 	opReject    = "experiment_reject"
 	opLease     = "lease_grant"
 	opResults   = "results_accept"
+	opSync      = "probe_sync"
 	opTick      = "tick"
 )
 
@@ -71,6 +72,17 @@ type resultsOp struct {
 	Refs    []resultRef `json:"refs"`
 }
 
+// syncOp is one batched probe round-trip: heartbeat + accepted result
+// refs + a lease ask, journaled as a single record so one append and
+// one fsync cover the whole batch. Max is the resolved lease cap (the
+// server default is substituted before journaling), so replay grants
+// the same slice regardless of config defaults at recovery time.
+type syncOp struct {
+	ProbeID string      `json:"probe_id"`
+	Refs    []resultRef `json:"refs,omitempty"`
+	Max     int         `json:"max"`
+}
+
 type tickOp struct {
 	N int `json:"n"`
 }
@@ -91,6 +103,13 @@ type persistState struct {
 	SubmitIDs   map[string]string        `json:"submit_ids,omitempty"`
 	Counters    map[string]int64         `json:"counters,omitempty"`
 	Trusted     []string                 `json:"trusted,omitempty"`
+	// Served-grant tallies feed the bias-aware scheduler (scheduler.go).
+	// They are part of apply-path state — grants update them inside the
+	// journaled apply — so snapshots must carry them for replay
+	// equivalence. omitempty keeps pre-scheduler snapshots decodable.
+	ServedTotal   int64            `json:"served_total,omitempty"`
+	ServedCountry map[string]int64 `json:"served_country,omitempty"`
+	ServedASN     map[string]int64 `json:"served_asn,omitempty"`
 }
 
 type persistProbe struct {
@@ -130,6 +149,10 @@ type DurabilityConfig struct {
 	// Retention drops stored results older than this many ticks during
 	// compaction sweeps. 0 keeps everything.
 	Retention int64
+	// Coverage installs bias-aware lease scheduling targets
+	// (scheduler.go). Like the tick knobs this is config, not journaled
+	// state: recover with the same targets to replay the same grants.
+	Coverage CoverageTargets
 }
 
 // Recover rebuilds a controller from a journal directory — latest
@@ -180,6 +203,7 @@ func Recover(dir string, cfg DurabilityConfig) (*Controller, error) {
 	if cfg.DeadAfter > 0 {
 		c.DeadAfter = cfg.DeadAfter
 	}
+	c.coverage = cfg.Coverage
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -327,6 +351,12 @@ func (c *Controller) applyRecordLocked(rec journal.Record) error {
 			return fail(err)
 		}
 		c.applyResultsLocked(op.ProbeID, op.Refs)
+	case opSync:
+		var op syncOp
+		if err := json.Unmarshal(rec.Data, &op); err != nil {
+			return fail(err)
+		}
+		c.applySyncLocked(op)
 	case opTick:
 		var op tickOp
 		if err := json.Unmarshal(rec.Data, &op); err != nil {
@@ -491,6 +521,19 @@ func (c *Controller) persistLocked() persistState {
 		st.SubmitIDs[k] = v
 	}
 	st.Trusted = sortedKeys(c.trusted)
+	st.ServedTotal = c.servedTotal
+	if len(c.servedCountry) > 0 {
+		st.ServedCountry = make(map[string]int64, len(c.servedCountry))
+		for k, v := range c.servedCountry {
+			st.ServedCountry[k] = v
+		}
+	}
+	if len(c.servedASN) > 0 {
+		st.ServedASN = make(map[string]int64, len(c.servedASN))
+		for k, v := range c.servedASN {
+			st.ServedASN[k] = v
+		}
+	}
 	return st
 }
 
@@ -524,6 +567,13 @@ func (c *Controller) restoreLocked(st persistState) {
 	}
 	for k, v := range st.Counters {
 		c.stats.Add(k, v)
+	}
+	c.servedTotal = st.ServedTotal
+	for k, v := range st.ServedCountry {
+		c.servedCountry[k] = v
+	}
+	for k, v := range st.ServedASN {
+		c.servedASN[k] = v
 	}
 }
 

@@ -166,7 +166,7 @@ func (c *Controller) handleProbes(w http.ResponseWriter, r *http.Request, _ path
 }
 
 func (c *Controller) handleProbeTasks(w http.ResponseWriter, r *http.Request, p pathParams) {
-	max := 32
+	max := DefaultLeaseMax
 	if s := r.URL.Query().Get("max"); s != "" {
 		n, err := strconv.Atoi(s)
 		if err != nil || n < 0 {

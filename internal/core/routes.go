@@ -105,6 +105,18 @@ var apiRoutes = []routeDef{
 		handle:   (*Controller).handleProbeHeartbeat,
 	},
 	{
+		Name: "probe_sync", Method: http.MethodPost, Pattern: "/api/v1/probes/sync",
+		Summary: "Batched probe round-trip: heartbeat + spooled result upload + task-lease ask in one request, covered by a single journal append/fsync. The fleet-scale replacement for separate heartbeat/tasks/results calls.",
+		Query: []paramDoc{
+			{Name: "wait", Doc: "long-poll duration (e.g. 5s, capped at 30s): with no tasks to grant, the call parks until tasks are enqueued for the probe or the deadline passes. Omitted or 0 answers immediately. Federation coordinators answer immediately regardless — parking belongs to the shard owning the probe's queue"},
+		},
+		Request:  `SyncRequest {probe_id, results?: [Result], max?: 0 = server default of 32, < 0 = no lease}`,
+		Response: `SyncResponse {"accepted": n, "received": m, "tasks": [Task]} — accepted < received on retried uploads is dedup, not an error`,
+		Errors:   []string{ErrCodeBadRequest, ErrCodeNotFound, ErrCodeBodyTooLarge},
+		Priority: PriorityHigh,
+		handle:   (*Controller).handleProbeSync,
+	},
+	{
 		Name: "experiment_submit", Method: http.MethodPost, Pattern: "/api/v1/experiments",
 		Summary:  "Submit an experiment for vetting. Idempotent per request_id; trusted owners are auto-approved.",
 		Request:  `{"request_id"?, "id"?, "owner", "description", "assignments": [Assignment]} — id pins the experiment id (federation coordinators); omitted mints exp-NNNN`,

@@ -1,0 +1,304 @@
+package core
+
+// sync.go is the fleet-scale hot path: POST /api/v1/probes/sync folds a
+// probe's whole round into one request — the heartbeat, every spooled
+// result it has to deliver, and the ask for its next task lease — and
+// the controller folds the whole batch into ONE journal record (opSync),
+// so one append and one fsync cover work that previously cost a fsync
+// per heartbeat, per lease, and per upload. With ?wait=<duration> the
+// call long-polls: a probe with an empty queue parks on a per-probe
+// channel until tasks are enqueued for it (experiment approval, queue
+// reassignment, lease-expiry requeue) or the deadline passes. Wakeups
+// are driven by the enqueue sites themselves — which the tick sweep
+// calls — so parked probes cost no busy polling and nothing here reads
+// the wall clock into journaled state (the deadline timer is a plain
+// duration timer, invisible to replay).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/afrinet/observatory/internal/obs"
+	"github.com/afrinet/observatory/internal/probes"
+	"github.com/afrinet/observatory/internal/store"
+)
+
+// ErrUnknownProbe rejects sync (and heartbeat) traffic from a probe the
+// fleet book has never seen; handlers map it to 404.
+var ErrUnknownProbe = errors.New("core: unknown probe")
+
+// DefaultLeaseMax is the lease size used when a client asks for the
+// server default (max = 0 on the tasks and sync endpoints).
+const DefaultLeaseMax = 32
+
+// MaxSyncWait caps ?wait= so a misconfigured probe cannot park a
+// request slot indefinitely.
+const MaxSyncWait = 30 * time.Second
+
+// SyncRequest is the batched probe round-trip body. Max semantics: 0
+// asks for the server default lease (DefaultLeaseMax), > 0 caps the
+// lease, < 0 delivers results/heartbeat only, no lease.
+type SyncRequest struct {
+	ProbeID string          `json:"probe_id"`
+	Results []probes.Result `json:"results,omitempty"`
+	Max     int             `json:"max,omitempty"`
+}
+
+// SyncResponse acknowledges the batch and carries the granted lease.
+// Accepted counts results newly recorded (duplicates dedup to zero);
+// Received echoes the batch size, so Accepted < Received on retries is
+// expected, not an error.
+type SyncResponse struct {
+	Accepted int           `json:"accepted"`
+	Received int           `json:"received"`
+	Tasks    []probes.Task `json:"tasks"`
+}
+
+// resolveSyncMax maps the wire Max to the journaled lease cap.
+func resolveSyncMax(max int) int {
+	if max == 0 {
+		return DefaultLeaseMax
+	}
+	return max
+}
+
+// SyncProbe executes one batched round: validate and store the result
+// payloads, then journal heartbeat + result refs + lease grant as a
+// single opSync record. Errors mirror SubmitResults — an unknown probe,
+// experiment, or task rejects the whole batch without recording
+// anything, so the probe keeps its spool and retries intact.
+func (c *Controller) SyncProbe(probeID string, rs []probes.Result, max int) (SyncResponse, error) {
+	return c.syncCtx(context.Background(), probeID, rs, max)
+}
+
+func (c *Controller) syncCtx(ctx context.Context, probeID string, rs []probes.Result, max int) (SyncResponse, error) {
+	max = resolveSyncMax(max)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer c.setSpanLocked(obs.SpanFrom(ctx))()
+	st, ok := c.probes[probeID]
+	if !ok {
+		if len(rs) > 0 {
+			c.stats.Inc("results_rejected")
+		}
+		return SyncResponse{}, fmt.Errorf("%w %s", ErrUnknownProbe, probeID)
+	}
+	for _, r := range rs {
+		ids, ok := c.taskIDs[r.Experiment]
+		if !ok {
+			c.stats.Inc("results_rejected")
+			return SyncResponse{}, fmt.Errorf("core: unknown experiment %q in result for task %q", r.Experiment, r.TaskID)
+		}
+		if !ids[r.TaskID] {
+			c.stats.Inc("results_rejected")
+			return SyncResponse{}, fmt.Errorf("core: unknown task %q in experiment %s", r.TaskID, r.Experiment)
+		}
+	}
+	// Payloads go to the results store before the refs are journaled,
+	// exactly as on the plain results path: a crash between the two
+	// leaves an unacknowledged payload that read-time dedup collapses
+	// when the probe's retry lands.
+	refs := make([]resultRef, 0, len(rs))
+	var fresh []store.Record
+	batch := make(map[string]bool, len(rs))
+	for _, r := range rs {
+		refs = append(refs, resultRef{Experiment: r.Experiment, TaskID: r.TaskID})
+		key := r.Experiment + "/" + r.TaskID
+		if c.recorded[r.Experiment][r.TaskID] || batch[key] {
+			continue // a replayed duplicate; nothing new to store
+		}
+		batch[key] = true
+		r.ProbeID = probeID
+		fresh = append(fresh, store.Record{
+			Experiment: r.Experiment,
+			TaskID:     r.TaskID,
+			ProbeID:    probeID,
+			Tick:       c.now,
+			Country:    st.info.Country,
+			ASN:        st.info.ASN,
+			Result:     r,
+		})
+	}
+	storeSpan := c.span.Child("store.append")
+	err := c.store.Append(fresh...)
+	storeSpan.End()
+	if err != nil {
+		c.dur.Inc("store_append_errors")
+		return SyncResponse{}, fmt.Errorf("core: results store: %w", err)
+	}
+	op := syncOp{ProbeID: probeID, Refs: refs, Max: max}
+	resp := SyncResponse{Received: len(rs)}
+	if err := c.mutateLocked(opSync, op, func() {
+		resp.Accepted, resp.Tasks = c.applySyncLocked(op)
+	}); err != nil {
+		return SyncResponse{}, err
+	}
+	return resp, nil
+}
+
+// applySyncLocked is the journaled apply of one batched round: probe
+// contact, then result bookkeeping, then the lease grant — results
+// first so a task this very batch completed is dropped rather than
+// re-leased if a requeued copy sits in the queue.
+func (c *Controller) applySyncLocked(op syncOp) (int, []probes.Task) {
+	if st, ok := c.probes[op.ProbeID]; ok {
+		c.touchLocked(st)
+	}
+	c.stats.Inc("syncs")
+	accepted := c.recordRefsLocked(op.Refs)
+	var tasks []probes.Task
+	if op.Max > 0 {
+		tasks = c.grantLocked(op.ProbeID, op.Max)
+	}
+	return accepted, tasks
+}
+
+// notifyWaitersLocked wakes every sync call parked on probeID's queue.
+// Called from the enqueue sites (approve, reassignment, lease-expiry
+// requeue); during replay the parking lot is empty and this is a no-op,
+// so the apply path stays deterministic.
+func (c *Controller) notifyWaitersLocked(probeID string) {
+	ws := c.waiters[probeID]
+	if len(ws) == 0 {
+		return
+	}
+	for _, ch := range ws {
+		close(ch)
+	}
+	delete(c.waiters, probeID)
+}
+
+// syncWait registers a long-poll waiter for probeID. The queue check
+// and the registration share one critical section, so an enqueue can
+// never slip between "queue is empty" and "channel parked" — the
+// classic missed-wakeup race. ready == true means tasks are already
+// queued and the caller should lease instead of parking.
+func (c *Controller) syncWait(probeID string) (ch chan struct{}, ready bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queues[probeID]) > 0 {
+		return nil, true
+	}
+	ch = make(chan struct{})
+	c.waiters[probeID] = append(c.waiters[probeID], ch)
+	return ch, false
+}
+
+// dropWaiter removes a parked channel after a deadline or client
+// disconnect (identity match; the channel may already have been closed
+// and removed by a racing notify, which is fine).
+func (c *Controller) dropWaiter(probeID string, target chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.waiters[probeID]
+	for i, ch := range ws {
+		if ch == target {
+			c.waiters[probeID] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(c.waiters[probeID]) == 0 {
+		delete(c.waiters, probeID)
+	}
+}
+
+// leaseIfAvailableCtx grants a lease only when the probe's queue is
+// non-empty, journaling nothing otherwise — a parked probe that wakes
+// to a queue already drained by a competing request must not burn a
+// journal record on an empty grant.
+func (c *Controller) leaseIfAvailableCtx(ctx context.Context, probeID string, max int) []probes.Task {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queues[probeID]) == 0 {
+		return nil
+	}
+	defer c.setSpanLocked(obs.SpanFrom(ctx))()
+	var lease []probes.Task
+	if err := c.mutateLocked(opLease, leaseOp{ProbeID: probeID, Max: max}, func() {
+		lease = c.applyLeaseLocked(probeID, max)
+	}); err != nil {
+		return nil
+	}
+	return lease
+}
+
+// waitForTasks parks until tasks are granted, the wait elapses, or the
+// client goes away. The deadline is a plain duration timer: it never
+// reads the wall clock into controller state, so the journaled history
+// is identical whether or not anyone long-polled.
+func (c *Controller) waitForTasks(ctx context.Context, probeID string, max int, wait time.Duration) []probes.Task {
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		ch, ready := c.syncWait(probeID)
+		if !ready {
+			select {
+			case <-ch:
+			case <-deadline.C:
+				c.dropWaiter(probeID, ch)
+				return nil
+			case <-ctx.Done():
+				c.dropWaiter(probeID, ch)
+				return nil
+			}
+		}
+		if tasks := c.leaseIfAvailableCtx(ctx, probeID, max); len(tasks) > 0 {
+			return tasks
+		}
+		// Woken but granted nothing (the queued copies had completed
+		// elsewhere, or a competing request drained the queue first):
+		// keep waiting out the deadline.
+		select {
+		case <-deadline.C:
+			return nil
+		case <-ctx.Done():
+			return nil
+		default:
+		}
+	}
+}
+
+// handleProbeSync serves POST /api/v1/probes/sync.
+func (c *Controller) handleProbeSync(w http.ResponseWriter, r *http.Request, _ pathParams) {
+	var req SyncRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.ProbeID == "" {
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest,
+			fmt.Errorf("probe_id required"))
+		return
+	}
+	var wait time.Duration
+	if s := r.URL.Query().Get("wait"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest,
+				fmt.Errorf("wait must be a non-negative duration, got %q", s))
+			return
+		}
+		if d > MaxSyncWait {
+			d = MaxSyncWait
+		}
+		wait = d
+	}
+	resp, err := c.syncCtx(r.Context(), req.ProbeID, req.Results, req.Max)
+	if err != nil {
+		if errors.Is(err, ErrUnknownProbe) {
+			writeAPIError(w, http.StatusNotFound, ErrCodeNotFound, err)
+			return
+		}
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
+		return
+	}
+	if wait > 0 && req.Max >= 0 && len(resp.Tasks) == 0 {
+		resp.Tasks = c.waitForTasks(r.Context(), req.ProbeID, resolveSyncMax(req.Max), wait)
+	}
+	if resp.Tasks == nil {
+		resp.Tasks = []probes.Task{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

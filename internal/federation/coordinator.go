@@ -610,6 +610,21 @@ func (c *Coordinator) LeaseTasks(probeID string, max int) ([]probes.Task, error)
 	})
 }
 
+// Sync routes a batched heartbeat+results+lease round to the probe's
+// owning shard. Never hedged: the response can carry a lease, and two
+// racing sync attempts would both consume leases (same rule as
+// LeaseTasks). A shard-layer failure means the batch was (as far as we
+// know) not durably accepted, so the caller must keep it spooled.
+func (c *Coordinator) Sync(req core.SyncRequest) (core.SyncResponse, error) {
+	st, backend, err := c.shardFor(req.ProbeID)
+	if err != nil {
+		return core.SyncResponse{}, err
+	}
+	return scatterCall(c, st, backend, false, func(s Shard) (core.SyncResponse, error) {
+		return s.Sync(req)
+	})
+}
+
 // SubmitResults routes a result batch to the probe's owning shard.
 // Hedging is safe: the shard dedups by (experiment, task).
 func (c *Coordinator) SubmitResults(probeID string, rs []probes.Result) (int, error) {

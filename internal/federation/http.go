@@ -37,6 +37,7 @@ var fedRoutes = []fedRoute{
 	{"probe_tasks", http.MethodGet, segsOf("/api/v1/probes/{id}/tasks"), core.PriorityHigh, (*Coordinator).handleProbeTasks},
 	{"probe_results", http.MethodPost, segsOf("/api/v1/probes/{id}/results"), core.PriorityHigh, (*Coordinator).handleProbeResults},
 	{"probe_heartbeat", http.MethodPost, segsOf("/api/v1/probes/{id}/heartbeat"), core.PriorityHigh, (*Coordinator).handleProbeHeartbeat},
+	{"probe_sync", http.MethodPost, segsOf("/api/v1/probes/sync"), core.PriorityHigh, (*Coordinator).handleProbeSync},
 	{"experiment_submit", http.MethodPost, segsOf("/api/v1/experiments"), core.PriorityHigh, (*Coordinator).handleSubmit},
 	{"experiment_get", http.MethodGet, segsOf("/api/v1/experiments/{id}"), core.PriorityLow, (*Coordinator).handleExperimentGet},
 	{"experiment_approve", http.MethodPost, segsOf("/api/v1/experiments/{id}/approve"), core.PriorityHigh, (*Coordinator).handleExperimentApprove},
@@ -230,6 +231,39 @@ func (c *Coordinator) handleProbeHeartbeat(w http.ResponseWriter, r *http.Reques
 		return
 	}
 	core.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleProbeSync serves the batched hot path through the shard tier.
+// The ?wait= long-poll parameter is accepted for wire compatibility but
+// not forwarded: parking belongs to the queue-owning shard, and the
+// coordinator's per-shard deadline (QueryDeadline, ~2s) would cut a 30s
+// park short — so a coordinator answers immediately and the probe's
+// wait loop becomes a paced retry. If the owning shard is down the
+// batch was not durably accepted: 503 + Retry-After, and the probe's
+// spool (which only acks on success) retains it.
+func (c *Coordinator) handleProbeSync(w http.ResponseWriter, r *http.Request, _ map[string]string) {
+	var req core.SyncRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.ProbeID == "" {
+		core.WriteAPIError(w, http.StatusBadRequest, core.ErrCodeBadRequest,
+			errors.New("probe_id is required"))
+		return
+	}
+	resp, err := c.Sync(req)
+	if err != nil {
+		if errors.Is(err, core.ErrUnknownProbe) {
+			core.WriteAPIError(w, http.StatusNotFound, core.ErrCodeNotFound, err)
+			return
+		}
+		c.writeShardErr(w, err)
+		return
+	}
+	if resp.Tasks == nil {
+		resp.Tasks = []probes.Task{}
+	}
+	core.WriteJSON(w, http.StatusOK, resp)
 }
 
 // fedSubmitRequest mirrors the controller's submission body (the "id"

@@ -31,6 +31,10 @@ type Shard interface {
 	Heartbeat(probeID string) error
 	LeaseTasks(probeID string, max int) ([]probes.Task, error)
 	SubmitResults(probeID string, rs []probes.Result) (int, error)
+	// Sync runs the batched probe hot path (heartbeat + result upload +
+	// lease) as one shard call. Never hedged by the coordinator: the
+	// response may carry a lease.
+	Sync(req core.SyncRequest) (core.SyncResponse, error)
 	// SubmitWithID creates a sub-experiment under the coordinator's
 	// federated id, idempotent per requestID.
 	SubmitWithID(requestID, expID, owner, description string, as []probes.Assignment) (*core.Experiment, error)
@@ -126,6 +130,14 @@ func (s *LocalShard) SubmitResults(probeID string, rs []probes.Result) (int, err
 		return 0, err
 	}
 	return c.SubmitResults(probeID, rs)
+}
+
+func (s *LocalShard) Sync(req core.SyncRequest) (core.SyncResponse, error) {
+	c, err := s.ctrl()
+	if err != nil {
+		return core.SyncResponse{}, err
+	}
+	return c.SyncProbe(req.ProbeID, req.Results, req.Max)
 }
 
 func (s *LocalShard) SubmitWithID(requestID, expID, owner, description string, as []probes.Assignment) (*core.Experiment, error) {
@@ -242,6 +254,14 @@ func (s *HTTPShard) SubmitResults(probeID string, rs []probes.Result) (int, erro
 		return 0, remoteErr(err)
 	}
 	return len(rs), nil
+}
+
+// Sync forwards the batch without a wait: long-polling belongs between
+// the probe and the coordinator's front end, not inside a per-shard
+// deadline that would cut the park short.
+func (s *HTTPShard) Sync(req core.SyncRequest) (core.SyncResponse, error) {
+	resp, err := s.cl.Sync(req, 0)
+	return resp, remoteErr(err)
 }
 
 func (s *HTTPShard) SubmitWithID(requestID, expID, owner, description string, as []probes.Assignment) (*core.Experiment, error) {

@@ -247,10 +247,15 @@ func (s *Spool) Append(r probes.Result) error {
 	return s.maybeCompactLocked()
 }
 
-// Peek returns up to max of the oldest undelivered results (all of them
-// when max <= 0) plus the sequence to pass to Ack once that batch is
-// delivered. An empty backlog returns (nil, 0).
-func (s *Spool) Peek(max int) ([]probes.Result, uint64) {
+// DrainBatch returns up to max of the oldest undelivered results (all
+// of them when max <= 0) as one delivery frame, plus the sequence to
+// pass to AckBatch once the whole frame is delivered. Results are
+// copied, not removed: until the matching AckBatch lands they remain
+// pending and survive a restart, so a failed upload re-offers the same
+// frame. An empty backlog returns (nil, 0). This is the producer half
+// of the batched sync path — a probe drains a frame, ships it in one
+// POST /api/v1/probes/sync, and acks the frame in bulk.
+func (s *Spool) DrainBatch(max int) ([]probes.Result, uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.pending) == 0 {
@@ -267,9 +272,20 @@ func (s *Spool) Peek(max int) ([]probes.Result, uint64) {
 	return out, s.pending[n-1].seq
 }
 
-// Ack durably marks every result up to and including upTo as delivered;
-// they will not be offered again, even across a restart.
-func (s *Spool) Ack(upTo uint64) error {
+// Peek is DrainBatch under its original name, kept for callers of the
+// per-batch upload path (FlushSpool).
+func (s *Spool) Peek(max int) ([]probes.Result, uint64) {
+	return s.DrainBatch(max)
+}
+
+// AckBatch durably retires every result up to and including upTo in
+// one ack frame and one fsync — the whole delivered batch costs a
+// single durable write, mirroring the controller's one-append-per-sync
+// journaling. The fsync lands before the pending set is trimmed
+// (fsync-before-ack): a power cut during AckBatch re-offers the batch
+// on reopen, never drops it. Retired results are not offered again,
+// even across a restart.
+func (s *Spool) AckBatch(upTo uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
@@ -294,6 +310,11 @@ func (s *Spool) Ack(upTo uint64) error {
 	s.consumed++ // the ack frame
 	s.ctr.Add("spool_frames_acked", int64(dropped))
 	return s.maybeCompactLocked()
+}
+
+// Ack is AckBatch under its original name.
+func (s *Spool) Ack(upTo uint64) error {
+	return s.AckBatch(upTo)
 }
 
 // maybeCompactLocked rewrites the log down to the pending set once

@@ -292,3 +292,75 @@ func fileSize(t *testing.T, path string) int64 {
 	}
 	return fi.Size()
 }
+
+// TestDrainBatchFrameSemantics: DrainBatch is a non-destructive read —
+// the frame stays pending (and re-offers identically) until the
+// matching AckBatch lands, and one AckBatch retires the whole frame in
+// one durable write.
+func TestDrainBatchFrameSemantics(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	for i := 0; i < 6; i++ {
+		if err := s.Append(testResult(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	frame, upTo := s.DrainBatch(4)
+	if len(frame) != 4 || frame[0].TaskID != "t1" || frame[3].TaskID != "t4" {
+		t.Fatalf("first frame wrong: %+v", frame)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("Len after drain = %d, want 6 (drain must not remove)", s.Len())
+	}
+	// A failed upload drains again: the identical frame re-offers.
+	again, upTo2 := s.DrainBatch(4)
+	if upTo2 != upTo || len(again) != 4 || again[0].TaskID != "t1" {
+		t.Fatalf("re-offered frame diverged: %+v (seq %d vs %d)", again, upTo2, upTo)
+	}
+	if err := s.AckBatch(upTo); err != nil {
+		t.Fatalf("AckBatch: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after ack = %d, want 2", s.Len())
+	}
+	rest, upTo := s.DrainBatch(0) // max <= 0 drains everything left
+	if len(rest) != 2 || rest[0].TaskID != "t5" || rest[1].TaskID != "t6" {
+		t.Fatalf("remaining frame wrong: %+v", rest)
+	}
+	if err := s.AckBatch(upTo); err != nil {
+		t.Fatalf("AckBatch: %v", err)
+	}
+	if got, seq := s.DrainBatch(0); got != nil || seq != 0 {
+		t.Fatalf("empty spool drained %+v (seq %d), want nil/0", got, seq)
+	}
+	// Acking an already-retired frame is a no-op, not an error.
+	if err := s.AckBatch(upTo); err != nil {
+		t.Fatalf("duplicate AckBatch: %v", err)
+	}
+}
+
+// TestAckBatchDurableAcrossReopen: the batch ack survives an abrupt
+// restart — retired results never re-offer, unacked ones always do.
+func TestAckBatchDurableAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Append(testResult(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	_, upTo := s.DrainBatch(3)
+	if err := s.AckBatch(upTo); err != nil {
+		t.Fatalf("AckBatch: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	frame, _ := s2.DrainBatch(0)
+	if len(frame) != 2 || frame[0].TaskID != "t4" || frame[1].TaskID != "t5" {
+		t.Fatalf("reopened frame wrong: %+v", frame)
+	}
+}

@@ -1,14 +1,17 @@
 #!/bin/sh
-# bench.sh — run the root benchmark suite and fold the results into
-# BENCH_PR5.json via cmd/benchjson (min ns/op across -count runs).
+# bench.sh — run the benchmark suites and fold the results into
+# BENCH_PR8.json via cmd/benchjson (min ns/op across -count runs), then
+# run the fleetsim load + bias experiments into the same file.
 #
 # Usage:
-#   scripts/bench.sh               # record the "after" section
-#   scripts/bench.sh before        # record the "before" section
+#   scripts/bench.sh               # record the "after" section + fleetsim
+#   scripts/bench.sh before        # record the "before" section only
 #   BENCH_COUNT=5 scripts/bench.sh # more repetitions (default 3)
+#   FLEET_PROBES=100000 FLEET_DURATION=300s scripts/bench.sh  # full-scale
 #
 # When both sections are present the JSON gains a per-benchmark
-# "speedup" map (before ns/op / after ns/op).
+# "speedup" map (before ns/op / after ns/op). The fleetsim keys
+# ("fleetsim", "bias") are merged in place and survive benchjson reruns.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,13 +19,29 @@ cd "$(dirname "$0")/.."
 label="${1:-after}"
 count="${BENCH_COUNT:-3}"
 benchtime="${BENCH_TIME:-1x}"
-out="${BENCH_OUT:-BENCH_PR5.json}"
+out="${BENCH_OUT:-BENCH_PR8.json}"
+probes="${FLEET_PROBES:-20000}"
+duration="${FLEET_DURATION:-120s}"
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 echo "== go test -bench (count=$count, benchtime=$benchtime) =="
+# Root experiment benchmarks plus the controller hot-path
+# microbenchmarks (Lease / SubmitResultsBatch / Sync) into one record.
 go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count "$count" . | tee "$tmp"
+go test -run '^$' -bench 'BenchmarkLease$|BenchmarkSubmitResultsBatch$|BenchmarkSync$' \
+    -benchmem -benchtime "$benchtime" -count "$count" ./internal/core | tee -a "$tmp"
 
 echo "== benchjson ($label -> $out) =="
 go run ./cmd/benchjson -label "$label" -out "$out" < "$tmp"
+
+if [ "$label" = "before" ]; then
+    exit 0
+fi
+
+echo "== fleetsim load ($probes probes -> $out) =="
+go run ./cmd/fleetsim -probes "$probes" -duration "$duration" -mode both -out "$out"
+
+echo "== fleetsim bias experiment (-> $out) =="
+go run ./cmd/fleetsim -bias -out "$out"

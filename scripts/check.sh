@@ -27,8 +27,11 @@ echo "== determinism lint =="
 # ops, and the store's retention clock is the controller's tick counter.
 # (Federation's hedge/deadline timers use time.NewTimer on durations,
 # which is allowed: they never read the wall clock into state.)
-if git grep -n 'time\.Now()' -- internal/core internal/journal internal/store internal/spool internal/federation; then
-    echo "determinism lint: time.Now() is forbidden in internal/core, internal/journal, internal/store, internal/spool, and internal/federation" >&2
+# cmd/fleetsim is held to the same bar: its load timing goes through
+# internal/obs (StartTimer/Elapsed), so the bench harness itself stays
+# clock-discipline clean.
+if git grep -n 'time\.Now()' -- internal/core internal/journal internal/store internal/spool internal/federation cmd/fleetsim; then
+    echo "determinism lint: time.Now() is forbidden in internal/core, internal/journal, internal/store, internal/spool, internal/federation, and cmd/fleetsim" >&2
     exit 1
 fi
 
@@ -62,5 +65,13 @@ echo "== bench smoke =="
 # Every benchmark must still run (one iteration each); guards against
 # bit-rot in the harness scripts/bench.sh relies on.
 go test -run '^$' -bench . -benchtime=1x -count=1 . > /dev/null
+go test -run '^$' -bench . -benchtime=1x -count=1 ./internal/core > /dev/null
+
+echo "== fleetsim smoke =="
+# A small fleet through both wire protocols under the race detector:
+# the run itself asserts exactly-once completion (accepted == recorded,
+# no dedups/rejects/requeues, no outstanding leases) and exits non-zero
+# on any violation.
+go run -race ./cmd/fleetsim -probes 1000 -duration 30s -tasks-per-probe 4 -workers 16
 
 echo "OK"
