@@ -15,7 +15,7 @@ fmt:
 	gofmt -w .
 
 # Run the benchmark suites (root experiments + controller hot path) and
-# fold min ns/op per benchmark into BENCH_PR8.json ("after" section;
+# fold min ns/op per benchmark into BENCH_PR9.json ("after" section;
 # `scripts/bench.sh before` records the baseline), then the fleetsim
 # load and bias runs. BENCH_COUNT / BENCH_TIME tune repetitions and
 # benchtime; FLEET_PROBES / FLEET_DURATION scale the load run.
@@ -29,11 +29,12 @@ fleetsim-smoke:
 	go run -race ./cmd/fleetsim -probes 1000 -duration 30s -tasks-per-probe 4 -workers 16
 
 # 30s smoke runs of the replay fuzzers: random record streams,
-# truncations, and bit flips must never panic the journal recovery path
-# or the segment reader.
+# truncations, and bit flips must never panic the journal recovery path,
+# the segment reader, or the archival measurement decoder.
 fuzz:
 	go test ./internal/journal -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime 30s
 	go test ./internal/store -run '^$$' -fuzz '^FuzzSegmentReplay$$' -fuzztime 30s
+	go test ./internal/archival -run '^$$' -fuzz '^FuzzArchivalDecode$$' -fuzztime 30s
 
 # Long-timeline chaos drills under the race detector: link flaps,
 # partitions, probe power cycles, and two controller crash/recovers on

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"github.com/afrinet/observatory/internal/experiments"
+	"github.com/afrinet/observatory/internal/par"
 	"github.com/afrinet/observatory/internal/probes"
 	"github.com/afrinet/observatory/internal/store"
 	"github.com/afrinet/observatory/internal/topology"
@@ -353,6 +354,30 @@ func BenchmarkQueryAggregate(b *testing.B) {
 		if rep.Matched == 0 {
 			b.Fatal("aggregation matched nothing")
 		}
+	}
+}
+
+// BenchmarkWebstepsRun measures the websteps censorship sweep — every
+// African country's top sites through the step-following engine under
+// the seeded interference policy — serial and with the default worker
+// pool, so the recorded numbers expose the fan-out's speedup.
+func BenchmarkWebstepsRun(b *testing.B) {
+	env := benchSetup(b)
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel8", 8}} {
+		workers := mode.workers
+		b.Run(mode.name, func(b *testing.B) {
+			prev := par.SetDefaultWorkers(workers)
+			defer par.SetDefaultWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				r := experiments.WebstepsCensorship(env)
+				if len(r.Countries) == 0 || r.Policies == 0 {
+					b.Fatal("websteps sweep measured nothing")
+				}
+			}
+		})
 	}
 }
 

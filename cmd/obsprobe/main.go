@@ -8,7 +8,7 @@
 //	obsprobe -controller http://127.0.0.1:8600 -id kgl-01 -asn 36924 \
 //	         [-seed 42] [-wired] [-budget 5.0] [-bundle-mb 20] [-poll 1]
 //	         [-spool-dir /var/lib/obsprobe] [-spool-max 4096]
-//	         [-breaker-threshold 0] [-sync] [-wait 5s]
+//	         [-breaker-threshold 0] [-sync] [-wait 5s] [-websteps]
 //
 // Without -wired the probe is cellular-only and meters every task
 // against a prepaid bundle budget, failing tasks once the budget is
@@ -21,6 +21,11 @@
 // first. -breaker-threshold N trips a circuit breaker after N
 // consecutive transport failures so a dead uplink fails fast instead of
 // burning the retry budget (0 disables).
+//
+// With -websteps the agent is armed with the step-following web
+// measurement engine (internal/websim) under the seed's default
+// interference policy, so it can execute "websteps" tasks; without the
+// flag those tasks fail with "agent has no websteps engine".
 //
 // With -sync (requires -spool-dir) the probe uses the batched
 // POST /probes/sync hot path: each round-trip carries the heartbeat,
@@ -74,6 +79,7 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive transport failures before the uplink circuit breaker trips (0 = disabled)")
 	syncMode := flag.Bool("sync", false, "use the batched /probes/sync hot path (requires -spool-dir)")
 	wait := flag.Duration("wait", 0, "long-poll duration for idle sync rounds (0 = return immediately; only with -sync)")
+	websteps := flag.Bool("websteps", false, "arm the websteps engine (seed's default interference policy) so \"websteps\" tasks execute")
 	flag.Parse()
 
 	if *id == "" || *asn == 0 {
@@ -102,6 +108,9 @@ func main() {
 		cfg.Power = probes.NewPowerModel(*seed, *outageProb)
 	}
 	agent := stack.NewAgent(cfg)
+	if *websteps {
+		agent.EnableWebsteps(stack.NewWebsteps(*seed))
+	}
 
 	cl := core.NewClient(*controller)
 	reg := obs.NewRegistry()

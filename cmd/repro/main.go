@@ -7,8 +7,8 @@
 //	repro [-seed N] [-only <id>] [-csv dir]
 //
 // Experiment ids: fig1 fig2a fig2b fig2c fig3 fig4 table1 nautilus cover
-// pilot whatif radar anycast platform ablation-placement ablation-budget
-// ablation-correlated.
+// pilot whatif radar anycast websteps platform ablation-placement
+// ablation-budget ablation-correlated.
 //
 // With -csv, figure series are also written as CSV files for plotting.
 package main
@@ -81,6 +81,9 @@ func main() {
 	run("whatif", "WHAT-IF — correlated cable cut", func() renderable { return experiments.WhatIfCableCut(getEnv()) })
 	run("radar", "VALIDATION — Radar-style detection", func() renderable { return experiments.RadarValidation(getEnv()) })
 	run("anycast", "§7.2 WORKLOAD — anycast census", func() renderable { return experiments.AnycastCensus(getEnv()) })
+	run("websteps", "§7.2 WORKLOAD — websteps censorship sweep", func() renderable {
+		return experiments.WebstepsCensorship(getEnv())
+	})
 	run("platform", "SYSTEM — measurements through the live platform", func() renderable {
 		r, err := experiments.PlatformRun(getEnv(), 24)
 		if err != nil {

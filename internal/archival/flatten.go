@@ -1,0 +1,82 @@
+package archival
+
+import "sort"
+
+// Observation is one flattened row of a measurement: the tabular form
+// stores and spreadsheets ingest. Every row carries the full link key
+// (MeasurementID, StepID, EndpointID, record ID) so rows re-join into
+// the structured measurement without any side table.
+type Observation struct {
+	MeasurementID string  `json:"measurement_id"`
+	Type          string  `json:"type"` // "dns" | "dial" | "tls" | "http"
+	ID            int64   `json:"id"`
+	StepID        int64   `json:"step_id"`
+	EndpointID    int64   `json:"endpoint_id,omitempty"`
+	Origin        Origin  `json:"origin"`
+	URL           string  `json:"url,omitempty"`
+	Domain        string  `json:"domain,omitempty"`
+	Address       string  `json:"address,omitempty"`
+	Detail        string  `json:"detail,omitempty"` // resolver class / SNI / body hash
+	Failure       string  `json:"failure,omitempty"`
+	LatencyMs     float64 `json:"latency_ms,omitempty"`
+}
+
+// Flatten renders the measurement as observation rows in a canonical
+// order: by step, then record type (dns, dial, tls, http), then record
+// ID — so equal measurements flatten identically regardless of the
+// order sub-measurement slices were appended in.
+func (m *Measurement) Flatten() []Observation {
+	var out []Observation
+	for _, d := range m.DNS {
+		out = append(out, Observation{
+			MeasurementID: m.MeasurementID, Type: "dns", ID: d.ID, StepID: d.StepID,
+			Origin: d.Origin, Domain: d.Domain, Detail: d.ResolverClass,
+			Failure: d.Failure, LatencyMs: d.LatencyMs,
+		})
+	}
+	for _, d := range m.Dials {
+		out = append(out, Observation{
+			MeasurementID: m.MeasurementID, Type: "dial", ID: d.ID, StepID: d.StepID,
+			EndpointID: d.EndpointID, Origin: d.Origin, Address: d.Address,
+			Failure: d.Failure, LatencyMs: d.LatencyMs,
+		})
+	}
+	for _, h := range m.TLS {
+		out = append(out, Observation{
+			MeasurementID: m.MeasurementID, Type: "tls", ID: h.ID, StepID: h.StepID,
+			EndpointID: h.EndpointID, Origin: h.Origin, Detail: h.SNI,
+			Failure: h.Failure, LatencyMs: h.LatencyMs,
+		})
+	}
+	for _, h := range m.HTTP {
+		out = append(out, Observation{
+			MeasurementID: m.MeasurementID, Type: "http", ID: h.ID, StepID: h.StepID,
+			EndpointID: h.EndpointID, Origin: h.Origin, URL: h.URL, Detail: h.BodyHash,
+			Failure: h.Failure, LatencyMs: h.TransferMs,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.StepID != b.StepID {
+			return a.StepID < b.StepID
+		}
+		if ta, tb := typeRank(a.Type), typeRank(b.Type); ta != tb {
+			return ta < tb
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+func typeRank(t string) int {
+	switch t {
+	case "dns":
+		return 0
+	case "dial":
+		return 1
+	case "tls":
+		return 2
+	default:
+		return 3
+	}
+}

@@ -421,6 +421,11 @@ func (s *System) MeasureLocality(iso2 string) LocalityShare {
 	return out
 }
 
+// ResidentialClient exposes the per-country eyeball vantage: the
+// incumbent eyeball AS, the network a websteps probe in that country
+// measures from. Returns 0 for countries with no eyeball networks.
+func (s *System) ResidentialClient(iso2 string) topology.ASN { return s.residentialClient(iso2) }
+
 // residentialClient picks the country's incumbent eyeball AS (what a
 // residential VPN exit looks like).
 func (s *System) residentialClient(iso2 string) topology.ASN {

@@ -12,9 +12,11 @@ import (
 	"time"
 
 	"github.com/afrinet/observatory/internal/faultinject"
+	"github.com/afrinet/observatory/internal/outage"
 	"github.com/afrinet/observatory/internal/probes"
 	"github.com/afrinet/observatory/internal/spool"
 	"github.com/afrinet/observatory/internal/store"
+	"github.com/afrinet/observatory/internal/websim"
 )
 
 // TestChaosScheduleEndToEnd drives the whole resilience stack through a
@@ -52,15 +54,31 @@ func TestChaosScheduleEndToEnd(t *testing.T) {
 
 	probeIDs := []string{"live-00", "live-01", "live-02"}
 	sched := faultinject.GenerateSchedule(seed, faultinject.ScheduleConfig{
-		Rounds:            rounds,
-		Probes:            probeIDs,
-		FlapProb:          0.10,
-		PartitionProb:     0.08,
-		CycleProb:         0.08,
-		MaxWindow:         3,
-		ControllerCrashes: crashes,
+		Rounds:                rounds,
+		Probes:                probeIDs,
+		FlapProb:              0.10,
+		PartitionProb:         0.08,
+		CycleProb:             0.08,
+		MaxWindow:             3,
+		ControllerCrashes:     crashes,
+		InterferenceCountries: []string{"RW"},
+		InterferenceWindows:   2,
 	})
 	t.Logf("%s", sched)
+
+	// Censorship weather rides the same timeline: Rwanda gets a
+	// full-mechanism policy that applies only while the schedule's
+	// interference windows are open. Exactly-once must hold with DNS
+	// poisoning, SNI resets, blockpages, and throttling active.
+	pol := outage.NewInterference(seed)
+	pol.SetRule(outage.InterferenceRule{
+		Country: "RW", DNSPoison: true, PoisonBogon: true,
+		SNIReset: true, Blockpage: true,
+		ThrottleBytesPerMs: 10, DomainFraction: 1.0,
+		ResolverClasses: []string{"same-country", "other-country", "cloud"},
+	})
+	pol.SetWindowed(true)
+	websteps := websim.New(testNet, testDNS, testWeb, pol, seed)
 
 	const flushEvery = 16
 	dataDir := t.TempDir()
@@ -115,6 +133,7 @@ func TestChaosScheduleEndToEnd(t *testing.T) {
 		cl.BreakerThreshold = 5
 		r.cl = cl
 		r.agent = probes.NewAgent(probes.Config{ID: r.id, ASN: 36924, HasWired: true}, testNet, testDNS, testWeb)
+		r.agent.EnableWebsteps(websteps)
 	}
 	var rigs []*rig
 	for i, id := range probeIDs {
@@ -143,6 +162,18 @@ func TestChaosScheduleEndToEnd(t *testing.T) {
 		asg = append(asg, probes.Assignment{
 			ProbeID: probeIDs[i%len(probeIDs)],
 			Task:    probes.Task{Kind: probes.TaskPing, Target: target},
+		})
+	}
+	// Websteps work interleaves with the classic primitives, so spooled
+	// archival measurements ride the same crash/redelivery machinery.
+	rwSites := testWeb.Catalog().SitesFor("RW")
+	if len(rwSites) < 9 {
+		t.Fatalf("only %d RW sites; the websteps mix needs 9", len(rwSites))
+	}
+	for i := 0; i < 9; i++ {
+		asg = append(asg, probes.Assignment{
+			ProbeID: probeIDs[i%len(probeIDs)],
+			Task:    probes.Task{Kind: probes.TaskWebsteps, Domain: rwSites[i].Domain, OriginCountry: "RW"},
 		})
 	}
 	exp, err := admin.Submit("obs", "chaos drill", asg)
@@ -189,6 +220,12 @@ func TestChaosScheduleEndToEnd(t *testing.T) {
 			down = true
 			crashed++
 		}
+		// Open or close this round's censorship windows.
+		open := map[string]bool{}
+		for _, e := range sched.ActiveAt(round, faultinject.EventInterference) {
+			open[e.Target] = true
+		}
+		pol.SetActive("RW", open["RW"])
 		for _, r := range rigs {
 			// Apply this round's weather to the probe's transport.
 			parted := false
@@ -278,6 +315,29 @@ func TestChaosScheduleEndToEnd(t *testing.T) {
 		if n != 1 {
 			t.Fatalf("task %s recorded %d times", id, n)
 		}
+	}
+
+	// Every websteps result that made it through the chaos carries a
+	// verdict from the taxonomy and a link-coherent archival measurement
+	// — power cycles and redelivery must not corrupt either.
+	webstepsSeen := 0
+	for _, r := range rs {
+		if r.Kind != probes.TaskWebsteps {
+			continue
+		}
+		webstepsSeen++
+		if !websim.ValidVerdict(r.Verdict) {
+			t.Fatalf("websteps result %s has verdict %q outside the taxonomy", r.TaskID, r.Verdict)
+		}
+		if r.Websteps == nil {
+			t.Fatalf("websteps result %s lost its archival measurement", r.TaskID)
+		}
+		if err := r.Websteps.Validate(); err != nil {
+			t.Fatalf("websteps result %s fails link-integrity: %v", r.TaskID, err)
+		}
+	}
+	if webstepsSeen != 9 {
+		t.Fatalf("recorded %d websteps results, want 9", webstepsSeen)
 	}
 
 	// Load shedding happened on the current controller instance and is

@@ -539,6 +539,9 @@ func queryParams(f store.Filter) url.Values {
 	if f.Kind != "" {
 		q.Set("kind", f.Kind)
 	}
+	if f.Verdict != "" {
+		q.Set("verdict", f.Verdict)
+	}
 	if f.FromTick > 0 {
 		q.Set("from_tick", strconv.FormatInt(f.FromTick, 10))
 	}

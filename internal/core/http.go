@@ -106,7 +106,8 @@ func parseLimit(w http.ResponseWriter, s string) (int, bool) {
 }
 
 // parseFilter builds a store.Filter from query parameters (experiment,
-// country, asn, kind, from_tick, to_tick). Writes the 400 itself.
+// country, asn, kind, verdict, from_tick, to_tick). Writes the 400
+// itself.
 func parseFilter(w http.ResponseWriter, q map[string][]string) (store.Filter, bool) {
 	get := func(k string) string {
 		if vs := q[k]; len(vs) > 0 {
@@ -118,6 +119,7 @@ func parseFilter(w http.ResponseWriter, q map[string][]string) (store.Filter, bo
 		Experiment: get("experiment"),
 		Country:    get("country"),
 		Kind:       get("kind"),
+		Verdict:    get("verdict"),
 	}
 	if s := get("asn"); s != "" {
 		n, err := strconv.ParseUint(s, 10, 32)

@@ -25,6 +25,7 @@ var parallelDrivers = []struct {
 	{"NautilusAmbiguity", func(e *Env) renderable { return NautilusAmbiguity(e) }},
 	{"WhatIfCableCut", func(e *Env) renderable { return WhatIfCableCut(e) }},
 	{"AblationCorrelatedCuts", func(e *Env) renderable { return AblationCorrelatedCuts(e) }},
+	{"WebstepsCensorship", func(e *Env) renderable { return WebstepsCensorship(e) }},
 }
 
 // TestParallelDriversMatchSerial runs each parallelized driver twice per

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/afrinet/observatory/internal/content"
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/outage"
+	"github.com/afrinet/observatory/internal/par"
+	"github.com/afrinet/observatory/internal/report"
+	"github.com/afrinet/observatory/internal/topology"
+	"github.com/afrinet/observatory/internal/websim"
+)
+
+// VerdictCounts is one bucket's verdict tally, one field per class so
+// results compare with reflect.DeepEqual and render in a fixed order.
+type VerdictCounts struct {
+	OK, DNS, TCP, TLS, HTTP, Throttled int
+}
+
+func (v *VerdictCounts) add(verdict string) {
+	switch verdict {
+	case websim.VerdictDNSBlocked:
+		v.DNS++
+	case websim.VerdictTCPBlocked:
+		v.TCP++
+	case websim.VerdictTLSBlocked:
+		v.TLS++
+	case websim.VerdictHTTPBlocked:
+		v.HTTP++
+	case websim.VerdictThrottled:
+		v.Throttled++
+	default:
+		v.OK++
+	}
+}
+
+// Total is the bucket's measurement count.
+func (v VerdictCounts) Total() int {
+	return v.OK + v.DNS + v.TCP + v.TLS + v.HTTP + v.Throttled
+}
+
+// BlockedPct is the share of measurements with a non-ok verdict.
+func (v VerdictCounts) BlockedPct() float64 {
+	if t := v.Total(); t > 0 {
+		return 100 * float64(t-v.OK) / float64(t)
+	}
+	return 0
+}
+
+// WebstepsCountryRow is one country's blocking profile.
+type WebstepsCountryRow struct {
+	Country    string
+	Interferes bool // the generated policy has a rule for this country
+	Counts     VerdictCounts
+}
+
+// WebstepsResolverRow is one resolver class's blocking profile — the
+// cut that shows poisoning riding on-path resolvers while cloud
+// resolvers escape it.
+type WebstepsResolverRow struct {
+	Class  string
+	Counts VerdictCounts
+}
+
+// WebstepsResult is the websteps experiment family's report: blocking
+// rates by probe country and by resolver class under the seeded
+// interference policy.
+type WebstepsResult struct {
+	Countries []WebstepsCountryRow
+	Resolvers []WebstepsResolverRow
+	Policies  int // countries with an interference rule
+}
+
+// WebstepsCensorship sweeps every African country's top sites through
+// the websteps engine under a seeded interference policy and aggregates
+// the detector's verdicts. The measurement fan-out runs through
+// internal/par; the fold is a serial pass over index-addressed results,
+// so worker count never changes the report.
+func WebstepsCensorship(env *Env) WebstepsResult {
+	var countries []string
+	for _, c := range geo.AfricanCountries() {
+		countries = append(countries, c.ISO2)
+	}
+	pol := outage.GenerateInterference(env.Seed, countries)
+	eng := websim.New(env.Net, env.DNS, env.Web, pol, env.Seed)
+
+	ruled := map[string]bool{}
+	for _, r := range pol.Rules() {
+		ruled[r.Country] = true
+	}
+
+	type unit struct {
+		ctry   string
+		client topology.ASN
+		site   content.Site
+	}
+	var units []unit
+	for _, ctry := range countries {
+		client := env.Web.ResidentialClient(ctry)
+		if client == 0 {
+			continue
+		}
+		for _, site := range env.Web.Catalog().SitesFor(ctry) {
+			units = append(units, unit{ctry: ctry, client: client, site: site})
+		}
+	}
+
+	type measured struct {
+		verdict string
+		class   string
+	}
+	out := par.Map(0, len(units), func(i int) measured {
+		m := eng.Measure(units[i].client, units[i].site)
+		return measured{verdict: websim.Classify(m), class: m.ResolverClass}
+	})
+
+	byCtry := map[string]*VerdictCounts{}
+	byClass := map[string]*VerdictCounts{}
+	for i, u := range units {
+		c := byCtry[u.ctry]
+		if c == nil {
+			c = &VerdictCounts{}
+			byCtry[u.ctry] = c
+		}
+		c.add(out[i].verdict)
+		k := byClass[out[i].class]
+		if k == nil {
+			k = &VerdictCounts{}
+			byClass[out[i].class] = k
+		}
+		k.add(out[i].verdict)
+	}
+
+	var res WebstepsResult
+	for _, ctry := range countries {
+		if c := byCtry[ctry]; c != nil {
+			res.Countries = append(res.Countries, WebstepsCountryRow{
+				Country: ctry, Interferes: ruled[ctry], Counts: *c,
+			})
+		}
+		if ruled[ctry] {
+			res.Policies++
+		}
+	}
+	var classes []string
+	for k := range byClass {
+		classes = append(classes, k)
+	}
+	sort.Strings(classes)
+	for _, k := range classes {
+		res.Resolvers = append(res.Resolvers, WebstepsResolverRow{Class: k, Counts: *byClass[k]})
+	}
+	return res
+}
+
+// Render writes the websteps censorship report.
+func (r WebstepsResult) Render(w io.Writer) {
+	tb := report.NewTable("WEBSTEPS — blocking verdicts by probe country",
+		"country", "policy", "sites", "ok", "dns", "tcp", "tls", "http", "throttled", "blocked %")
+	for _, row := range r.Countries {
+		policy := "-"
+		if row.Interferes {
+			policy = "yes"
+		}
+		c := row.Counts
+		tb.AddRow(row.Country, policy, c.Total(), c.OK, c.DNS, c.TCP, c.TLS, c.HTTP, c.Throttled, c.BlockedPct())
+	}
+	tb.Render(w)
+
+	rb := report.NewTable("WEBSTEPS — blocking verdicts by resolver class",
+		"resolver class", "sites", "ok", "dns", "tcp", "tls", "http", "throttled", "blocked %")
+	for _, row := range r.Resolvers {
+		c := row.Counts
+		rb.AddRow(row.Class, c.Total(), c.OK, c.DNS, c.TCP, c.TLS, c.HTTP, c.Throttled, c.BlockedPct())
+	}
+	rb.Render(w)
+	fmt.Fprintf(w, "(%d of %d measured countries carry an interference policy; DNS poisoning rides on-path resolvers, cloud resolvers escape it)\n",
+		r.Policies, len(r.Countries))
+}

@@ -31,6 +31,11 @@ const (
 	// EventShardRestart recovers a previously killed shard from its
 	// journal at the event's start round.
 	EventShardRestart EventKind = "shard_restart"
+	// EventInterference turns a country's censorship policy on for a
+	// window (Target is the ISO2 country): the harness calls
+	// Interference.SetActive so poisoning/resets/throttling apply only
+	// while the window holds.
+	EventInterference EventKind = "interference"
 )
 
 // Event is one scheduled fault: Kind applied to Target (a probe ID, or
@@ -123,6 +128,17 @@ type ScheduleConfig struct {
 	// (restarts past the last round are dropped: that shard stays dead,
 	// which is what failover drills want).
 	ShardKills int
+	// InterferenceCountries are the ISO2 countries whose censorship
+	// policies chaos may switch on. Empty means no interference events;
+	// like shard draws, interference draws happen strictly after every
+	// other draw, so configs without them replay established seeds
+	// byte-identically.
+	InterferenceCountries []string
+	// InterferenceWindows is exactly how many interference windows to
+	// place, round-robin across InterferenceCountries, each in the middle
+	// 60% of the timeline and 1..2*MaxWindow rounds long — wider than
+	// flap windows so a poisoning window reliably overlaps task rounds.
+	InterferenceWindows int
 }
 
 // GenerateSchedule builds a seeded random chaos timeline: same seed and
@@ -199,6 +215,22 @@ func GenerateSchedule(seed int64, cfg ScheduleConfig) Schedule {
 			if restart < cfg.Rounds {
 				events = append(events, Event{Kind: EventShardRestart, Target: shard, Start: restart, End: restart + 1})
 			}
+		}
+	}
+	// Interference windows draw after shard draws — the same append-only
+	// RNG discipline — and are placed, not probabilistic: a censorship
+	// drill needs the window to actually open.
+	if cfg.InterferenceWindows > 0 && len(cfg.InterferenceCountries) > 0 && cfg.Rounds > 1 {
+		lo := cfg.Rounds / 5
+		hi := cfg.Rounds - cfg.Rounds/5
+		if hi <= lo {
+			lo, hi = 0, cfg.Rounds
+		}
+		for i := 0; i < cfg.InterferenceWindows; i++ {
+			ctry := cfg.InterferenceCountries[i%len(cfg.InterferenceCountries)]
+			r := lo + rng.Intn(hi-lo)
+			win := 1 + rng.Intn(maxWin*2)
+			events = append(events, Event{Kind: EventInterference, Target: ctry, Start: r, End: min(r+win, cfg.Rounds)})
 		}
 	}
 	sort.SliceStable(events, func(i, j int) bool {

@@ -145,6 +145,59 @@ func TestShardConfigPreservesExistingSeeds(t *testing.T) {
 	}
 }
 
+func TestInterferenceEventsDeterministicAndPlaced(t *testing.T) {
+	cfg := chaosCfg()
+	cfg.InterferenceCountries = []string{"RW", "ET"}
+	cfg.InterferenceWindows = 3
+	a := GenerateSchedule(7, cfg)
+	b := GenerateSchedule(7, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different interference schedules:\n%v\n%v", a, b)
+	}
+	perCountry := map[string]int{}
+	for _, e := range a.Events {
+		if e.Kind != EventInterference {
+			continue
+		}
+		perCountry[e.Target]++
+		if e.Start < cfg.Rounds/5 {
+			t.Fatalf("interference window starts before the middle 60%%: %v", e)
+		}
+		if e.Start >= e.End || e.End > cfg.Rounds {
+			t.Fatalf("interference window out of bounds: %v", e)
+		}
+	}
+	// Round-robin targeting: 3 windows over 2 countries hits RW twice.
+	if perCountry["RW"] != 2 || perCountry["ET"] != 1 {
+		t.Fatalf("windows not round-robin: %v", perCountry)
+	}
+}
+
+func TestInterferenceConfigPreservesExistingSeeds(t *testing.T) {
+	// Interference draws happen after every pre-existing draw — including
+	// shard draws — so turning censorship windows on must leave an
+	// established seed's other events byte-identical.
+	base := chaosCfg()
+	base.Shards = []string{"shard-0"}
+	base.ShardKills = 1
+	without := GenerateSchedule(42, base)
+
+	cfg := base
+	cfg.InterferenceCountries = []string{"RW"}
+	cfg.InterferenceWindows = 2
+	with := GenerateSchedule(42, cfg)
+
+	var stripped []Event
+	for _, e := range with.Events {
+		if e.Kind != EventInterference {
+			stripped = append(stripped, e)
+		}
+	}
+	if !reflect.DeepEqual(without.Events, stripped) {
+		t.Fatalf("interference config reshuffled pre-existing events:\nbase: %v\nwith: %v", without.Events, stripped)
+	}
+}
+
 func TestActiveAtAndStartingAt(t *testing.T) {
 	s := Schedule{Rounds: 10, Events: []Event{
 		{Kind: EventPartition, Target: "p1", Start: 2, End: 5},

@@ -1,0 +1,182 @@
+// Composition tests: interference policies must attribute correctly
+// even while the accidental-failure machinery is active. The crucial
+// case is poisoned DNS during a connectivity partition — the verdict
+// must say dns_blocked (the tampering the probe observed), never a
+// spurious tcp_blocked from the failing dials the poisoning caused the
+// probe to skip. The file lives in the external test package because it
+// drives the policies through websim, which imports outage.
+package outage_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/afrinet/observatory/internal/archival"
+	"github.com/afrinet/observatory/internal/bgp"
+	"github.com/afrinet/observatory/internal/content"
+	"github.com/afrinet/observatory/internal/dnssim"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/outage"
+	"github.com/afrinet/observatory/internal/topology"
+	"github.com/afrinet/observatory/internal/websim"
+)
+
+// africanCorridors are the cable corridors whose loss cuts the
+// continent's international reach while leaving the Europe-side control
+// paths (north-atlantic and intra-European) untouched.
+var africanCorridors = []string{
+	"west-africa-coastal", "east-africa-coastal", "red-sea",
+	"south-indian", "mediterranean", "south-atlantic",
+}
+
+func cutAfrica(n *netsim.Net, topo *topology.Topology) []topology.CableID {
+	var cut []topology.CableID
+	corr := topo.Corridors()
+	for _, c := range africanCorridors {
+		cut = append(cut, corr[c]...)
+	}
+	n.SetCablesCut(cut, true)
+	return cut
+}
+
+// composeCountries are the probe countries the partition sweep covers:
+// enough of them that every seed surfaces each composition case
+// somewhere, without depending on any one country's placement draws.
+var composeCountries = []string{"KE", "TZ", "ET", "RW", "UG", "NG", "GH", "ZA"}
+
+func TestInterferenceComposesWithLinkFailure(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			topo := topology.Generate(topology.Params{Seed: seed, Year: 2025})
+			n := netsim.New(topo, bgp.New(topo), seed)
+			dns := dnssim.New(n, seed)
+			web := content.New(n, seed)
+
+			cutAfrica(n, topo)
+			defer n.SetCablesCut(n.CutCables(), false)
+
+			// Clean partition: no policy installed. No measurement may
+			// claim DNS tampering when the probe's lookup succeeded with
+			// the truthful answer, and at least one site somewhere must
+			// surface the partition as tcp_blocked (the sites whose
+			// authority sits on a partition-spanning cloud but whose
+			// content paths died with the cables).
+			clean := websim.New(n, dns, web, nil, seed)
+			sawTCP := false
+			for _, ctry := range composeCountries {
+				client := web.ResidentialClient(ctry)
+				if client == 0 {
+					continue
+				}
+				for _, site := range web.Catalog().SitesFor(ctry) {
+					m := clean.Measure(client, site)
+					v := websim.Classify(m)
+					if v == websim.VerdictTCPBlocked {
+						sawTCP = true
+					}
+					if v == websim.VerdictDNSBlocked && probeDNSOK(m) {
+						t.Fatalf("%s: clean partition mislabeled dns_blocked with a truthful lookup", site.Domain)
+					}
+				}
+			}
+			if !sawTCP {
+				t.Fatal("partition produced no tcp_blocked verdict")
+			}
+
+			// Poisoned partition: bogon poisoning on every domain in every
+			// country. A poisoned lookup must classify dns_blocked whenever
+			// the control baseline held up, and must NEVER surface as
+			// tcp_blocked — the dials its bogus answers doomed are the
+			// poisoning's fault, not the network's. (Measurements whose
+			// control view the partition also killed are unclassifiable
+			// and report ok; blocking claims need a working baseline.)
+			pol := outage.NewInterference(seed)
+			for _, ctry := range composeCountries {
+				pol.SetRule(outage.InterferenceRule{
+					Country: ctry, DNSPoison: true, PoisonBogon: true,
+					DomainFraction:  1.0,
+					ResolverClasses: []string{"same-country", "other-country", "cloud"},
+				})
+			}
+			poisoned := websim.New(n, dns, web, pol, seed)
+			sawDNS := false
+			for _, ctry := range composeCountries {
+				client := web.ResidentialClient(ctry)
+				if client == 0 {
+					continue
+				}
+				for _, site := range web.Catalog().SitesFor(ctry) {
+					m := poisoned.Measure(client, site)
+					v := websim.Classify(m)
+					if !bogonLookup(m) {
+						continue
+					}
+					if v == websim.VerdictTCPBlocked || v == websim.VerdictTLSBlocked {
+						t.Fatalf("%s: poisoned lookup during partition classified %q, want dns_blocked", site.Domain, v)
+					}
+					if controlDNSHealthy(m) {
+						sawDNS = true
+						if v != websim.VerdictDNSBlocked {
+							t.Fatalf("%s: poisoned lookup with healthy control classified %q, want dns_blocked", site.Domain, v)
+						}
+					}
+				}
+			}
+			if !sawDNS {
+				t.Fatal("poisoning never produced a classifiable dns_blocked")
+			}
+		})
+	}
+}
+
+func probeDNSOK(m *archival.Measurement) bool {
+	for _, d := range m.DNS {
+		if d.Origin == archival.OriginProbe {
+			return d.Failure == "" && !d.Bogon
+		}
+	}
+	return false
+}
+
+func bogonLookup(m *archival.Measurement) bool {
+	for _, d := range m.DNS {
+		if d.Origin == archival.OriginProbe && d.Bogon {
+			return true
+		}
+	}
+	return false
+}
+
+func controlDNSHealthy(m *archival.Measurement) bool {
+	for _, d := range m.DNS {
+		if d.Origin == archival.OriginControl {
+			return d.Failure == ""
+		}
+	}
+	return false
+}
+
+func TestGenerateInterferenceDeterministic(t *testing.T) {
+	countries := []string{"KE", "NG", "ZA", "RW", "ET", "SN", "GH", "TZ", "EG", "MA"}
+	a := outage.GenerateInterference(42, countries)
+	b := outage.GenerateInterference(42, countries)
+	ra, rb := a.Rules(), b.Rules()
+	if len(ra) == 0 {
+		t.Fatal("no rules generated")
+	}
+	if fmt.Sprint(ra) != fmt.Sprint(rb) {
+		t.Fatalf("same seed, different policies:\n%v\n%v", ra, rb)
+	}
+	c := outage.GenerateInterference(43, countries)
+	if fmt.Sprint(ra) == fmt.Sprint(c.Rules()) {
+		t.Fatal("different seeds produced identical policies")
+	}
+	for _, r := range ra {
+		if !r.DNSPoison && !r.SNIReset && !r.Blockpage && r.ThrottleBytesPerMs == 0 {
+			t.Fatalf("rule with no mechanism: %+v", r)
+		}
+		if r.DomainFraction < 0.25 || r.DomainFraction > 0.51 {
+			t.Fatalf("domain fraction out of band: %+v", r)
+		}
+	}
+}

@@ -3,10 +3,12 @@ package probes
 import (
 	"fmt"
 
+	"github.com/afrinet/observatory/internal/archival"
 	"github.com/afrinet/observatory/internal/content"
 	"github.com/afrinet/observatory/internal/dnssim"
 	"github.com/afrinet/observatory/internal/netsim"
 	"github.com/afrinet/observatory/internal/topology"
+	"github.com/afrinet/observatory/internal/websim"
 )
 
 // Interface names the agent's uplinks.
@@ -72,6 +74,9 @@ type Agent struct {
 	net *netsim.Net
 	dns *dnssim.System
 	web *content.System
+	// websteps is the step-following measurement engine; nil until
+	// EnableWebsteps, since most fleets run only the classic primitives.
+	websteps *websim.Engine
 
 	// Hour is the agent's notion of time-of-day (advanced by the
 	// harness; no wall-clock dependence so runs are reproducible).
@@ -83,6 +88,12 @@ type Agent struct {
 func NewAgent(cfg Config, n *netsim.Net, dns *dnssim.System, web *content.System) *Agent {
 	return &Agent{cfg: cfg, net: n, dns: dns, web: web}
 }
+
+// EnableWebsteps arms the agent with a step-following web measurement
+// engine so it can execute TaskWebsteps assignments. Kept out of
+// NewAgent: only censorship-capable deployments carry the engine, and
+// existing call sites stay source-compatible.
+func (a *Agent) EnableWebsteps(e *websim.Engine) { a.websteps = e }
 
 // ID returns the agent id.
 func (a *Agent) ID() string { return a.cfg.ID }
@@ -174,6 +185,29 @@ func (a *Agent) Execute(t Task) (Result, error) {
 		res.RTTms = f.RTTms
 		res.ServedCountry = f.ServedCountry
 		res.ServedLocal = f.LocalToAfrica
+	case TaskWebsteps:
+		if a.websteps == nil {
+			res.Error = "agent has no websteps engine"
+			return res, fmt.Errorf("probes: %s", res.Error)
+		}
+		site, ok := a.findSite(t.Domain, t.OriginCountry)
+		if !ok {
+			res.Error = "unknown site"
+			return res, fmt.Errorf("probes: unknown site %s", t.Domain)
+		}
+		m := a.websteps.Measure(a.cfg.ASN, site)
+		// A blocked page is still a successful measurement: OK says the
+		// websteps run completed, the verdict says what it found.
+		res.OK = true
+		res.Verdict = websim.Classify(m)
+		res.Websteps = m
+		res.ResolverKind = m.ResolverClass
+		for _, d := range m.DNS {
+			res.RTTms += d.LatencyMs
+			if d.Origin == archival.OriginProbe && res.ResolverCountry == "" {
+				res.ResolverCountry = d.ResolverCountry
+			}
+		}
 	default:
 		res.Error = "unknown task kind"
 		return res, fmt.Errorf("probes: unknown task kind %q", t.Kind)

@@ -3,6 +3,7 @@ package probes
 import (
 	"fmt"
 
+	"github.com/afrinet/observatory/internal/archival"
 	"github.com/afrinet/observatory/internal/netx"
 )
 
@@ -14,6 +15,10 @@ const (
 	TaskTraceroute TaskKind = "traceroute"
 	TaskDNS        TaskKind = "dns"
 	TaskHTTPFetch  TaskKind = "http"
+	// TaskWebsteps follows Domain through DNS → TCP → TLS → HTTP
+	// redirect steps from probe and control views and reports a
+	// blocking verdict plus the flat archival measurement.
+	TaskWebsteps TaskKind = "websteps"
 )
 
 // Task is one measurement assignment. Tasks travel between controller
@@ -66,6 +71,11 @@ func (t Task) EstimatedBytes() int64 {
 		// headers and the first KBs only, as FindCDN-style detection
 		// needs, not full pages).
 		return reps * (3*60 + 2*800 + 16*1024)
+	case TaskWebsteps:
+		// Two resolver views, dials on both steps, two handshakes, and
+		// a throttling-sized body sample (websteps fetches up to 512KB
+		// so rate shaping is measurable) plus redirect headers.
+		return reps * (4*2*120 + 2*(3*60+2*800) + 128*1024)
 	default:
 		return reps * 256
 	}
@@ -94,6 +104,13 @@ type Result struct {
 	// Served fields for HTTP tasks.
 	ServedCountry string `json:"served_country,omitempty"`
 	ServedLocal   bool   `json:"served_local,omitempty"`
+
+	// Websteps fields: the detector's blocking verdict (ok, dns_blocked,
+	// tcp_blocked, tls_blocked, http_blocked, throttled) and the flat
+	// archival measurement backing it. ResolverKind doubles as the
+	// probe's resolver class for websteps aggregation.
+	Verdict  string                `json:"verdict,omitempty"`
+	Websteps *archival.Measurement `json:"websteps,omitempty"`
 
 	// Interface the agent used (wired/cellular) and what it paid.
 	Interface string  `json:"interface,omitempty"`

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table accumulates rows and renders them with aligned columns.
@@ -39,12 +40,12 @@ func (t *Table) AddRow(cells ...interface{}) {
 func (t *Table) Render(w io.Writer) {
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
-		widths[i] = len(h)
+		widths[i] = width(h)
 	}
 	for _, r := range t.rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if i < len(widths) && width(c) > widths[i] {
+				widths[i] = width(c)
 			}
 		}
 	}
@@ -76,11 +77,18 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// width is a string's display width in cells. Column math must count
+// runes, not bytes: "Côte d'Ivoire" is 14 cells but 15 bytes, and
+// byte-based padding skews every column after a non-ASCII label.
+func width(s string) int {
+	return utf8.RuneCountInString(s)
+}
+
 func pad(s string, w int) string {
-	if len(s) >= w {
+	if width(s) >= w {
 		return s
 	}
-	return s + strings.Repeat(" ", w-len(s))
+	return s + strings.Repeat(" ", w-width(s))
 }
 
 // Series is a named sequence of (x, y) points — one figure line.
@@ -113,8 +121,8 @@ func BarChart(w io.Writer, title string, labels []string, values []float64, maxV
 	}
 	wide := 0
 	for _, l := range labels {
-		if len(l) > wide {
-			wide = len(l)
+		if width(l) > wide {
+			wide = width(l)
 		}
 	}
 	if maxVal <= 0 {

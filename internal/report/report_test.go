@@ -30,6 +30,55 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestTableAlignsUTF8Labels(t *testing.T) {
+	// Accented country names are multi-byte but single-cell; padding by
+	// byte length used to push every later column out of alignment on
+	// the rows that contain them.
+	tb := NewTable("Pays", "name", "value")
+	tb.AddRow("Côte d'Ivoire", 1)
+	tb.AddRow("Sao Tome 1234", 2) // same display width, pure ASCII
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	hdrIdx := strings.Index(lines[1], "value")
+	for _, row := range lines[3:] {
+		runes := []rune(row)
+		got := -1
+		for i := len(runes) - 1; i >= 0; i-- {
+			if runes[i] != ' ' {
+				got = i
+				break
+			}
+		}
+		if got != hdrIdx {
+			t.Fatalf("value column at rune offset %d, want %d:\n%s", got, hdrIdx, out)
+		}
+	}
+}
+
+func TestBarChartAlignsUTF8Labels(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, "", []string{"Côte d'Ivoire", "Kenya edition"}, []float64{1, 1}, 1)
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	a := []rune(lines[0])
+	c := []rune(lines[1])
+	ai, ci := -1, -1
+	for i, r := range a {
+		if r == '#' {
+			ai = i
+			break
+		}
+	}
+	for i, r := range c {
+		if r == '#' {
+			ci = i
+			break
+		}
+	}
+	if ai != ci {
+		t.Fatalf("bars start at rune offsets %d vs %d:\n%s", ai, ci, b.String())
+	}
+}
+
 func TestTableNoTitle(t *testing.T) {
 	tb := NewTable("", "a")
 	tb.AddRow("x")

@@ -18,8 +18,11 @@ type Filter struct {
 	Country    string
 	ASN        topology.ASN
 	Kind       string
-	FromTick   int64
-	ToTick     int64
+	// Verdict selects websteps results by blocking verdict
+	// (dns_blocked, throttled, ...).
+	Verdict  string
+	FromTick int64
+	ToTick   int64
 }
 
 func (f Filter) match(r Record) bool {
@@ -33,6 +36,9 @@ func (f Filter) match(r Record) bool {
 		return false
 	}
 	if f.Kind != "" && string(r.Result.Kind) != f.Kind {
+		return false
+	}
+	if f.Verdict != "" && r.Result.Verdict != f.Verdict {
 		return false
 	}
 	if f.FromTick > 0 && r.Tick < f.FromTick {
@@ -151,28 +157,43 @@ const (
 	GroupCountry    = "country"
 	GroupASN        = "asn"
 	GroupCountryASN = "country_asn"
+	// GroupVerdict buckets by websteps blocking verdict; GroupResolver
+	// by the probe's resolver class; GroupCountryResolver by both keys
+	// — the censorship-report cuts.
+	GroupVerdict         = "verdict"
+	GroupResolver        = "resolver"
+	GroupCountryResolver = "country_resolver"
 )
 
 // AggQuery is one aggregation request: a record filter plus how to
 // bucket the matches.
 type AggQuery struct {
 	Filter  Filter
-	GroupBy string // "", GroupNone, GroupCountry, GroupASN, GroupCountryASN
+	GroupBy string // "", GroupNone, GroupCountry, GroupASN, GroupCountryASN, GroupVerdict, GroupResolver, GroupCountryResolver
 }
 
 // AggGroup is one aggregation bucket: result counts, loss rate, and RTT
 // statistics (computed over successful results that reported an RTT).
 type AggGroup struct {
-	Country  string       `json:"country,omitempty"`
-	ASN      topology.ASN `json:"asn,omitempty"`
-	Count    int64        `json:"count"`
-	OK       int64        `json:"ok"`
-	LossRate float64      `json:"loss_rate"`
-	RTTCount int64        `json:"rtt_count,omitempty"`
-	RTTMean  float64      `json:"rtt_mean_ms,omitempty"`
-	RTTP50   float64      `json:"rtt_p50_ms,omitempty"`
-	RTTP90   float64      `json:"rtt_p90_ms,omitempty"`
-	RTTP99   float64      `json:"rtt_p99_ms,omitempty"`
+	Country string       `json:"country,omitempty"`
+	ASN     topology.ASN `json:"asn,omitempty"`
+	// Resolver is the bucket's resolver class (resolver /
+	// country_resolver modes); Verdict its blocking verdict (verdict
+	// mode).
+	Resolver string  `json:"resolver,omitempty"`
+	Verdict  string  `json:"verdict,omitempty"`
+	Count    int64   `json:"count"`
+	OK       int64   `json:"ok"`
+	LossRate float64 `json:"loss_rate"`
+	// Verdicts counts the websteps blocking verdicts inside the bucket
+	// (populated whenever the bucket holds verdict-carrying results;
+	// map keys marshal sorted, so the JSON stays deterministic).
+	Verdicts map[string]int64 `json:"verdicts,omitempty"`
+	RTTCount int64            `json:"rtt_count,omitempty"`
+	RTTMean  float64          `json:"rtt_mean_ms,omitempty"`
+	RTTP50   float64          `json:"rtt_p50_ms,omitempty"`
+	RTTP90   float64          `json:"rtt_p90_ms,omitempty"`
+	RTTP99   float64          `json:"rtt_p99_ms,omitempty"`
 }
 
 // AggReport is an aggregation response: the buckets (sorted by key for
@@ -204,7 +225,8 @@ func (s *Store) Aggregate(q AggQuery) (AggReport, error) {
 // ValidGroupBy rejects unknown aggregation group-by modes.
 func ValidGroupBy(groupBy string) error {
 	switch groupBy {
-	case "", GroupNone, GroupCountry, GroupASN, GroupCountryASN:
+	case "", GroupNone, GroupCountry, GroupASN, GroupCountryASN,
+		GroupVerdict, GroupResolver, GroupCountryResolver:
 		return nil
 	default:
 		return fmt.Errorf("store: unknown group_by %q", groupBy)
@@ -237,6 +259,13 @@ func AggregateRecords(recs []Record, groupBy string) (AggReport, error) {
 		case GroupCountryASN:
 			key = fmt.Sprintf("%s/%d", r.Country, r.ASN)
 			g.Country, g.ASN = r.Country, r.ASN
+		case GroupVerdict:
+			key, g.Verdict = r.Result.Verdict, r.Result.Verdict
+		case GroupResolver:
+			key, g.Resolver = r.Result.ResolverKind, r.Result.ResolverKind
+		case GroupCountryResolver:
+			key = r.Country + "/" + r.Result.ResolverKind
+			g.Country, g.Resolver = r.Country, r.Result.ResolverKind
 		}
 		b, ok := buckets[key]
 		if !ok {
@@ -245,6 +274,12 @@ func AggregateRecords(recs []Record, groupBy string) (AggReport, error) {
 			order = append(order, key)
 		}
 		b.g.Count++
+		if r.Result.Verdict != "" {
+			if b.g.Verdicts == nil {
+				b.g.Verdicts = make(map[string]int64)
+			}
+			b.g.Verdicts[r.Result.Verdict]++
+		}
 		if r.Result.OK {
 			b.g.OK++
 			if r.Result.RTTms > 0 {

@@ -181,6 +181,89 @@ func TestQueryEquivalence(t *testing.T) {
 	}
 }
 
+// TestVerdictAggregation ingests websteps-style records (verdict +
+// resolver class set) and checks the censorship cuts: filtering by
+// verdict, and bucketing by verdict, resolver class, and
+// country/resolver with per-bucket verdict counts.
+func TestVerdictAggregation(t *testing.T) {
+	s := NewMemory(Options{})
+	mk := func(i int, ctry, resolver, verdict string) Record {
+		id := fmt.Sprintf("ws-t%02d", i)
+		return Record{
+			Experiment: "websteps",
+			TaskID:     id,
+			ProbeID:    "pr-01",
+			Tick:       int64(i),
+			Country:    ctry,
+			ASN:        36900,
+			Result: probes.Result{
+				TaskID: id, Experiment: "websteps",
+				Kind: probes.TaskWebsteps, OK: true,
+				Verdict: verdict, ResolverKind: resolver,
+			},
+		}
+	}
+	recs := []Record{
+		mk(1, "RW", "same-country", "dns_blocked"),
+		mk(2, "RW", "same-country", "dns_blocked"),
+		mk(3, "RW", "other-country", "ok"),
+		mk(4, "KE", "same-country", "throttled"),
+		mk(5, "KE", "other-country", "ok"),
+	}
+	if err := s.Append(recs...); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := s.Aggregate(AggQuery{Filter: Filter{Verdict: "dns_blocked"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matched != 2 {
+		t.Fatalf("verdict filter matched %d, want 2", got.Matched)
+	}
+
+	byVerdict, err := s.Aggregate(AggQuery{GroupBy: GroupVerdict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	for _, g := range byVerdict.Groups {
+		counts[g.Verdict] = g.Count
+	}
+	want := map[string]int64{"dns_blocked": 2, "ok": 2, "throttled": 1}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("verdict buckets = %v, want %v", counts, want)
+	}
+
+	byResolver, err := s.Aggregate(AggQuery{GroupBy: GroupResolver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byResolver.Groups) != 2 {
+		t.Fatalf("resolver buckets = %+v, want 2 groups", byResolver.Groups)
+	}
+	for _, g := range byResolver.Groups {
+		if g.Resolver == "same-country" && g.Verdicts["dns_blocked"] != 2 {
+			t.Fatalf("same-country bucket verdicts = %v", g.Verdicts)
+		}
+	}
+
+	cross, err := s.Aggregate(AggQuery{GroupBy: GroupCountryResolver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cross.Groups) != 4 {
+		t.Fatalf("country/resolver buckets = %+v, want 4 groups", cross.Groups)
+	}
+	for _, g := range cross.Groups {
+		if g.Country == "RW" && g.Resolver == "same-country" {
+			if g.Count != 2 || g.Verdicts["dns_blocked"] != 2 {
+				t.Fatalf("RW/same-country bucket = %+v", g)
+			}
+		}
+	}
+}
+
 func TestAggregateRejectsUnknownGroupBy(t *testing.T) {
 	s := NewMemory(Options{})
 	if _, err := s.Aggregate(AggQuery{GroupBy: "continent"}); err == nil {

@@ -1,0 +1,154 @@
+package websim
+
+// detector.go classifies one archival measurement from its
+// probe-vs-control deltas alone — it sees only what the flat record
+// holds, never the interference policy, so a verdict is something an
+// analyst could re-derive from the archived data. Rules apply in
+// root-cause order: a poisoned lookup is dns_blocked even when the
+// bogus answers also fail to connect, and a probe cut off by a
+// partition mid-poisoning reports the DNS tampering, not a spurious
+// tcp_blocked.
+
+import "github.com/afrinet/observatory/internal/archival"
+
+// The verdict taxonomy, in severity/attribution order.
+const (
+	VerdictOK          = "ok"
+	VerdictDNSBlocked  = "dns_blocked"
+	VerdictTCPBlocked  = "tcp_blocked"
+	VerdictTLSBlocked  = "tls_blocked"
+	VerdictHTTPBlocked = "http_blocked"
+	VerdictThrottled   = "throttled"
+)
+
+// Verdicts lists every verdict in display order.
+func Verdicts() []string {
+	return []string{VerdictOK, VerdictDNSBlocked, VerdictTCPBlocked, VerdictTLSBlocked, VerdictHTTPBlocked, VerdictThrottled}
+}
+
+// ValidVerdict reports whether v is one of the taxonomy's verdicts.
+func ValidVerdict(v string) bool {
+	for _, k := range Verdicts() {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+// throttleFactor and throttleFloorMs gate the throttling verdict: the
+// probe's transfer must be this many times slower than the control's
+// AND slower by this absolute margin. The factor absorbs the honest
+// RTT gap between an African access line and the European control; the
+// floor keeps tiny transfers from tripping on ratio noise.
+const (
+	throttleFactor  = 4.0
+	throttleFloorMs = 1500.0
+)
+
+// Classify derives the blocking verdict for one measurement. A
+// measurement whose control view itself failed is unclassifiable and
+// returns ok — blocking claims need a working baseline.
+func Classify(m *archival.Measurement) string {
+	if m == nil {
+		return VerdictOK
+	}
+	probeDNS, ctrlDNS := firstDNS(m, archival.OriginProbe), firstDNS(m, archival.OriginControl)
+	if ctrlDNS == nil || ctrlDNS.Failure != "" {
+		return VerdictOK
+	}
+
+	// DNS layer: failure, bogon answers, or answers disjoint from the
+	// control's. Answer sets are origin-anchored in this model, so
+	// disjointness is tampering, not CDN mapping diversity.
+	if probeDNS != nil {
+		if probeDNS.Failure != "" || probeDNS.Bogon {
+			return VerdictDNSBlocked
+		}
+		if len(probeDNS.Answers) > 0 && disjoint(probeDNS.Answers, ctrlDNS.Answers) {
+			return VerdictDNSBlocked
+		}
+	}
+
+	// TCP layer: a dial the control completed, failed for the probe.
+	for _, pd := range m.Dials {
+		if pd.Origin != archival.OriginProbe || pd.Failure == "" {
+			continue
+		}
+		for _, cd := range m.Dials {
+			if cd.Origin == archival.OriginControl && cd.Failure == "" &&
+				cd.Address == pd.Address && cd.Port == pd.Port {
+				return VerdictTCPBlocked
+			}
+		}
+	}
+
+	// TLS layer: the probe's handshake failed where the control's, for
+	// the same SNI, succeeded.
+	for _, ph := range m.TLS {
+		if ph.Origin != archival.OriginProbe || ph.Failure == "" {
+			continue
+		}
+		for _, ch := range m.TLS {
+			if ch.Origin == archival.OriginControl && ch.Failure == "" && ch.SNI == ph.SNI {
+				return VerdictTLSBlocked
+			}
+		}
+	}
+
+	// HTTP layer, per step: the control was redirected but the probe
+	// was served a final page (blockpage substitution), or both
+	// transferred bodies whose hashes differ.
+	for _, ch := range m.HTTP {
+		if ch.Origin != archival.OriginControl || ch.Failure != "" {
+			continue
+		}
+		for _, ph := range m.HTTP {
+			if ph.Origin != archival.OriginProbe || ph.StepID != ch.StepID || ph.Failure != "" {
+				continue
+			}
+			if ch.RedirectTo != "" && ph.RedirectTo == "" && ph.StatusCode != 0 {
+				return VerdictHTTPBlocked
+			}
+			if ch.BodyHash != "" && ph.BodyHash != "" && ch.BodyHash != ph.BodyHash {
+				return VerdictHTTPBlocked
+			}
+		}
+	}
+
+	// Throttling: same content, inflated transfer time.
+	for _, ch := range m.HTTP {
+		if ch.Origin != archival.OriginControl || ch.BodyHash == "" || ch.TransferMs <= 0 {
+			continue
+		}
+		for _, ph := range m.HTTP {
+			if ph.Origin != archival.OriginProbe || ph.StepID != ch.StepID || ph.BodyHash != ch.BodyHash {
+				continue
+			}
+			if ph.TransferMs > throttleFactor*ch.TransferMs && ph.TransferMs-ch.TransferMs > throttleFloorMs {
+				return VerdictThrottled
+			}
+		}
+	}
+	return VerdictOK
+}
+
+func firstDNS(m *archival.Measurement, o archival.Origin) *archival.DNSLookup {
+	for i := range m.DNS {
+		if m.DNS[i].Origin == o {
+			return &m.DNS[i]
+		}
+	}
+	return nil
+}
+
+func disjoint(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,253 @@
+package websim_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/afrinet/observatory/internal/archival"
+	"github.com/afrinet/observatory/internal/bgp"
+	"github.com/afrinet/observatory/internal/content"
+	"github.com/afrinet/observatory/internal/dnssim"
+	"github.com/afrinet/observatory/internal/netsim"
+	"github.com/afrinet/observatory/internal/outage"
+	"github.com/afrinet/observatory/internal/topology"
+	"github.com/afrinet/observatory/internal/websim"
+)
+
+// allResolverClasses opts every resolver class into poisoning so the
+// tests do not depend on which resolver the substrate assigns a client.
+var allResolverClasses = []string{"same-country", "other-country", "cloud"}
+
+type rig struct {
+	net *netsim.Net
+	dns *dnssim.System
+	web *content.System
+}
+
+func newRig(seed int64) *rig {
+	topo := topology.Generate(topology.Params{Seed: seed, Year: 2025})
+	n := netsim.New(topo, bgp.New(topo), seed)
+	return &rig{net: n, dns: dnssim.New(n, seed), web: content.New(n, seed)}
+}
+
+// pick returns a (client, site) pair in ctry whose clean measurement is
+// classified ok — the baseline the interference tests tamper with. The
+// substrate occasionally makes a site honestly unreachable from one
+// client; skipping those keeps the tests about interference, not
+// weather.
+func (r *rig) pick(t *testing.T, ctry string) (topology.ASN, content.Site) {
+	t.Helper()
+	client := r.web.ResidentialClient(ctry)
+	if client == 0 {
+		t.Fatalf("no residential client in %s", ctry)
+	}
+	clean := websim.New(r.net, r.dns, r.web, nil, 1)
+	for _, site := range r.web.Catalog().SitesFor(ctry) {
+		m := clean.Measure(client, site)
+		if websim.Classify(m) == websim.VerdictOK && r.web.BodyBytes(site) > 64*1024 {
+			return client, site
+		}
+	}
+	t.Fatalf("no clean-ok site with a throttle-sized body in %s", ctry)
+	return 0, content.Site{}
+}
+
+// fullRule targets every domain through every resolver class with the
+// given mechanisms.
+func fullRule(ctry string, mod func(*outage.InterferenceRule)) *outage.Interference {
+	pol := outage.NewInterference(7)
+	rule := outage.InterferenceRule{
+		Country:         ctry,
+		DomainFraction:  1.0,
+		ResolverClasses: allResolverClasses,
+	}
+	mod(&rule)
+	pol.SetRule(rule)
+	return pol
+}
+
+func mustValidate(t *testing.T, m *archival.Measurement) {
+	t.Helper()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("measurement fails link-integrity: %v", err)
+	}
+}
+
+func TestCleanMeasurementOK(t *testing.T) {
+	r := newRig(1)
+	client, site := r.pick(t, "KE")
+	e := websim.New(r.net, r.dns, r.web, nil, 1)
+	m := e.Measure(client, site)
+	mustValidate(t, m)
+	if v := websim.Classify(m); v != websim.VerdictOK {
+		t.Fatalf("clean measurement classified %q", v)
+	}
+	// Both vantages resolved, and the probe followed the redirect into
+	// the HTTPS step.
+	if len(m.DNS) != 2 || len(m.Steps) != 2 {
+		t.Fatalf("unexpected shape: %d dns, %d steps", len(m.DNS), len(m.Steps))
+	}
+	var probeHTTPS bool
+	for _, h := range m.HTTP {
+		if h.Origin == archival.OriginProbe && h.StepID == 2 && h.StatusCode == 200 {
+			probeHTTPS = true
+		}
+	}
+	if !probeHTTPS {
+		t.Fatal("probe never completed the HTTPS step")
+	}
+}
+
+func TestBogonPoisoningDNSBlocked(t *testing.T) {
+	r := newRig(1)
+	client, site := r.pick(t, "KE")
+	pol := fullRule("KE", func(ru *outage.InterferenceRule) {
+		ru.DNSPoison, ru.PoisonBogon = true, true
+	})
+	m := websim.New(r.net, r.dns, r.web, pol, 1).Measure(client, site)
+	mustValidate(t, m)
+	if v := websim.Classify(m); v != websim.VerdictDNSBlocked {
+		t.Fatalf("bogon poisoning classified %q, want dns_blocked", v)
+	}
+	// The probe's lookup carries the bogon flag an analyst would check.
+	var sawBogon bool
+	for _, d := range m.DNS {
+		if d.Origin == archival.OriginProbe && d.Bogon {
+			sawBogon = true
+		}
+	}
+	if !sawBogon {
+		t.Fatal("probe lookup not marked bogon")
+	}
+}
+
+func TestCensorRedirectDNSBlocked(t *testing.T) {
+	r := newRig(1)
+	client, site := r.pick(t, "KE")
+	pol := fullRule("KE", func(ru *outage.InterferenceRule) {
+		ru.DNSPoison = true // PoisonBogon false: redirect to the censor host
+	})
+	m := websim.New(r.net, r.dns, r.web, pol, 1).Measure(client, site)
+	mustValidate(t, m)
+	if v := websim.Classify(m); v != websim.VerdictDNSBlocked {
+		t.Fatalf("censor redirect classified %q, want dns_blocked", v)
+	}
+}
+
+func TestSNIResetTLSBlocked(t *testing.T) {
+	r := newRig(1)
+	client, site := r.pick(t, "KE")
+	pol := fullRule("KE", func(ru *outage.InterferenceRule) {
+		ru.SNIReset = true
+	})
+	m := websim.New(r.net, r.dns, r.web, pol, 1).Measure(client, site)
+	mustValidate(t, m)
+	if v := websim.Classify(m); v != websim.VerdictTLSBlocked {
+		t.Fatalf("SNI reset classified %q, want tls_blocked", v)
+	}
+	var reset bool
+	for _, h := range m.TLS {
+		if h.Origin == archival.OriginProbe && h.Failure == "connection_reset" {
+			reset = true
+		}
+	}
+	if !reset {
+		t.Fatal("probe handshake not recorded as reset")
+	}
+}
+
+func TestBlockpageHTTPBlocked(t *testing.T) {
+	r := newRig(1)
+	client, site := r.pick(t, "KE")
+	pol := fullRule("KE", func(ru *outage.InterferenceRule) {
+		ru.Blockpage = true
+	})
+	m := websim.New(r.net, r.dns, r.web, pol, 1).Measure(client, site)
+	mustValidate(t, m)
+	if v := websim.Classify(m); v != websim.VerdictHTTPBlocked {
+		t.Fatalf("blockpage classified %q, want http_blocked", v)
+	}
+	var blockpage bool
+	for _, h := range m.HTTP {
+		if h.Origin == archival.OriginProbe && h.BodyHash == content.BlockpageHash("KE") {
+			blockpage = true
+		}
+	}
+	if !blockpage {
+		t.Fatal("probe never served the censor's blockpage")
+	}
+}
+
+func TestThrottlingThrottled(t *testing.T) {
+	r := newRig(1)
+	client, site := r.pick(t, "KE")
+	pol := fullRule("KE", func(ru *outage.InterferenceRule) {
+		ru.ThrottleBytesPerMs = 8 // ~64 kbit/s
+	})
+	m := websim.New(r.net, r.dns, r.web, pol, 1).Measure(client, site)
+	mustValidate(t, m)
+	if v := websim.Classify(m); v != websim.VerdictThrottled {
+		t.Fatalf("throttling classified %q, want throttled", v)
+	}
+}
+
+func TestWindowedActivationGatesInterference(t *testing.T) {
+	r := newRig(1)
+	client, site := r.pick(t, "KE")
+	pol := fullRule("KE", func(ru *outage.InterferenceRule) {
+		ru.DNSPoison, ru.PoisonBogon = true, true
+	})
+	pol.SetWindowed(true)
+	e := websim.New(r.net, r.dns, r.web, pol, 1)
+
+	if v := websim.Classify(e.Measure(client, site)); v != websim.VerdictOK {
+		t.Fatalf("closed window classified %q, want ok", v)
+	}
+	pol.SetActive("KE", true)
+	if v := websim.Classify(e.Measure(client, site)); v != websim.VerdictDNSBlocked {
+		t.Fatalf("open window classified %q, want dns_blocked", v)
+	}
+	pol.SetActive("KE", false)
+	if v := websim.Classify(e.Measure(client, site)); v != websim.VerdictOK {
+		t.Fatalf("reclosed window classified %q, want ok", v)
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	mk := func() []byte {
+		r := newRig(1)
+		pol := outage.GenerateInterference(42, []string{"KE", "NG", "ZA"})
+		e := websim.New(r.net, r.dns, r.web, pol, 1)
+		client := r.web.ResidentialClient("KE")
+		var buf bytes.Buffer
+		for _, site := range r.web.Catalog().SitesFor("KE") {
+			m := e.Measure(client, site)
+			enc, err := archival.Encode(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(enc)
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed, different measurement bytes")
+	}
+}
+
+func TestMeasurementFlattensCanonically(t *testing.T) {
+	r := newRig(1)
+	client, site := r.pick(t, "KE")
+	m := websim.New(r.net, r.dns, r.web, nil, 1).Measure(client, site)
+	obs := m.Flatten()
+	if len(obs) == 0 {
+		t.Fatal("no observations")
+	}
+	again := m.Flatten()
+	if !reflect.DeepEqual(obs, again) {
+		t.Fatal("Flatten not stable")
+	}
+}

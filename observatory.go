@@ -36,9 +36,11 @@ import (
 	"github.com/afrinet/observatory/internal/ixp"
 	"github.com/afrinet/observatory/internal/netsim"
 	"github.com/afrinet/observatory/internal/netx"
+	"github.com/afrinet/observatory/internal/outage"
 	"github.com/afrinet/observatory/internal/probes"
 	"github.com/afrinet/observatory/internal/registry"
 	"github.com/afrinet/observatory/internal/topology"
+	"github.com/afrinet/observatory/internal/websim"
 	"github.com/afrinet/observatory/internal/whatif"
 )
 
@@ -162,6 +164,20 @@ func NewClient(base string) *Client { return core.NewClient(base) }
 // NewAgent builds a measurement agent bound to this stack's data plane.
 func (s *Stack) NewAgent(cfg AgentConfig) *Agent {
 	return probes.NewAgent(cfg, s.Net, s.DNS, s.Web)
+}
+
+// NewWebsteps builds a step-following web measurement engine over this
+// stack's data plane under the seeded default interference policy —
+// the same GenerateInterference draw the repro websteps sweep uses, so
+// a fleet probe armed with this engine (Agent.EnableWebsteps) reports
+// verdict-for-verdict what the offline driver computes for its seed.
+func (s *Stack) NewWebsteps(seed int64) *websim.Engine {
+	var countries []string
+	for _, c := range geo.AfricanCountries() {
+		countries = append(countries, c.ISO2)
+	}
+	pol := outage.GenerateInterference(seed, countries)
+	return websim.New(s.Net, s.DNS, s.Web, pol, seed)
 }
 
 // NewWhatIf builds a scenario engine over this stack.

@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh — run the benchmark suites and fold the results into
-# BENCH_PR8.json via cmd/benchjson (min ns/op across -count runs), then
+# BENCH_PR9.json via cmd/benchjson (min ns/op across -count runs), then
 # run the fleetsim load + bias experiments into the same file.
 #
 # Usage:
@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 label="${1:-after}"
 count="${BENCH_COUNT:-3}"
 benchtime="${BENCH_TIME:-1x}"
-out="${BENCH_OUT:-BENCH_PR8.json}"
+out="${BENCH_OUT:-BENCH_PR9.json}"
 probes="${FLEET_PROBES:-20000}"
 duration="${FLEET_DURATION:-120s}"
 

@@ -29,9 +29,22 @@ echo "== determinism lint =="
 # which is allowed: they never read the wall clock into state.)
 # cmd/fleetsim is held to the same bar: its load timing goes through
 # internal/obs (StartTimer/Elapsed), so the bench harness itself stays
-# clock-discipline clean.
-if git grep -n 'time\.Now()' -- internal/core internal/journal internal/store internal/spool internal/federation cmd/fleetsim; then
-    echo "determinism lint: time.Now() is forbidden in internal/core, internal/journal, internal/store, internal/spool, internal/federation, and cmd/fleetsim" >&2
+# clock-discipline clean. internal/websim and internal/archival join the
+# list in PR9: websteps measurements and their archival records must be
+# a pure function of (seed, topology, policy) so sweeps replay
+# byte-identically — latencies are modeled, never measured.
+if git grep -n 'time\.Now()' -- internal/core internal/journal internal/store internal/spool internal/federation internal/websim internal/archival cmd/fleetsim; then
+    echo "determinism lint: time.Now() is forbidden in internal/core, internal/journal, internal/store, internal/spool, internal/federation, internal/websim, internal/archival, and cmd/fleetsim" >&2
+    exit 1
+fi
+# The websteps stack draws all randomness from seeded splitmix64
+# streams; math/rand (even seeded) would tie verdicts to call order and
+# break the serial-vs-parallel equivalence contract, so the import
+# itself is banned in these two packages. (internal/outage's schedule
+# generator may use a locally seeded rand.Rand — its draws happen once,
+# serially, at generation time.)
+if git grep -n '"math/rand"' -- internal/websim internal/archival; then
+    echo "determinism lint: math/rand is forbidden in internal/websim and internal/archival — use seeded splitmix64 streams" >&2
     exit 1
 fi
 
