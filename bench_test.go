@@ -12,6 +12,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/afrinet/observatory/internal/dnsload"
 	"github.com/afrinet/observatory/internal/experiments"
 	"github.com/afrinet/observatory/internal/par"
 	"github.com/afrinet/observatory/internal/probes"
@@ -378,6 +379,46 @@ func BenchmarkWebstepsRun(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDNSLoad is the high-QPS target: one million token-bucket
+// paced logical queries per iteration through the composable resolver
+// chains, with retries and localization accounting. The reported
+// queries/s metric is wall-clock throughput of the simulated engine.
+func BenchmarkDNSLoad(b *testing.B) {
+	env := benchSetup(b)
+	var clients []topology.ASN
+	var targets []dnsload.Target
+	for _, cc := range []string{"NG", "KE", "ZA", "EG", "GH", "SN", "CI", "TZ", "UG", "RW"} {
+		clients = append(clients, env.DNS.ClientNetworks(cc)...)
+		for i := 0; i < 6; i++ {
+			targets = append(targets, dnsload.Target{
+				Domain:        fmt.Sprintf("site%d.%s", i, cc),
+				OriginCountry: cc,
+			})
+		}
+	}
+	const queries = 1_000_000
+	cfg := dnsload.Config{
+		Seed:       42,
+		Queries:    queries,
+		QPS:        25_000, // logical pacing: thousands of queries/sec
+		Burst:      256,
+		CompareECS: true,
+		Clients:    clients,
+		Targets:    targets,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := dnsload.Run(env.DNS, cfg)
+		if rep.OK == 0 || rep.AchievedQPS <= 0 {
+			b.Fatalf("load run measured nothing: %+v", rep)
+		}
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
 	}
 }
 

@@ -7,8 +7,8 @@
 //	repro [-seed N] [-only <id>] [-csv dir]
 //
 // Experiment ids: fig1 fig2a fig2b fig2c fig3 fig4 table1 nautilus cover
-// pilot whatif radar anycast websteps platform ablation-placement
-// ablation-budget ablation-correlated.
+// pilot whatif radar anycast websteps dnsload platform
+// ablation-placement ablation-budget ablation-correlated.
 //
 // With -csv, figure series are also written as CSV files for plotting.
 package main
@@ -83,6 +83,9 @@ func main() {
 	run("anycast", "§7.2 WORKLOAD — anycast census", func() renderable { return experiments.AnycastCensus(getEnv()) })
 	run("websteps", "§7.2 WORKLOAD — websteps censorship sweep", func() renderable {
 		return experiments.WebstepsCensorship(getEnv())
+	})
+	run("dnsload", "§5.2 AT SCALE — ECS localization under paced DNS load", func() renderable {
+		return experiments.DNSLocalization(getEnv())
 	})
 	run("platform", "SYSTEM — measurements through the live platform", func() renderable {
 		r, err := experiments.PlatformRun(getEnv(), 24)

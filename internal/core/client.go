@@ -542,6 +542,12 @@ func queryParams(f store.Filter) url.Values {
 	if f.Verdict != "" {
 		q.Set("verdict", f.Verdict)
 	}
+	if f.ResolverChain != "" {
+		q.Set("resolver_chain", f.ResolverChain)
+	}
+	if f.ECS != "" {
+		q.Set("ecs", f.ECS)
+	}
 	if f.FromTick > 0 {
 		q.Set("from_tick", strconv.FormatInt(f.FromTick, 10))
 	}

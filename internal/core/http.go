@@ -106,8 +106,8 @@ func parseLimit(w http.ResponseWriter, s string) (int, bool) {
 }
 
 // parseFilter builds a store.Filter from query parameters (experiment,
-// country, asn, kind, verdict, from_tick, to_tick). Writes the 400
-// itself.
+// country, asn, kind, verdict, resolver_chain, ecs, from_tick,
+// to_tick). Writes the 400 itself.
 func parseFilter(w http.ResponseWriter, q map[string][]string) (store.Filter, bool) {
 	get := func(k string) string {
 		if vs := q[k]; len(vs) > 0 {
@@ -116,10 +116,19 @@ func parseFilter(w http.ResponseWriter, q map[string][]string) (store.Filter, bo
 		return ""
 	}
 	f := store.Filter{
-		Experiment: get("experiment"),
-		Country:    get("country"),
-		Kind:       get("kind"),
-		Verdict:    get("verdict"),
+		Experiment:    get("experiment"),
+		Country:       get("country"),
+		Kind:          get("kind"),
+		Verdict:       get("verdict"),
+		ResolverChain: get("resolver_chain"),
+	}
+	if s := get("ecs"); s != "" {
+		if s != "true" && s != "false" {
+			writeAPIError(w, http.StatusBadRequest, ErrCodeBadRequest,
+				fmt.Errorf("ecs must be true or false, got %q", s))
+			return f, false
+		}
+		f.ECS = s
 	}
 	if s := get("asn"); s != "" {
 		n, err := strconv.ParseUint(s, 10, 32)

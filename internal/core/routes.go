@@ -158,8 +158,8 @@ var apiRoutes = []routeDef{
 		Summary: "Query the results store: filtered scans and time-window aggregations.",
 		Query: []paramDoc{
 			{Name: "op", Doc: "aggregate (default) or scan"},
-			{Name: "experiment / country / asn / kind / verdict / from_tick / to_tick", Doc: "record filters; tick bounds inclusive"},
-			{Name: "group_by", Doc: "aggregate only: none, country, asn, country_asn, verdict, resolver, country_resolver"},
+			{Name: "experiment / country / asn / kind / verdict / resolver_chain / ecs / from_tick / to_tick", Doc: "record filters; ecs is true/false; tick bounds inclusive"},
+			{Name: "group_by", Doc: "aggregate only: none, country, asn, country_asn, verdict, resolver, country_resolver, resolver_chain, ecs"},
 			{Name: "limit / cursor", Doc: "scan only: pagination"},
 		},
 		Response: `op=aggregate: AggReport; op=scan: page of Record. Served by a federation coordinator, both carry "degraded": true plus "shards_missing": [shard ids] when shards timed out or were down — the data is correct but partial, never silently wrong`,

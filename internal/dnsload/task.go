@@ -1,0 +1,57 @@
+package dnsload
+
+import (
+	"strings"
+
+	"github.com/afrinet/observatory/internal/dnssim"
+	"github.com/afrinet/observatory/internal/topology"
+)
+
+// TaskSummary is the probe-sized view of a load run: what one
+// TaskDNSLoad execution reports back through the platform.
+type TaskSummary struct {
+	OK        bool
+	Queries   int
+	Succeeded int
+	MeanMs    float64
+	// Chain is the canonical chain shape the client resolved through
+	// (e.g. "stub>cache>forwarder>authority").
+	Chain string
+	// Kind/Country describe the client's resolver assignment.
+	Kind    string
+	Country string
+	// CloudAuth/Localized feed the per-probe localization accuracy.
+	CloudAuth int
+	Localized int
+	ECS       bool
+}
+
+// TaskRun executes a single-vantage, single-target load burst — the
+// unit of work a TaskDNSLoad probe task performs. Serial (Workers: 1):
+// probes parallelize across tasks, not within them.
+func TaskRun(sys *dnssim.System, client topology.ASN, domain, origin string, queries int, ecs bool, seed uint64) TaskSummary {
+	if queries <= 0 {
+		queries = 64
+	}
+	rep := Run(sys, Config{
+		Seed:    seed,
+		Queries: queries,
+		Workers: 1,
+		ECS:     ecs,
+		Clients: []topology.ASN{client},
+		Targets: []Target{{Domain: domain, OriginCountry: origin}},
+	})
+	asg := sys.AssignmentFor(client)
+	return TaskSummary{
+		OK:        rep.OK > 0,
+		Queries:   queries,
+		Succeeded: rep.OK,
+		MeanMs:    rep.MeanMs,
+		Chain:     strings.Join(dnssim.ChainSpec(asg.Kind), ">"),
+		Kind:      asg.Kind.String(),
+		Country:   asg.Country,
+		CloudAuth: rep.CloudAuth,
+		Localized: rep.Localized,
+		ECS:       ecs,
+	}
+}

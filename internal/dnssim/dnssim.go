@@ -8,12 +8,18 @@
 // paper's Figure 2c (APNIC resolver-use data): most African regions lean
 // heavily on out-of-country and cloud resolvers, and the public clouds'
 // only African sites are in South Africa.
+//
+// Since PR 10 the package is organized around composable resolver
+// chains (chain.go): Resolver is an interface, links are registered by
+// name and stacked per client, and the legacy entry points below
+// (ResolverFor, AuthorityFor, Resolve) are thin shims over the
+// canonical per-country chains.
 package dnssim
 
 import (
-	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/afrinet/observatory/internal/geo"
 	"github.com/afrinet/observatory/internal/netsim"
@@ -40,8 +46,10 @@ func (k ResolverKind) String() string {
 	}
 }
 
-// Resolver is a recursive resolver assignment for one client network.
-type Resolver struct {
+// Assignment is a recursive resolver assignment for one client network
+// (the struct the pre-chain API called Resolver; Resolver is now the
+// chain interface in chain.go).
+type Assignment struct {
 	Kind    ResolverKind
 	ASN     topology.ASN // hosting AS (for cloud: the anycast AS)
 	Country string       // hosting country ("" for anycast until resolved)
@@ -81,12 +89,21 @@ type System struct {
 	// (AS they are announced from). Only South Africa hosts African
 	// instances, per Section 5.2.
 	cloudSites map[topology.ASN][]topology.ASN
-	// mu guards the lazily-filled memo maps below. Both memoize pure
-	// functions of the seed, so concurrent fills race only on who stores
-	// the (identical) value first.
+	// mu guards the lazily-filled memo maps below. All three memoize
+	// pure functions of the seed, so concurrent fills race only on who
+	// stores the (identical) value first — and none of them needs
+	// invalidating when the data plane changes.
 	mu          sync.RWMutex
-	assignments map[topology.ASN]Resolver
+	assignments map[topology.ASN]Assignment
 	authMemo    map[string]AuthLocation
+	chains      map[topology.ASN]Resolver
+
+	// memo holds every reachability-dependent cache (anycast site
+	// selection, whole-chain answers), stamped with the (routing
+	// generation, failure epoch) it was computed under — the scoping
+	// pattern netsim's path memos use. A link flap swaps this pointer on
+	// the next query; the seed-pure maps above survive untouched.
+	memo atomic.Pointer[chainMemo]
 }
 
 func splitmix(x uint64) uint64 {
@@ -115,8 +132,9 @@ func New(n *netsim.Net, seed int64) *System {
 		topo:        n.Topology(),
 		seed:        uint64(seed),
 		cloudSites:  make(map[topology.ASN][]topology.ASN),
-		assignments: make(map[topology.ASN]Resolver),
+		assignments: make(map[topology.ASN]Assignment),
 		authMemo:    make(map[string]AuthLocation),
+		chains:      make(map[topology.ASN]Resolver),
 	}
 	// Cloud resolvers run on the cloud/content ASes that operate
 	// public resolver services.
@@ -193,31 +211,37 @@ func regionalHubCountry(r geo.Region) string {
 	return "ZA"
 }
 
-// ResolverFor returns the recursive resolver assignment of a client
+// AssignmentFor returns the recursive resolver assignment of a client
 // network (deterministic per client AS; safe for concurrent callers).
-func (s *System) ResolverFor(client topology.ASN) Resolver {
+func (s *System) AssignmentFor(client topology.ASN) Assignment {
 	s.mu.RLock()
 	r, ok := s.assignments[client]
 	s.mu.RUnlock()
 	if ok {
 		return r
 	}
-	r = s.computeResolver(client)
+	r = s.computeAssignment(client)
 	s.mu.Lock()
 	s.assignments[client] = r
 	s.mu.Unlock()
 	return r
 }
 
-// computeResolver derives a client's assignment — a pure function of the
-// seed and the client ASN.
-func (s *System) computeResolver(client topology.ASN) Resolver {
+// ResolverFor is the pre-chain name for AssignmentFor.
+//
+// Deprecated: use AssignmentFor (or resolve through ChainFor, whose
+// answers carry the assignment). Kept as a shim for one release.
+func (s *System) ResolverFor(client topology.ASN) Assignment { return s.AssignmentFor(client) }
+
+// computeAssignment derives a client's assignment — a pure function of
+// the seed and the client ASN.
+func (s *System) computeAssignment(client topology.ASN) Assignment {
 	as := s.topo.ASes[client]
 	if as == nil {
-		return Resolver{}
+		return Assignment{}
 	}
 	mix := mixes[as.Region]
-	var r Resolver
+	var r Assignment
 	draw := s.f(uint64(client), 0x51)
 	switch {
 	case draw < mix.local:
@@ -266,8 +290,25 @@ func (s *System) inCountryResolverHost(ctry string, salt topology.ASN) topology.
 
 // AnycastSite picks the nearest *reachable* instance of a cloud resolver
 // for a client, returning the site AS; ok=false when no instance is
-// reachable (e.g. mid cable cut).
+// reachable (e.g. mid cable cut). Results are memoized under the current
+// (routing generation, failure epoch) stamp.
 func (s *System) AnycastSite(client, cloud topology.ASN) (topology.ASN, bool) {
+	m := s.memoNow()
+	key := siteKey{client: client, cloud: cloud}
+	if v, ok := m.sites.Load(key); ok {
+		sv := v.(siteVal)
+		return sv.site, sv.ok
+	}
+	site, ok := s.anycastSiteUncached(client, cloud)
+	if s.net.Router().Gen() == m.gen && s.net.Epoch() == m.epoch {
+		// Only cache results whose inputs were stable across the whole
+		// computation; a concurrent failure change just skips the store.
+		m.sites.Store(key, siteVal{site: site, ok: ok})
+	}
+	return site, ok
+}
+
+func (s *System) anycastSiteUncached(client, cloud topology.ASN) (topology.ASN, bool) {
 	sites := s.cloudSites[cloud]
 	best := topology.ASN(0)
 	bestRTT := 0.0
@@ -292,10 +333,10 @@ type AuthLocation struct {
 	Cloud   bool
 }
 
-// AuthorityFor places a domain's authoritative servers. The placement is
-// a pure function of the seed and the arguments, memoized because page
+// Authority places a domain's authoritative servers. The placement is a
+// pure function of the seed and the arguments, memoized because page
 // loads re-resolve the same domains constantly.
-func (s *System) AuthorityFor(domain, originCountry string) AuthLocation {
+func (s *System) Authority(domain, originCountry string) AuthLocation {
 	key := domain + "\x00" + originCountry
 	s.mu.RLock()
 	loc, okM := s.authMemo[key]
@@ -308,6 +349,14 @@ func (s *System) AuthorityFor(domain, originCountry string) AuthLocation {
 	s.authMemo[key] = loc
 	s.mu.Unlock()
 	return loc
+}
+
+// AuthorityFor is the pre-chain name for Authority.
+//
+// Deprecated: use Authority, or read the Auth field off a chain Answer.
+// Kept as a shim for one release.
+func (s *System) AuthorityFor(domain, originCountry string) AuthLocation {
+	return s.Authority(domain, originCountry)
 }
 
 func (s *System) computeAuthority(domain, originCountry string) AuthLocation {
@@ -333,11 +382,12 @@ func (s *System) computeAuthority(domain, originCountry string) AuthLocation {
 	return AuthLocation{ASN: euHost, Country: s.topo.ASes[euHost].Country}
 }
 
-// Resolution is the outcome of one end-to-end DNS lookup.
+// Resolution is the outcome of one end-to-end DNS lookup (the legacy
+// result shape; chain consumers get the richer Answer).
 type Resolution struct {
 	OK         bool
 	LatencyMs  float64
-	Resolver   Resolver
+	Resolver   Assignment
 	ResolverAS topology.ASN // concrete AS serving the query (anycast resolved)
 	Auth       AuthLocation
 	FailReason string
@@ -348,40 +398,25 @@ type Resolution struct {
 // is the "hidden dependency" code path: a client whose resolver sits
 // abroad loses DNS — and hence every local service — when the cable that
 // carries that leg is cut.
+//
+// Resolve is a shim over the client's canonical chain (ChainFor); its
+// outputs are identical to the pre-chain implementation, which
+// TestChainMatchesLegacyOracle proves against an independent oracle.
 func (s *System) Resolve(client topology.ASN, domain, originCountry string) Resolution {
-	res := Resolution{Resolver: s.ResolverFor(client)}
-	r := res.Resolver
-
-	serving := r.ASN
-	if r.Kind == ResolverCloud {
-		site, ok := s.AnycastSite(client, r.ASN)
-		if !ok {
-			res.FailReason = "no reachable anycast resolver instance"
-			return res
-		}
-		serving = site
+	ans, err := s.ChainFor(client).Resolve(Query{
+		Client: client, Domain: domain, OriginCountry: originCountry,
+	}, DefaultDepth)
+	if err != nil {
+		return Resolution{Resolver: s.AssignmentFor(client), FailReason: err.Error()}
 	}
-	res.ResolverAS = serving
-
-	rtt1, ok := s.net.RTTBetween(client, serving)
-	if !ok {
-		res.FailReason = fmt.Sprintf("resolver unreachable (AS%d)", serving)
-		return res
+	return Resolution{
+		OK:         ans.OK,
+		LatencyMs:  ans.LatencyMs,
+		Resolver:   ans.Assignment,
+		ResolverAS: ans.ResolverAS,
+		Auth:       ans.Auth,
+		FailReason: ans.FailReason,
 	}
-
-	res.Auth = s.AuthorityFor(domain, originCountry)
-	if res.Auth.ASN == 0 {
-		res.FailReason = "no authoritative placement"
-		return res
-	}
-	rtt2, ok := s.net.RTTBetween(serving, res.Auth.ASN)
-	if !ok {
-		res.FailReason = fmt.Sprintf("authoritative unreachable (AS%d)", res.Auth.ASN)
-		return res
-	}
-	res.OK = true
-	res.LatencyMs = rtt1 + rtt2
-	return res
 }
 
 // ResolveWithPolicy is Resolve under counterfactual regulation — the
@@ -411,7 +446,7 @@ func (s *System) ResolveWithPolicy(client topology.ASN, domain, originCountry st
 		if as.Type != topology.ASMobileCarrier && as.Type != topology.ASFixedISP {
 			host = s.inCountryResolverHost(as.Country, client)
 		}
-		res.Resolver = Resolver{Kind: ResolverLocalISP, Country: as.Country, ASN: host}
+		res.Resolver = Assignment{Kind: ResolverLocalISP, Country: as.Country, ASN: host}
 		if res.Resolver.ASN == 0 {
 			res.FailReason = "no in-country resolver host"
 			return res
@@ -419,7 +454,7 @@ func (s *System) ResolveWithPolicy(client topology.ASN, domain, originCountry st
 		res.ResolverAS = res.Resolver.ASN
 	} else {
 		// Resolver as deployed today; only the authoritative moves.
-		res.Resolver = s.ResolverFor(client)
+		res.Resolver = s.AssignmentFor(client)
 		res.ResolverAS = res.Resolver.ASN
 		if res.Resolver.Kind == ResolverCloud {
 			site, okSite := s.AnycastSite(client, res.Resolver.ASN)
@@ -435,7 +470,7 @@ func (s *System) ResolveWithPolicy(client topology.ASN, domain, originCountry st
 		res.FailReason = "resolver unreachable"
 		return res
 	}
-	res.Auth = s.AuthorityFor(domain, originCountry)
+	res.Auth = s.Authority(domain, originCountry)
 	if forceLocalAuth {
 		if host := s.inCountryResolverHost(originCountry, topology.ASN(len(domain))); host != 0 {
 			res.Auth = AuthLocation{ASN: host, Country: originCountry}
@@ -476,7 +511,7 @@ func (s *System) MeasureResolverUse(region geo.Region) UseShare {
 		if as.Region != region || !isClientNetwork(as) {
 			continue
 		}
-		r := s.ResolverFor(asn)
+		r := s.AssignmentFor(asn)
 		out.Samples++
 		switch r.Kind {
 		case ResolverLocalISP:
@@ -493,6 +528,26 @@ func (s *System) MeasureResolverUse(region geo.Region) UseShare {
 		out.Cloud = float64(cloud) / float64(out.Samples)
 	}
 	return out
+}
+
+// ClientNetworks lists the country's end-user networks — the vantage
+// set resolver studies (and the dnsload driver) sample from.
+func (s *System) ClientNetworks(country string) []topology.ASN {
+	var out []topology.ASN
+	for _, asn := range s.topo.ASesIn(country) {
+		if isClientNetwork(s.topo.ASes[asn]) {
+			out = append(out, asn)
+		}
+	}
+	return out
+}
+
+// CountryOf returns the hosting country of an AS ("" when unknown).
+func (s *System) CountryOf(asn topology.ASN) string {
+	if as := s.topo.ASes[asn]; as != nil {
+		return as.Country
+	}
+	return ""
 }
 
 // isClientNetwork reports whether an AS originates end-user queries.

@@ -26,6 +26,7 @@ var parallelDrivers = []struct {
 	{"WhatIfCableCut", func(e *Env) renderable { return WhatIfCableCut(e) }},
 	{"AblationCorrelatedCuts", func(e *Env) renderable { return AblationCorrelatedCuts(e) }},
 	{"WebstepsCensorship", func(e *Env) renderable { return WebstepsCensorship(e) }},
+	{"DNSLocalization", func(e *Env) renderable { return DNSLocalization(e) }},
 }
 
 // TestParallelDriversMatchSerial runs each parallelized driver twice per

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/afrinet/observatory/internal/dnsload"
+	"github.com/afrinet/observatory/internal/geo"
+	"github.com/afrinet/observatory/internal/par"
+	"github.com/afrinet/observatory/internal/report"
+)
+
+// DNSLocalizationRow is one country's ECS-vs-non-ECS comparison. The
+// raw counts are kept (not just ratios) so rows merge exactly and
+// compare with reflect.DeepEqual.
+type DNSLocalizationRow struct {
+	Country string
+	Clients int // client networks sampled
+	Queries int // logical queries per variant
+	// CloudAuth*/Localized* count successful answers served by
+	// cloud-hosted authorities and, of those, ones steered to the
+	// client's best replica — per variant.
+	CloudAuthNoECS int
+	LocalizedNoECS int
+	CloudAuthECS   int
+	LocalizedECS   int
+	// MeanMsNoECS is the mean resolution latency without ECS.
+	MeanMsNoECS float64
+}
+
+// AccNoECS is the row's localization accuracy without client-subnet.
+func (r DNSLocalizationRow) AccNoECS() float64 {
+	if r.CloudAuthNoECS == 0 {
+		return 0
+	}
+	return float64(r.LocalizedNoECS) / float64(r.CloudAuthNoECS)
+}
+
+// AccECS is the row's localization accuracy with client-subnet.
+func (r DNSLocalizationRow) AccECS() float64 {
+	if r.CloudAuthECS == 0 {
+		return 0
+	}
+	return float64(r.LocalizedECS) / float64(r.CloudAuthECS)
+}
+
+// DeltaPts is the accuracy gain from ECS in percentage points.
+func (r DNSLocalizationRow) DeltaPts() float64 { return 100 * (r.AccECS() - r.AccNoECS()) }
+
+// DNSLocalizationResult is the §5.2-at-scale resolver study: per-country
+// localization accuracy with and without EDNS Client Subnet, produced by
+// rate-controlled dnsload runs over every country's client networks.
+type DNSLocalizationResult struct {
+	Rows []DNSLocalizationRow
+	// Queries is the total logical query volume (both variants).
+	Queries int
+}
+
+// Overall returns the population-weighted accuracies (no-ECS, ECS).
+func (r DNSLocalizationResult) Overall() (noECS, ecs float64) {
+	var cn, ln, ce, le int
+	for _, row := range r.Rows {
+		cn += row.CloudAuthNoECS
+		ln += row.LocalizedNoECS
+		ce += row.CloudAuthECS
+		le += row.LocalizedECS
+	}
+	if cn > 0 {
+		noECS = float64(ln) / float64(cn)
+	}
+	if ce > 0 {
+		ecs = float64(le) / float64(ce)
+	}
+	return noECS, ecs
+}
+
+// dnsLocalizationQueriesPerCountry is the per-variant load each country
+// receives. Small enough for the test suite, large enough that every
+// client network and target domain is sampled many times.
+const dnsLocalizationQueriesPerCountry = 3000
+
+// DNSLocalization runs the ECS localization study: for each African
+// country, drive a paced query load from its client networks at
+// in-country domains twice — with and without ECS — and compare where
+// cloud-hosted authorities steer the answers. Countries fan out through
+// internal/par; each country's two runs are serial inside the worker, so
+// the report is worker-count independent.
+func DNSLocalization(env *Env) DNSLocalizationResult {
+	var countries []string
+	for _, c := range geo.AfricanCountries() {
+		countries = append(countries, c.ISO2)
+	}
+
+	type ctryOut struct {
+		row dnsLocalizationRaw
+		ok  bool
+	}
+	out := par.Map(0, len(countries), func(i int) ctryOut {
+		cc := countries[i]
+		clients := env.DNS.ClientNetworks(cc)
+		if len(clients) == 0 {
+			return ctryOut{}
+		}
+		var targets []dnsload.Target
+		for j := 0; j < 6; j++ {
+			targets = append(targets, dnsload.Target{
+				Domain:        fmt.Sprintf("site%d.%s", j, cc),
+				OriginCountry: cc,
+			})
+		}
+		cfg := dnsload.Config{
+			Seed:    uint64(env.Seed) ^ uint64(i)<<32,
+			Queries: dnsLocalizationQueriesPerCountry,
+			QPS:     5000,
+			Workers: 1, // country runs are the parallel unit
+			Clients: clients,
+			Targets: targets,
+		}
+		noECS := dnsload.Run(env.DNS, cfg)
+		cfg.ECS = true
+		withECS := dnsload.Run(env.DNS, cfg)
+		return ctryOut{ok: true, row: dnsLocalizationRaw{
+			country: cc, clients: len(clients), noECS: noECS, ecs: withECS,
+		}}
+	})
+
+	var res DNSLocalizationResult
+	for i := range countries {
+		o := out[i]
+		if !o.ok {
+			continue
+		}
+		res.Rows = append(res.Rows, DNSLocalizationRow{
+			Country:        o.row.country,
+			Clients:        o.row.clients,
+			Queries:        dnsLocalizationQueriesPerCountry,
+			CloudAuthNoECS: o.row.noECS.CloudAuth,
+			LocalizedNoECS: o.row.noECS.Localized,
+			CloudAuthECS:   o.row.ecs.CloudAuth,
+			LocalizedECS:   o.row.ecs.Localized,
+			MeanMsNoECS:    o.row.noECS.MeanMs,
+		})
+		res.Queries += 2 * dnsLocalizationQueriesPerCountry
+	}
+	return res
+}
+
+type dnsLocalizationRaw struct {
+	country string
+	clients int
+	noECS   dnsload.Report
+	ecs     dnsload.Report
+}
+
+// Render writes the ECS localization report.
+func (r DNSLocalizationResult) Render(w io.Writer) {
+	tb := report.NewTable("DNS LOAD — ECS vs non-ECS localization accuracy by country",
+		"country", "clients", "queries/variant", "cloud-auth", "acc no-ecs", "acc ecs", "delta pts", "mean ms")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Country, row.Clients, row.Queries, row.CloudAuthNoECS,
+			row.AccNoECS(), row.AccECS(), row.DeltaPts(), row.MeanMsNoECS)
+	}
+	tb.Render(w)
+	no, ecs := r.Overall()
+	fmt.Fprintf(w, "(%d logical queries; overall localization %.1f%% without ECS vs %.1f%% with ECS — client-subnet closes the remote-resolver steering gap)\n",
+		r.Queries, 100*no, 100*ecs)
+}

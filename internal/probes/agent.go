@@ -5,6 +5,7 @@ import (
 
 	"github.com/afrinet/observatory/internal/archival"
 	"github.com/afrinet/observatory/internal/content"
+	"github.com/afrinet/observatory/internal/dnsload"
 	"github.com/afrinet/observatory/internal/dnssim"
 	"github.com/afrinet/observatory/internal/netsim"
 	"github.com/afrinet/observatory/internal/topology"
@@ -169,6 +170,30 @@ func (a *Agent) Execute(t Task) (Result, error) {
 		res.AuthCountry = r.Auth.Country
 		if !r.OK {
 			res.Error = r.FailReason
+		}
+	case TaskDNSLoad:
+		if a.dns == nil {
+			res.Error = "agent has no dns engine"
+			return res, fmt.Errorf("probes: %s", res.Error)
+		}
+		// Burst seed derives from (probe, task) so re-execution of the
+		// same task replays identically while distinct tasks decorrelate.
+		h := uint64(0x646e736c6f6164)
+		for _, c := range a.cfg.ID + "\x00" + t.ID {
+			h = pmix(h ^ uint64(c))
+		}
+		sum := dnsload.TaskRun(a.dns, a.cfg.ASN, t.Domain, t.OriginCountry, t.Queries, t.ECS, h)
+		res.OK = sum.OK
+		res.RTTms = sum.MeanMs
+		res.ResolverKind = sum.Kind
+		res.ResolverCountry = sum.Country
+		res.ResolverChain = sum.Chain
+		res.ECS = sum.ECS
+		res.QueriesOK = sum.Succeeded
+		res.CloudAuth = sum.CloudAuth
+		res.Localized = sum.Localized
+		if !sum.OK {
+			res.Error = "dnsload: no query succeeded"
 		}
 	case TaskHTTPFetch:
 		if a.web == nil {

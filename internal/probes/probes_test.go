@@ -3,6 +3,7 @@ package probes
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -392,5 +393,35 @@ func TestAgentUnknownKind(t *testing.T) {
 	a := newTestAgent("p9", true, nil)
 	if _, err := a.Execute(Task{ID: "1", Kind: "nonsense"}); err == nil {
 		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestAgentExecutesDNSLoad(t *testing.T) {
+	a := newTestAgent("p10", true, nil)
+	task := Task{ID: "dl1", Experiment: "exp", Kind: TaskDNSLoad,
+		Domain: "site0.RW", OriginCountry: "RW", Queries: 128, ECS: true}
+	res, err := a.Execute(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("dnsload burst failed: %+v", res)
+	}
+	if res.ResolverChain == "" || res.ResolverKind == "" {
+		t.Fatalf("missing chain metadata: %+v", res)
+	}
+	if !res.ECS || res.QueriesOK == 0 || res.RTTms <= 0 {
+		t.Fatalf("burst stats malformed: %+v", res)
+	}
+	if res.Bytes != task.EstimatedBytes() || res.Bytes != 128*2*130 {
+		t.Fatalf("estimated bytes = %d", res.Bytes)
+	}
+	// Re-executing the same task on the same probe replays identically.
+	again, err := a.Execute(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Fatalf("dnsload re-execution diverged:\n first  %+v\n second %+v", res, again)
 	}
 }

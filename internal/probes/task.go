@@ -19,6 +19,10 @@ const (
 	// redirect steps from probe and control views and reports a
 	// blocking verdict plus the flat archival measurement.
 	TaskWebsteps TaskKind = "websteps"
+	// TaskDNSLoad drives a paced burst of Queries logical lookups of
+	// Domain through the probe's resolver chain (optionally with ECS)
+	// and reports chain shape plus localization counts.
+	TaskDNSLoad TaskKind = "dnsload"
 )
 
 // Task is one measurement assignment. Tasks travel between controller
@@ -35,6 +39,10 @@ type Task struct {
 	OriginCountry string `json:"origin_country,omitempty"`
 	// Repeat is how many times to run the primitive (default 1).
 	Repeat int `json:"repeat,omitempty"`
+	// Queries is the dnsload burst size (default 64).
+	Queries int `json:"queries,omitempty"`
+	// ECS attaches client-subnet information to dnsload lookups.
+	ECS bool `json:"ecs,omitempty"`
 	// Value is the scheduler's priority weight.
 	Value float64 `json:"value,omitempty"`
 }
@@ -76,6 +84,14 @@ func (t Task) EstimatedBytes() int64 {
 		// a throttling-sized body sample (websteps fetches up to 512KB
 		// so rate shaping is measurable) plus redirect headers.
 		return reps * (4*2*120 + 2*(3*60+2*800) + 128*1024)
+	case TaskDNSLoad:
+		// Queries × (query + response) at ~130B each; the chain's
+		// upstream chatter is billed to the resolver, not the access leg.
+		q := int64(t.Queries)
+		if q <= 0 {
+			q = 64
+		}
+		return reps * q * 2 * 130
 	default:
 		return reps * 256
 	}
@@ -100,6 +116,15 @@ type Result struct {
 	ResolverKind    string `json:"resolver_kind,omitempty"`
 	ResolverCountry string `json:"resolver_country,omitempty"`
 	AuthCountry     string `json:"auth_country,omitempty"`
+
+	// DNS-load fields: the resolver chain shape the burst ran through
+	// (e.g. "stub>cache>cloud>authority"), whether ECS was attached,
+	// and the burst's success/localization counts.
+	ResolverChain string `json:"resolver_chain,omitempty"`
+	ECS           bool   `json:"ecs,omitempty"`
+	QueriesOK     int    `json:"queries_ok,omitempty"`
+	CloudAuth     int    `json:"cloud_auth,omitempty"`
+	Localized     int    `json:"localized,omitempty"`
 
 	// Served fields for HTTP tasks.
 	ServedCountry string `json:"served_country,omitempty"`

@@ -20,7 +20,13 @@ type Filter struct {
 	Kind       string
 	// Verdict selects websteps results by blocking verdict
 	// (dns_blocked, throttled, ...).
-	Verdict  string
+	Verdict string
+	// ResolverChain selects dnsload results by chain shape
+	// (e.g. "stub>cache>cloud>authority").
+	ResolverChain string
+	// ECS tri-states on the dnsload client-subnet flag: "" any,
+	// "true"/"false" exact.
+	ECS      string
 	FromTick int64
 	ToTick   int64
 }
@@ -39,6 +45,12 @@ func (f Filter) match(r Record) bool {
 		return false
 	}
 	if f.Verdict != "" && r.Result.Verdict != f.Verdict {
+		return false
+	}
+	if f.ResolverChain != "" && r.Result.ResolverChain != f.ResolverChain {
+		return false
+	}
+	if f.ECS != "" && strconv.FormatBool(r.Result.ECS) != f.ECS {
 		return false
 	}
 	if f.FromTick > 0 && r.Tick < f.FromTick {
@@ -163,6 +175,11 @@ const (
 	GroupVerdict         = "verdict"
 	GroupResolver        = "resolver"
 	GroupCountryResolver = "country_resolver"
+	// GroupResolverChain buckets by the dnsload resolver chain shape;
+	// GroupECS by whether client-subnet was attached — the cuts the ECS
+	// localization study reads back out of the platform.
+	GroupResolverChain = "resolver_chain"
+	GroupECS           = "ecs"
 )
 
 // AggQuery is one aggregation request: a record filter plus how to
@@ -180,11 +197,15 @@ type AggGroup struct {
 	// Resolver is the bucket's resolver class (resolver /
 	// country_resolver modes); Verdict its blocking verdict (verdict
 	// mode).
-	Resolver string  `json:"resolver,omitempty"`
-	Verdict  string  `json:"verdict,omitempty"`
-	Count    int64   `json:"count"`
-	OK       int64   `json:"ok"`
-	LossRate float64 `json:"loss_rate"`
+	Resolver string `json:"resolver,omitempty"`
+	Verdict  string `json:"verdict,omitempty"`
+	// ResolverChain is the bucket's chain shape (resolver_chain mode);
+	// ECS its client-subnet flag as "true"/"false" (ecs mode).
+	ResolverChain string  `json:"resolver_chain,omitempty"`
+	ECS           string  `json:"ecs,omitempty"`
+	Count         int64   `json:"count"`
+	OK            int64   `json:"ok"`
+	LossRate      float64 `json:"loss_rate"`
 	// Verdicts counts the websteps blocking verdicts inside the bucket
 	// (populated whenever the bucket holds verdict-carrying results;
 	// map keys marshal sorted, so the JSON stays deterministic).
@@ -226,7 +247,8 @@ func (s *Store) Aggregate(q AggQuery) (AggReport, error) {
 func ValidGroupBy(groupBy string) error {
 	switch groupBy {
 	case "", GroupNone, GroupCountry, GroupASN, GroupCountryASN,
-		GroupVerdict, GroupResolver, GroupCountryResolver:
+		GroupVerdict, GroupResolver, GroupCountryResolver,
+		GroupResolverChain, GroupECS:
 		return nil
 	default:
 		return fmt.Errorf("store: unknown group_by %q", groupBy)
@@ -266,6 +288,11 @@ func AggregateRecords(recs []Record, groupBy string) (AggReport, error) {
 		case GroupCountryResolver:
 			key = r.Country + "/" + r.Result.ResolverKind
 			g.Country, g.Resolver = r.Country, r.Result.ResolverKind
+		case GroupResolverChain:
+			key, g.ResolverChain = r.Result.ResolverChain, r.Result.ResolverChain
+		case GroupECS:
+			key = strconv.FormatBool(r.Result.ECS)
+			g.ECS = key
 		}
 		b, ok := buckets[key]
 		if !ok {

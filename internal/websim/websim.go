@@ -162,7 +162,7 @@ func (e *Engine) Measure(client topology.ASN, site content.Site) *archival.Measu
 	if as := e.topo.ASes[client]; as != nil {
 		country = as.Country
 	}
-	probeRes := e.dns.ResolverFor(client)
+	probeRes := e.dns.AssignmentFor(client)
 	m := &archival.Measurement{
 		MeasurementID: fmt.Sprintf("ws:%s:%d", domain, client),
 		URL:           "http://" + domain + "/",
@@ -182,25 +182,30 @@ func (e *Engine) Measure(client topology.ASN, site content.Site) *archival.Measu
 	probe := &vantage{origin: archival.OriginProbe, asn: client}
 	ctrl := &vantage{origin: archival.OriginControl, asn: e.control}
 
-	res := e.dns.Resolve(client, domain, site.Country)
+	// The probe's lookup runs through its canonical resolver chain with
+	// the country's on-path poisoning stacked outside it (PR 10: the
+	// interference that used to be inlined here is now a wrapper link).
+	chain := outage.PoisonDNS(e.pol, country, e.dns.ChainFor(client))
+	ans, errRes := chain.Resolve(dnssim.Query{
+		Client: client, Domain: domain, OriginCountry: site.Country,
+	}, dnssim.DefaultDepth)
 	pd := archival.DNSLookup{
 		ID: g.Next(), StepID: 1, Origin: archival.OriginProbe, Domain: domain,
 		ResolverClass:   probeRes.Kind.String(),
-		ResolverCountry: res.Resolver.Country,
-		LatencyMs:       res.LatencyMs,
+		ResolverCountry: ans.Assignment.Country,
+		LatencyMs:       ans.LatencyMs,
 	}
-	if !res.OK {
-		pd.Failure = res.FailReason
-	} else {
+	switch {
+	case errRes != nil:
+		pd.Failure = errRes.Error()
+	case !ans.OK:
+		pd.Failure = ans.FailReason
+	default:
 		probe.dnsOK = true
-		bogon, poisoned := false, false
-		if e.pol != nil {
-			bogon, poisoned = e.pol.DNSPoisoned(country, pd.ResolverClass, domain)
-		}
 		switch {
-		case poisoned && bogon:
+		case ans.Poisoned && ans.PoisonBogon:
 			pd.Answers, pd.Bogon = []string{bogonAddr(domain)}, true
-		case poisoned:
+		case ans.Poisoned:
 			pd.Answers = []string{e.net.HostAddr(e.censorFor(country), 7).String()}
 		default:
 			pd.Answers = []string{truth}
@@ -213,7 +218,7 @@ func (e *Engine) Measure(client topology.ASN, site content.Site) *archival.Measu
 		ID: g.Next(), StepID: 1, Origin: archival.OriginControl, Domain: domain,
 		ResolverClass: controlResolverClass,
 	}
-	auth := e.dns.AuthorityFor(domain, site.Country)
+	auth := e.dns.Authority(domain, site.Country)
 	if rtt, ok := e.net.RTTBetween(e.control, auth.ASN); auth.ASN != 0 && ok {
 		cd.Answers = []string{truth}
 		cd.LatencyMs = rtt

@@ -29,6 +29,7 @@ import (
 	"github.com/afrinet/observatory/internal/cable"
 	"github.com/afrinet/observatory/internal/content"
 	"github.com/afrinet/observatory/internal/core"
+	"github.com/afrinet/observatory/internal/dnsload"
 	"github.com/afrinet/observatory/internal/dnssim"
 	"github.com/afrinet/observatory/internal/experiments"
 	"github.com/afrinet/observatory/internal/geo"
@@ -73,6 +74,17 @@ type (
 	Traceroute = netsim.Traceroute
 	// DNS is the resolver/authoritative substrate.
 	DNS = dnssim.System
+	// DNSResolver is one link (or whole chain) of the composable
+	// resolver-chain API; DNSQuery/DNSAnswer are its wire types.
+	DNSResolver = dnssim.Resolver
+	// DNSQuery is one logical DNS question entering a chain.
+	DNSQuery = dnssim.Query
+	// DNSAnswer is a chain resolution outcome.
+	DNSAnswer = dnssim.Answer
+	// DNSLoadConfig parameterizes a rate-controlled DNS load run.
+	DNSLoadConfig = dnsload.Config
+	// DNSLoadReport is the aggregate outcome of one load run.
+	DNSLoadReport = dnsload.Report
 	// Web is the content/CDN substrate.
 	Web = content.System
 	// GeoDB is the commercial-grade geolocation database.
@@ -180,6 +192,10 @@ func (s *Stack) NewWebsteps(seed int64) *websim.Engine {
 	return websim.New(s.Net, s.DNS, s.Web, pol, seed)
 }
 
+// DNSLoad runs a rate-controlled DNS load configuration against this
+// stack's resolver chains (the §5.2-at-scale measurement engine).
+func (s *Stack) DNSLoad(cfg DNSLoadConfig) DNSLoadReport { return dnsload.Run(s.DNS, cfg) }
+
 // NewWhatIf builds a scenario engine over this stack.
 func (s *Stack) NewWhatIf() *WhatIfEngine { return whatif.NewEngine(s.Net, s.DNS, s.Web) }
 
@@ -262,6 +278,12 @@ func (e Exp) WhatIfCableCut() experiments.WhatIfResult { return experiments.What
 
 // AnycastCensusDemo runs the §7.2 anycast workload demonstration.
 func (e Exp) AnycastCensusDemo() experiments.AnycastResult { return experiments.AnycastCensus(e.env) }
+
+// DNSLocalization runs the ECS-vs-non-ECS localization study under
+// paced DNS load.
+func (e Exp) DNSLocalization() experiments.DNSLocalizationResult {
+	return experiments.DNSLocalization(e.env)
+}
 
 // AblationPlacement, AblationBudget, and AblationCorrelatedCuts quantify
 // the design choices DESIGN.md calls out.

@@ -1,7 +1,9 @@
 #!/bin/sh
 # bench.sh — run the benchmark suites and fold the results into
-# BENCH_PR9.json via cmd/benchjson (min ns/op across -count runs), then
+# BENCH_PR10.json via cmd/benchjson (min ns/op across -count runs), then
 # run the fleetsim load + bias experiments into the same file.
+# BenchmarkDNSLoad (1M paced queries per iteration) and BenchmarkStoreIngest
+# (held at its PR 9 baseline) both ride in the root sweep.
 #
 # Usage:
 #   scripts/bench.sh               # record the "after" section + fleetsim
@@ -19,7 +21,7 @@ cd "$(dirname "$0")/.."
 label="${1:-after}"
 count="${BENCH_COUNT:-3}"
 benchtime="${BENCH_TIME:-1x}"
-out="${BENCH_OUT:-BENCH_PR9.json}"
+out="${BENCH_OUT:-BENCH_PR10.json}"
 probes="${FLEET_PROBES:-20000}"
 duration="${FLEET_DURATION:-120s}"
 

@@ -33,8 +33,12 @@ echo "== determinism lint =="
 # list in PR9: websteps measurements and their archival records must be
 # a pure function of (seed, topology, policy) so sweeps replay
 # byte-identically — latencies are modeled, never measured.
-if git grep -n 'time\.Now()' -- internal/core internal/journal internal/store internal/spool internal/federation internal/websim internal/archival cmd/fleetsim; then
-    echo "determinism lint: time.Now() is forbidden in internal/core, internal/journal, internal/store, internal/spool, internal/federation, internal/websim, internal/archival, and cmd/fleetsim" >&2
+# internal/dnssim and internal/dnsload join in PR10: resolver chains and
+# the paced load driver run in purely logical time (token-bucket send
+# times, modeled RTTs), so identical configs aggregate identically at
+# any worker count.
+if git grep -n 'time\.Now()' -- internal/core internal/journal internal/store internal/spool internal/federation internal/websim internal/archival internal/dnssim internal/dnsload cmd/fleetsim; then
+    echo "determinism lint: time.Now() is forbidden in internal/core, internal/journal, internal/store, internal/spool, internal/federation, internal/websim, internal/archival, internal/dnssim, internal/dnsload, and cmd/fleetsim" >&2
     exit 1
 fi
 # The websteps stack draws all randomness from seeded splitmix64
@@ -43,8 +47,8 @@ fi
 # itself is banned in these two packages. (internal/outage's schedule
 # generator may use a locally seeded rand.Rand — its draws happen once,
 # serially, at generation time.)
-if git grep -n '"math/rand"' -- internal/websim internal/archival; then
-    echo "determinism lint: math/rand is forbidden in internal/websim and internal/archival — use seeded splitmix64 streams" >&2
+if git grep -n '"math/rand"' -- internal/websim internal/archival internal/dnssim internal/dnsload; then
+    echo "determinism lint: math/rand is forbidden in internal/websim, internal/archival, internal/dnssim, and internal/dnsload — use seeded splitmix64 streams" >&2
     exit 1
 fi
 
@@ -79,6 +83,10 @@ echo "== bench smoke =="
 # bit-rot in the harness scripts/bench.sh relies on.
 go test -run '^$' -bench . -benchtime=1x -count=1 . > /dev/null
 go test -run '^$' -bench . -benchtime=1x -count=1 ./internal/core > /dev/null
+# The dnsload high-QPS engine gets a named smoke: one full 1M-query
+# paced run must complete (the root sweep above already includes it;
+# this line keeps the target visible and fails loudly if it is renamed).
+go test -run '^$' -bench '^BenchmarkDNSLoad$' -benchtime=1x -count=1 . > /dev/null
 
 echo "== fleetsim smoke =="
 # A small fleet through both wire protocols under the race detector:
